@@ -1,0 +1,107 @@
+/// \file ablation_oracle_complexity.cc
+/// §4.2's efficiency claims, measured in the currency the paper uses —
+/// gain (oracle) evaluations:
+///   - Sviridenko's scheme evaluates Ω(B·n⁴) gains: "not scalable";
+///   - plain greedy evaluates O(B·n) (n per pick);
+///   - CELF's lazy evaluation cuts that much further (the paper cites a
+///     700× running-time factor from Leskovec et al.).
+/// We count actual evaluations on growing instances. Sviridenko runs with
+/// enumeration size 2 (its n³ regime is already prohibitive at n = 80).
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "core/celf.h"
+#include "core/exact.h"
+#include "core/objective.h"
+#include "datagen/corpus_ops.h"
+#include "datagen/openimages.h"
+#include "phocus/representation.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace phocus;
+
+/// Plain (non-lazy) greedy, counting every gain probe.
+SolverResult NaiveGreedy(const ParInstance& instance) {
+  SolverResult result;
+  ObjectiveEvaluator evaluator(&instance);
+  Cost remaining = instance.budget();
+  for (;;) {
+    double best_key = 1e-12;
+    PhotoId best = static_cast<PhotoId>(instance.num_photos());
+    for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+      if (evaluator.IsSelected(p) || instance.cost(p) > remaining) continue;
+      const double gain = evaluator.GainOf(p);
+      const double key = gain / static_cast<double>(instance.cost(p));
+      if (key > best_key) {
+        best_key = key;
+        best = p;
+      }
+    }
+    if (best == instance.num_photos()) break;
+    evaluator.Add(best);
+    result.selected.push_back(best);
+    remaining -= instance.cost(best);
+  }
+  result.score = evaluator.score();
+  result.gain_evaluations = evaluator.gain_evaluations();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("ablation_oracle_complexity",
+                     "§4.2 oracle-evaluation counts: Sviridenko vs greedy vs CELF");
+  const std::size_t scale = bench::GetScale();
+
+  OpenImagesOptions options;
+  options.num_photos = 1000 / scale;
+  options.seed = 606;
+  const Corpus full = GenerateOpenImagesCorpus(options);
+
+  TextTable table;
+  table.SetHeader({"n", "naive greedy", "CELF (Alg. 1)", "lazy saving",
+                   "Sviridenko d=2", "scores (naive/CELF/Svir)"});
+  Rng rng(1);
+  for (std::size_t n : {40ul, 80ul, 160ul, 320ul}) {
+    if (n > full.num_photos()) break;
+    const Corpus corpus = SubsampleCorpus(full, n, rng);
+    const Cost budget = corpus.TotalBytes() / 6;
+    const ParInstance instance = BuildInstance(corpus, budget);
+
+    const SolverResult naive = NaiveGreedy(instance);
+    CelfSolver celf;
+    const SolverResult lazy = celf.Solve(instance);
+    // Only the smaller sizes can afford the partial-enumeration scheme.
+    std::string sviridenko_evals = "-";
+    double sviridenko_score = 0.0;
+    if (n <= 80) {
+      SviridenkoSolver sviridenko(2);
+      const SolverResult result = sviridenko.Solve(instance);
+      sviridenko_evals = StrFormat("%zu", result.gain_evaluations);
+      sviridenko_score = result.score;
+    }
+    // CELF runs two passes (UC+CB); compare per-pass cost against one naive
+    // CB pass for the lazy-evaluation factor.
+    const double lazy_factor =
+        static_cast<double>(naive.gain_evaluations) /
+        std::max<std::size_t>(1, lazy.gain_evaluations / 2);
+    table.AddRow({StrFormat("%zu", n), StrFormat("%zu", naive.gain_evaluations),
+                  StrFormat("%zu", lazy.gain_evaluations),
+                  StrFormat("%.1fx", lazy_factor), sviridenko_evals,
+                  StrFormat("%.1f / %.1f / %.1f", naive.score, lazy.score,
+                            sviridenko_score)});
+  }
+  std::printf("%s", table.Render(
+                        "Gain evaluations by algorithm and instance size")
+                        .c_str());
+  std::printf("\npaper: Sviridenko needs Omega(B n^4) evaluations; the lazy "
+              "scheme cut running time by ~700x in [30].\n");
+  return 0;
+}

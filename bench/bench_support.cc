@@ -1,0 +1,145 @@
+#include "bench/bench_support.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/baselines.h"
+#include "core/celf.h"
+#include "core/objective.h"
+#include "phocus/representation.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace phocus {
+namespace bench {
+
+std::size_t GetScale() {
+  const char* raw = std::getenv("PHOCUS_BENCH_SCALE");
+  if (raw == nullptr) return 1;
+  const long value = std::strtol(raw, nullptr, 10);
+  return value >= 1 ? static_cast<std::size_t>(value) : 1;
+}
+
+void PrintHeader(const std::string& bench_name, const std::string& anchor) {
+  std::printf("================================================================\n");
+  std::printf("%s  —  reproduces %s\n", bench_name.c_str(), anchor.c_str());
+  if (GetScale() != 1) {
+    std::printf("(PHOCUS_BENCH_SCALE=%zu: dataset sizes divided accordingly)\n",
+                GetScale());
+  }
+  std::printf("================================================================\n");
+}
+
+void MaybeExportCsv(const std::string& stem, const TextTable& table) {
+  const char* dir = std::getenv("PHOCUS_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + stem + ".csv";
+  WriteFile(path, table.RenderCsv());
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+std::vector<QualityPoint> RunQualityComparison(
+    const Corpus& corpus, const std::vector<Cost>& budgets,
+    const QualityComparisonOptions& options) {
+  std::vector<QualityPoint> points;
+
+  for (Cost budget : budgets) {
+    // The true objective: dense, contextual SIM.
+    RepresentationOptions dense_options;
+    dense_options.sparsify_tau = 0.0;
+    const ParInstance truth = BuildInstance(corpus, budget, dense_options);
+
+    auto record = [&](const std::string& name,
+                      const std::vector<PhotoId>& selection, double seconds) {
+      QualityPoint point;
+      point.algorithm = name;
+      point.budget = budget;
+      point.quality = ObjectiveEvaluator::Evaluate(truth, selection);
+      point.seconds = seconds;
+      points.push_back(point);
+    };
+
+    if (options.include_rand) {
+      RandomAddSolver rand_solver(options.rand_seed);
+      Stopwatch timer;
+      const SolverResult result = rand_solver.Solve(truth);
+      record("RAND", result.selected, timer.ElapsedSeconds());
+    }
+    if (options.include_greedy_nr) {
+      GreedyNoRedundancySolver nr;
+      Stopwatch timer;
+      const SolverResult result = nr.Solve(truth);
+      record("G-NR", result.selected, timer.ElapsedSeconds());
+    }
+    if (options.include_greedy_ncs) {
+      // Non-contextual surrogate (same cosine for every context), solved
+      // with plain unit-cost greedy — cost-benefit selection is an
+      // Algorithm 1 feature the baselines lack.
+      Stopwatch timer;
+      const ParInstance surrogate = BuildNonContextualInstance(corpus, budget);
+      const SolverResult result =
+          LazyGreedy(surrogate, GreedyRule::kUnitCost);
+      record("G-NCS", result.selected, timer.ElapsedSeconds());
+    }
+    {
+      // PHOcus: Algorithm 1 on the τ-sparsified contextual instance.
+      Stopwatch timer;
+      RepresentationOptions sparse_options;
+      sparse_options.sparsify_tau = options.phocus_tau;
+      const ParInstance sparse = BuildInstance(corpus, budget, sparse_options);
+      CelfSolver phocus;
+      const SolverResult result = phocus.Solve(sparse);
+      record("PHOcus", result.selected, timer.ElapsedSeconds());
+    }
+  }
+  return points;
+}
+
+std::string FormatQualitySeries(const std::vector<QualityPoint>& points,
+                                const std::vector<Cost>& budgets,
+                                const std::string& title, bool show_time) {
+  // Collect algorithm names preserving first-seen order.
+  std::vector<std::string> algorithms;
+  for (const QualityPoint& point : points) {
+    bool seen = false;
+    for (const std::string& name : algorithms) {
+      if (name == point.algorithm) seen = true;
+    }
+    if (!seen) algorithms.push_back(point.algorithm);
+  }
+
+  TextTable table;
+  std::vector<std::string> header = {"algorithm"};
+  for (Cost budget : budgets) header.push_back(HumanBytes(budget));
+  table.SetHeader(header);
+  for (const std::string& name : algorithms) {
+    std::vector<std::string> row = {name};
+    for (Cost budget : budgets) {
+      for (const QualityPoint& point : points) {
+        if (point.algorithm == name && point.budget == budget) {
+          row.push_back(show_time ? StrFormat("%.2fs", point.seconds)
+                                  : StrFormat("%.2f", point.quality));
+        }
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  // Slugified CSV export alongside the text rendering (opt-in via env var).
+  std::string stem;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      stem.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!stem.empty() && stem.back() != '_') {
+      stem.push_back('_');
+    }
+  }
+  while (!stem.empty() && stem.back() == '_') stem.pop_back();
+  MaybeExportCsv(stem, table);
+  return table.Render(title);
+}
+
+}  // namespace bench
+}  // namespace phocus

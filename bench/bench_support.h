@@ -1,0 +1,71 @@
+#ifndef PHOCUS_BENCH_BENCH_SUPPORT_H_
+#define PHOCUS_BENCH_BENCH_SUPPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+#include "datagen/corpus.h"
+#include "util/table.h"
+
+/// \file bench_support.h
+/// Shared machinery for the experiment harness. Every bench binary
+/// regenerates one table or figure of the paper: it builds the dataset(s),
+/// runs the algorithms, and prints the same rows/series the paper reports
+/// (absolute numbers differ — synthetic data, this machine — but the shape
+/// is the comparison target; see EXPERIMENTS.md).
+
+namespace phocus {
+namespace bench {
+
+/// Dataset down-scaling factor from the PHOCUS_BENCH_SCALE environment
+/// variable (default 1 = the paper's sizes). Useful for quick smoke runs:
+/// PHOCUS_BENCH_SCALE=10 divides every photo count by 10.
+std::size_t GetScale();
+
+/// Prints the standard bench header (name, paper anchor, seed, scale).
+void PrintHeader(const std::string& bench_name, const std::string& anchor);
+
+/// The four §5.2 quality-comparison series. Each algorithm is solved on the
+/// instance representation it is defined on, and every returned selection is
+/// scored under the *true* (dense contextual) objective:
+///   RAND      — random additions
+///   G-NR      — greedy by standalone relevance (no redundancy awareness)
+///   G-NCS     — Algorithm 1 on the non-contextual-similarity surrogate
+///   PHOcus    — Algorithm 1 on the τ-sparsified contextual instance
+struct QualityPoint {
+  std::string algorithm;
+  Cost budget = 0;
+  double quality = 0.0;   ///< G(S) under the true objective
+  double seconds = 0.0;   ///< solve seconds (excludes corpus generation)
+};
+
+struct QualityComparisonOptions {
+  double phocus_tau = 0.5;
+  std::uint64_t rand_seed = 1;
+  bool include_rand = true;
+  bool include_greedy_nr = true;
+  bool include_greedy_ncs = true;
+};
+
+std::vector<QualityPoint> RunQualityComparison(
+    const Corpus& corpus, const std::vector<Cost>& budgets,
+    const QualityComparisonOptions& options = {});
+
+/// Renders quality points as the paper's figure layout: one row per
+/// algorithm, one column per budget.
+std::string FormatQualitySeries(const std::vector<QualityPoint>& points,
+                                const std::vector<Cost>& budgets,
+                                const std::string& title,
+                                bool show_time = false);
+
+/// When the PHOCUS_BENCH_CSV_DIR environment variable is set, writes the
+/// rendered table as `<dir>/<stem>.csv` (plot-ready) and reports the path
+/// on stdout; otherwise does nothing. Call once per bench table.
+void MaybeExportCsv(const std::string& stem, const TextTable& table);
+
+}  // namespace bench
+}  // namespace phocus
+
+#endif  // PHOCUS_BENCH_BENCH_SUPPORT_H_

@@ -1,0 +1,30 @@
+/// \file fig5a_quality_p1k.cc
+/// Regenerates Figure 5a: solution quality of RAND / G-NR / G-NCS / PHOcus
+/// on the P-1K dataset for budgets {5, 10, 25, 50} MB. Expected shape
+/// (§5.3): PHOcus > G-NCS >= G-NR > RAND at every budget, gaps shrinking as
+/// the budget approaches the archive size (the rightmost budget retains
+/// nearly everything, so all methods converge).
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "datagen/table2.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("fig5a_quality_p1k", "Figure 5a");
+  const Corpus corpus = CachedTable2Corpus("P-1K", bench::GetScale());
+  std::printf("dataset: %zu photos, %s, %zu subsets (seed %llu)\n\n",
+              corpus.num_photos(), HumanBytes(corpus.TotalBytes()).c_str(),
+              corpus.subsets.size(),
+              static_cast<unsigned long long>(corpus.seed));
+
+  const std::vector<Cost> budgets = {
+      ParseBytes("5MB") / bench::GetScale(), ParseBytes("10MB") / bench::GetScale(),
+      ParseBytes("25MB") / bench::GetScale(), ParseBytes("50MB") / bench::GetScale()};
+  const auto points = bench::RunQualityComparison(corpus, budgets);
+  std::printf("%s", bench::FormatQualitySeries(
+                        points, budgets, "Figure 5a: quality, P-1K").c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+/// \file fig5b_quality_p5k.cc
+/// Regenerates Figure 5b: quality on P-5K for budgets {25, 50, 100, 250} MB.
+/// Same expected ordering as Figure 5a; the paper notes G-NCS and G-NR can
+/// be nearly tied at some budgets here.
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "datagen/table2.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("fig5b_quality_p5k", "Figure 5b");
+  const Corpus corpus = CachedTable2Corpus("P-5K", bench::GetScale());
+  std::printf("dataset: %zu photos, %s, %zu subsets\n\n", corpus.num_photos(),
+              HumanBytes(corpus.TotalBytes()).c_str(), corpus.subsets.size());
+
+  const std::vector<Cost> budgets = {ParseBytes("25MB") / bench::GetScale(),
+                                     ParseBytes("50MB") / bench::GetScale(),
+                                     ParseBytes("100MB") / bench::GetScale(),
+                                     ParseBytes("250MB") / bench::GetScale()};
+  const auto points = bench::RunQualityComparison(corpus, budgets);
+  std::printf("%s", bench::FormatQualitySeries(
+                        points, budgets, "Figure 5b: quality, P-5K").c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// \file fig5c_quality_ecfashion.cc
+/// Regenerates Figure 5c: quality on the EC-Fashion dataset (18745 product
+/// photos, 250 landing pages) for budgets {100, 250, 500, 1000} MB.
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "datagen/table2.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("fig5c_quality_ecfashion", "Figure 5c");
+  const Corpus corpus = CachedTable2Corpus("EC-Fashion", bench::GetScale());
+  std::printf("dataset: %zu photos, %s, %zu landing pages\n\n",
+              corpus.num_photos(), HumanBytes(corpus.TotalBytes()).c_str(),
+              corpus.subsets.size());
+
+  const std::vector<Cost> budgets = {ParseBytes("100MB") / bench::GetScale(),
+                                     ParseBytes("250MB") / bench::GetScale(),
+                                     ParseBytes("500MB") / bench::GetScale(),
+                                     ParseBytes("1GB") / bench::GetScale()};
+  const auto points = bench::RunQualityComparison(corpus, budgets);
+  std::printf("%s",
+              bench::FormatQualitySeries(points, budgets,
+                                         "Figure 5c: quality, EC-Fashion")
+                  .c_str());
+  return 0;
+}

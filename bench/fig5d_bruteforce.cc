@@ -1,0 +1,72 @@
+/// \file fig5d_bruteforce.cc
+/// Regenerates Figure 5d: PHOcus vs the brute-force (exact) algorithm on a
+/// 100-photo subset of P-1K with budgets {1, 2, 5, 10} MB. The paper
+/// reports PHOcus always within 15% of optimal (often within 10%). The
+/// exact solver is branch-and-bound with a submodular fractional bound; if
+/// the node cap is hit the row is marked "(capped)" and the reported value
+/// is a lower bound on the optimum.
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "core/celf.h"
+#include "core/exact.h"
+#include "core/online_bound.h"
+#include "core/objective.h"
+#include "datagen/corpus_ops.h"
+#include "datagen/table2.h"
+#include "phocus/representation.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("fig5d_bruteforce", "Figure 5d");
+
+  const Corpus full = CachedTable2Corpus("P-1K", bench::GetScale());
+  Rng rng(5);
+  const Corpus corpus = SubsampleCorpus(full, 100 / bench::GetScale() + 1, rng);
+  std::printf("subset: %zu photos, %s, %zu subsets\n\n", corpus.num_photos(),
+              HumanBytes(corpus.TotalBytes()).c_str(), corpus.subsets.size());
+
+  TextTable table;
+  table.SetHeader({"budget", "PHOcus", "Brute-Force", "loss",
+                   "certified vs OPT", "notes"});
+  for (const char* budget_text : {"1MB", "2MB", "5MB", "10MB"}) {
+    const Cost budget = ParseBytes(budget_text);
+    RepresentationOptions dense_options;
+    dense_options.sparsify_tau = 0.0;
+    const ParInstance truth = BuildInstance(corpus, budget, dense_options);
+
+    RepresentationOptions sparse_options;
+    sparse_options.sparsify_tau = 0.5;
+    const ParInstance sparse = BuildInstance(corpus, budget, sparse_options);
+    CelfSolver phocus;
+    const SolverResult phocus_result = phocus.Solve(sparse);
+    const double phocus_quality =
+        ObjectiveEvaluator::Evaluate(truth, phocus_result.selected);
+
+    BruteForceSolver brute(/*max_nodes=*/20'000'000);
+    // Seed branch-and-bound with PHOcus's selection so the exact side's
+    // incumbent dominates both greedy variants from the start.
+    brute.SetWarmStart(phocus_result.selected);
+    const SolverResult exact = brute.Solve(truth);
+
+    const double loss =
+        exact.score > 0 ? 100.0 * (exact.score - phocus_quality) / exact.score
+                        : 0.0;
+    // Even when branch-and-bound hits its node cap, the online bound (§4.2)
+    // certifies an upper bound on the true optimum.
+    const OnlineBound bound =
+        ComputeOnlineBound(truth, phocus_result.selected);
+    table.AddRow({budget_text, StrFormat("%.2f", phocus_quality),
+                  StrFormat("%.2f", exact.score), StrFormat("%.1f%%", loss),
+                  StrFormat(">= %.1f%%", 100.0 * bound.certified_ratio),
+                  exact.detail});
+  }
+  std::printf("%s", table.Render(
+                        "Figure 5d: PHOcus vs Brute-Force (100-photo subset "
+                        "of P-1K); paper: loss always < 15%").c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+/// \file fig5h_userstudy_time.cc
+/// Regenerates Figure 5h: user-study time to solution (log scale in the
+/// paper), PHOcus vs manual, per domain. Paper finding: 6-14 hours of
+/// manual work vs ~10 minutes with PHOcus. The manual side is the
+/// simulator's explicit time model (inspection seconds × photos examined +
+/// duplicate-check comparisons + per-page overhead).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/userstudy_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("fig5h_userstudy_time", "Figure 5h");
+  TextTable table;
+  table.SetHeader({"domain", "PHOcus (min)", "Manual (min)", "speedup",
+                   "log10 ratio"});
+  for (const bench::UserStudyRow& row : bench::RunUserStudy()) {
+    const double phocus_minutes = std::max(1e-3, row.phocus_minutes);
+    table.AddRow({row.domain, StrFormat("%.3f", phocus_minutes),
+                  StrFormat("%.0f", row.manual_minutes),
+                  StrFormat("%.0fx", row.manual_minutes / phocus_minutes),
+                  StrFormat("%.1f", std::log10(row.manual_minutes /
+                                               phocus_minutes))});
+  }
+  std::printf("%s", table.Render(
+                        "Figure 5h: user study time (paper: hours manual vs "
+                        "~10 min PHOcus; log scale)").c_str());
+  return 0;
+}

@@ -1,0 +1,200 @@
+/// \file micro_solver.cc
+/// google-benchmark microbenchmarks for the hot kernels behind every
+/// experiment: objective gain probes, CELF passes, similarity-matrix
+/// construction, SimHash signatures, DCT size estimation, and rendering.
+
+#include <benchmark/benchmark.h>
+
+#include "core/celf.h"
+#include "core/gfl.h"
+#include "core/sparsify.h"
+#include "core/objective.h"
+#include "embedding/context.h"
+#include "embedding/pipeline.h"
+#include "imaging/jpeg_size.h"
+#include "imaging/ppm_io.h"
+#include "imaging/scene.h"
+#include "lsh/simhash.h"
+#include "util/lzss.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+/// Random dense instance: n photos, n/2 subsets of up to 8 members.
+ParInstance MakeInstance(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Cost> costs(n);
+  for (Cost& c : costs) c = 10 + rng.NextBelow(90);
+  Cost total = 0;
+  for (Cost c : costs) total += c;
+  ParInstance instance(n, costs, total / 3);
+  for (std::size_t s = 0; s < n / 2; ++s) {
+    Subset q;
+    q.weight = rng.Uniform(0.2, 3.0);
+    const std::size_t m = 2 + rng.NextBelow(7);
+    for (std::size_t idx : rng.SampleWithoutReplacement(n, std::min(m, n))) {
+      q.members.push_back(static_cast<PhotoId>(idx));
+    }
+    const std::size_t size = q.members.size();
+    q.relevance.assign(size, 1.0 / static_cast<double>(size));
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim.assign(size * size, 0.0f);
+    for (std::size_t i = 0; i < size; ++i) {
+      q.dense_sim[i * size + i] = 1.0f;
+      for (std::size_t j = i + 1; j < size; ++j) {
+        const float sim = static_cast<float>(rng.UniformDouble());
+        q.dense_sim[i * size + j] = sim;
+        q.dense_sim[j * size + i] = sim;
+      }
+    }
+    instance.AddSubset(std::move(q));
+  }
+  return instance;
+}
+
+void BM_ObjectiveGainProbe(benchmark::State& state) {
+  const ParInstance instance = MakeInstance(
+      static_cast<std::size_t>(state.range(0)), 1);
+  ObjectiveEvaluator evaluator(&instance);
+  evaluator.Add(0);
+  evaluator.Add(1);
+  PhotoId p = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.GainOf(p));
+    p = (p + 1) % static_cast<PhotoId>(instance.num_photos());
+    if (p < 2) p = 2;
+  }
+}
+BENCHMARK(BM_ObjectiveGainProbe)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CelfSolve(benchmark::State& state) {
+  const ParInstance instance = MakeInstance(
+      static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    CelfSolver solver;
+    benchmark::DoNotOptimize(solver.Solve(instance).score);
+  }
+}
+BENCHMARK(BM_CelfSolve)->Arg(100)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_SubsetSimilarityMatrix(benchmark::State& state) {
+  Rng rng(3);
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<Embedding> embeddings(m);
+  std::vector<std::uint32_t> members(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    embeddings[i].resize(160);
+    for (float& v : embeddings[i]) v = static_cast<float>(rng.Normal());
+    NormalizeInPlace(embeddings[i]);
+    members[i] = static_cast<std::uint32_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SubsetSimilarityMatrix(embeddings, nullptr, members));
+  }
+}
+BENCHMARK(BM_SubsetSimilarityMatrix)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimHashSignature(benchmark::State& state) {
+  Rng rng(4);
+  const SimHasher hasher(160, static_cast<int>(state.range(0)), 5);
+  Embedding v(160);
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(v));
+  }
+}
+BENCHMARK(BM_SimHashSignature)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RenderScene(benchmark::State& state) {
+  Rng rng(5);
+  const SceneParams params = SampleScene(StyleForCategory("bench"), rng);
+  const int size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RenderScene(params, size, size));
+  }
+}
+BENCHMARK(BM_RenderScene)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_EmbeddingExtract(benchmark::State& state) {
+  Rng rng(6);
+  const Image image =
+      RenderScene(SampleScene(StyleForCategory("bench"), rng), 64, 64);
+  EmbeddingPipelineOptions options;
+  options.projection_dim = static_cast<std::size_t>(state.range(0));
+  const EmbeddingPipeline pipeline(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Extract(image));
+  }
+}
+BENCHMARK(BM_EmbeddingExtract)->Arg(0)->Arg(160)->Unit(benchmark::kMicrosecond);
+
+void BM_EstimateJpegBytes(benchmark::State& state) {
+  Rng rng(7);
+  const Image image =
+      RenderScene(SampleScene(StyleForCategory("bench"), rng), 64, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJpegBytes(image));
+  }
+}
+BENCHMARK(BM_EstimateJpegBytes)->Unit(benchmark::kMicrosecond);
+
+void BM_ForwardDct(benchmark::State& state) {
+  Rng rng(8);
+  float block[64], out[64];
+  for (float& v : block) v = static_cast<float>(rng.Uniform(-128, 128));
+  for (auto _ : state) {
+    ForwardDct8x8(block, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_SparsifyInstance(benchmark::State& state) {
+  const ParInstance instance = MakeInstance(
+      static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparsifyInstance(instance, 0.5));
+  }
+}
+BENCHMARK(BM_SparsifyInstance)->Arg(200)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_GflEvaluate(benchmark::State& state) {
+  const ParInstance instance = MakeInstance(
+      static_cast<std::size_t>(state.range(0)), 10);
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  std::vector<PhotoId> selection;
+  for (PhotoId p = 0; p < instance.num_photos(); p += 3) selection.push_back(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.Evaluate(selection));
+  }
+}
+BENCHMARK(BM_GflEvaluate)->Arg(200)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_LzssCompressPpm(benchmark::State& state) {
+  Rng rng(11);
+  const Image image =
+      RenderScene(SampleScene(StyleForCategory("bench"), rng), 64, 64);
+  const std::string ppm = EncodePpm(image);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzssCompress(ppm));
+  }
+}
+BENCHMARK(BM_LzssCompressPpm)->Unit(benchmark::kMicrosecond);
+
+void BM_JpegRoundTrip(benchmark::State& state) {
+  Rng rng(12);
+  const Image image =
+      RenderScene(SampleScene(StyleForCategory("bench"), rng), 64, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateJpegRoundTrip(image, 50));
+  }
+}
+BENCHMARK(BM_JpegRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace phocus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/// \file text_small_budget.cc
+/// Regenerates the §5.3 "Budget scenarios in practice" experiment: an
+/// Electronics landing-page pool of 640 photos (~50 MB in the paper) with a
+/// hard 2 MB budget (~4% of the archive — the regime where the paper says
+/// PHOcus matters most). Paper numbers: PHOcus reaches ~35% of the total
+/// quality, G-NCS ~18%, G-NR ~16%.
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "core/objective.h"
+#include "datagen/ecommerce.h"
+#include "phocus/representation.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace phocus;
+  bench::PrintHeader("text_small_budget", "§5.3 'Budget scenarios in practice'");
+
+  EcommerceOptions options;
+  options.domain = EcDomain::kElectronics;
+  options.num_products = 640;
+  options.num_queries = 40;
+  options.seed = 64;
+  const Corpus corpus = GenerateEcommerceCorpus(options);
+  // The paper's archive was ~50MB for 640 photos; ours lands nearby. Use
+  // the same 4% ratio the paper quotes rather than the absolute 2MB.
+  const Cost budget = corpus.TotalBytes() / 25;
+  std::printf("archive: %zu photos, %s; budget %s (%.1f%%)\n\n",
+              corpus.num_photos(), HumanBytes(corpus.TotalBytes()).c_str(),
+              HumanBytes(budget).c_str(),
+              100.0 * static_cast<double>(budget) /
+                  static_cast<double>(corpus.TotalBytes()));
+
+  RepresentationOptions dense;
+  dense.sparsify_tau = 0.0;
+  const ParInstance truth = BuildInstance(corpus, budget, dense);
+  const double max_score = ObjectiveEvaluator::MaxScore(truth);
+
+  const std::vector<Cost> budgets = {budget};
+  bench::QualityComparisonOptions comparison;
+  comparison.include_rand = false;
+  const auto points = bench::RunQualityComparison(corpus, budgets, comparison);
+
+  TextTable table;
+  table.SetHeader({"algorithm", "G(S)", "% of total quality", "paper %"});
+  for (const bench::QualityPoint& point : points) {
+    std::string paper = "-";
+    if (point.algorithm == "PHOcus") paper = "35%";
+    if (point.algorithm == "G-NCS") paper = "18%";
+    if (point.algorithm == "G-NR") paper = "16%";
+    table.AddRow({point.algorithm, StrFormat("%.4f", point.quality),
+                  StrFormat("%.1f%%", 100.0 * point.quality / max_score),
+                  paper});
+  }
+  std::printf("%s", table.Render(
+                        "Small-budget scenario (4% of archive)").c_str());
+  return 0;
+}

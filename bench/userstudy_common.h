@@ -1,0 +1,98 @@
+#ifndef PHOCUS_BENCH_USERSTUDY_COMMON_H_
+#define PHOCUS_BENCH_USERSTUDY_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "core/celf.h"
+#include "core/objective.h"
+#include "datagen/ecommerce.h"
+#include "phocus/representation.h"
+#include "userstudy/analyst.h"
+#include "util/stopwatch.h"
+
+/// \file userstudy_common.h
+/// Shared runner for the §5.4 user-study benches (Figures 5g and 5h): for
+/// each of the three domains, build the landing-page dataset, let the
+/// simulated analyst solve it manually, run PHOcus, and score both under
+/// the same objective.
+
+namespace phocus {
+namespace bench {
+
+struct UserStudyRow {
+  std::string domain;
+  double phocus_quality = 0.0;
+  double manual_quality = 0.0;
+  double phocus_minutes = 0.0;  ///< wall-clock representation + solve
+  double manual_minutes = 0.0;  ///< simulated analyst time
+  std::size_t photos = 0;
+  std::size_t pages = 0;
+};
+
+inline std::vector<UserStudyRow> RunUserStudy() {
+  std::vector<UserStudyRow> rows;
+  const EcDomain domains[] = {EcDomain::kElectronics, EcDomain::kFashion,
+                              EcDomain::kHomeGarden};
+  const std::size_t scale = GetScale();
+  for (EcDomain domain : domains) {
+    EcommerceOptions options;
+    options.domain = domain;
+    // "Medium size datasets" (§5.4): the analysts worked domain slices, not
+    // the full archives.
+    options.num_products = 5000 / scale;
+    options.num_queries = 120;
+    options.seed = 97 + static_cast<std::uint64_t>(domain);
+    options.required_fraction = 0.002;
+    const Corpus corpus = GenerateEcommerceCorpus(options);
+    const Cost budget = corpus.TotalBytes() / 25;  // a tight page cache
+
+    const ParInstance truth = BuildInstance(corpus, budget);
+
+    UserStudyRow row;
+    row.domain = EcDomainName(domain);
+    row.photos = corpus.num_photos();
+    row.pages = corpus.subsets.size();
+
+    // Three different in-house analysts (§5.4): each domain's expert has
+    // their own pace and thoroughness.
+    AnalystOptions analyst;
+    switch (domain) {
+      case EcDomain::kElectronics:  // meticulous: slow, sharp duplicate eye
+        analyst.seed = 11;
+        analyst.inspect_seconds = 5.0;
+        analyst.attention_per_page = 45;
+        analyst.duplicate_detect_prob = 0.75;
+        break;
+      case EcDomain::kFashion:  // fast browser, noisier judgement
+        analyst.seed = 12;
+        analyst.inspect_seconds = 3.0;
+        analyst.attention_per_page = 35;
+        analyst.value_noise = 0.3;
+        break;
+      case EcDomain::kHomeGarden:  // defaults
+        analyst.seed = 13;
+        break;
+    }
+    const ManualResult manual = SimulateManualAnalyst(corpus, budget, analyst);
+    row.manual_quality = ObjectiveEvaluator::Evaluate(truth, manual.selected);
+    row.manual_minutes = manual.simulated_hours * 60.0;
+
+    Stopwatch timer;
+    RepresentationOptions sparse;
+    sparse.sparsify_tau = 0.5;
+    const ParInstance instance = BuildInstance(corpus, budget, sparse);
+    CelfSolver solver;
+    const SolverResult result = solver.Solve(instance);
+    row.phocus_minutes = timer.ElapsedSeconds() / 60.0;
+    row.phocus_quality = ObjectiveEvaluator::Evaluate(truth, result.selected);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace bench
+}  // namespace phocus
+
+#endif  // PHOCUS_BENCH_USERSTUDY_COMMON_H_

@@ -1,0 +1,53 @@
+#ifndef PHOCUS_CORE_BASELINES_H_
+#define PHOCUS_CORE_BASELINES_H_
+
+#include <cstdint>
+
+#include "core/solver.h"
+
+/// \file baselines.h
+/// The experimental baselines of §5.2: RAND-A, RAND-D and Greedy-NR.
+/// (Greedy-NCS is Algorithm 1 run over a non-contextual-SIM surrogate
+/// instance; the surrogate is built by the representation module, see
+/// src/phocus/representation.h.)
+
+namespace phocus {
+
+/// RAND-A: starts from S0 and adds uniformly-random affordable photos until
+/// none fit.
+class RandomAddSolver : public Solver {
+ public:
+  explicit RandomAddSolver(std::uint64_t seed) : seed_(seed) {}
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return "RAND-A"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// RAND-D: starts from all photos and deletes uniformly-random non-required
+/// photos until the budget is met.
+class RandomDeleteSolver : public Solver {
+ public:
+  explicit RandomDeleteSolver(std::uint64_t seed) : seed_(seed) {}
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return "RAND-D"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Greedy-NR: iterative unit-cost greedy "using the score function in
+/// Section 3.1 with SIM(q,p,p') set to 1" — i.e. weighted budgeted maximum
+/// coverage over the subsets, blind to the *actual* pairwise similarities
+/// (partial redundancy looks like full redundancy to it). The reported
+/// score is the true PAR objective of the resulting set.
+class GreedyNoRedundancySolver : public Solver {
+ public:
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return "Greedy-NR"; }
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_BASELINES_H_

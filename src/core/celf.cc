@@ -1,0 +1,129 @@
+#include "core/celf.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace phocus {
+
+namespace {
+
+/// Priority-queue entry: `key` is δ (UC) or δ/cost (CB); `epoch` is the
+/// solution size at which the gain was computed — the CELF staleness flag
+/// (`curr_p` in Algorithm 2).
+struct PqEntry {
+  double key;
+  PhotoId photo;
+  std::size_t epoch;
+  bool operator<(const PqEntry& other) const { return key < other.key; }
+};
+
+}  // namespace
+
+SolverResult LazyGreedy(const ParInstance& instance, GreedyRule rule,
+                        const CelfOptions& options) {
+  return LazyGreedyFrom(instance, rule, options, instance.RequiredPhotos());
+}
+
+SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
+                            const CelfOptions& options,
+                            const std::vector<PhotoId>& seed) {
+  Stopwatch timer;
+  SolverResult result;
+  result.solver_name =
+      rule == GreedyRule::kUnitCost ? "LazyGreedy(UC)" : "LazyGreedy(CB)";
+
+  ObjectiveEvaluator evaluator(&instance);
+  // Line 1-2 of Algorithm 2: S ← seed (⊇ S0), B ← B − C(seed).
+  for (PhotoId p : seed) {
+    evaluator.Add(p);
+    result.selected.push_back(p);
+  }
+  PHOCUS_CHECK(evaluator.selected_cost() <= instance.budget(),
+               "seed set exceeds budget");
+  Cost remaining = instance.budget() - evaluator.selected_cost();
+
+  const auto key_of = [&](PhotoId p, double gain) {
+    return rule == GreedyRule::kUnitCost
+               ? gain
+               : gain / static_cast<double>(instance.cost(p));
+  };
+
+  std::vector<PhotoId> candidates;
+  candidates.reserve(instance.num_photos());
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (evaluator.IsSelected(p)) continue;
+    if (instance.cost(p) > remaining) continue;  // can never fit later
+    candidates.push_back(p);
+  }
+
+  std::size_t epoch = evaluator.num_selected();
+  std::priority_queue<PqEntry> queue;
+  if (options.parallel_first_round && ThreadPool::Global().num_threads() > 1 &&
+      candidates.size() >= 256) {
+    // Eager first round, fanned across the pool: GainOf is const, so
+    // concurrent probes against the seed state are safe. Entries enter the
+    // queue fresh (current epoch) — identical behaviour to the lazy seed,
+    // one lock-free pass cheaper.
+    std::vector<double> gains(candidates.size());
+    ThreadPool::Global().ParallelFor(candidates.size(), [&](std::size_t i) {
+      gains[i] = evaluator.GainOf(candidates[i]);
+    });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      queue.push({key_of(candidates[i], gains[i]), candidates[i], epoch});
+    }
+  } else {
+    // Lazy seed: every candidate starts stale with key = +inf (line 3-4's
+    // δ_p ← ∞), so each photo's gain is computed at most once per solution
+    // change and only when it reaches the top.
+    for (PhotoId p : candidates) {
+      queue.push({std::numeric_limits<double>::infinity(), p,
+                  std::numeric_limits<std::size_t>::max()});
+    }
+  }
+  while (!queue.empty()) {
+    PqEntry top = queue.top();
+    queue.pop();
+    if (instance.cost(top.photo) > remaining) continue;  // dropped forever
+    if (top.epoch == epoch) {
+      // Fresh maximum: select it (lines 13-15).
+      if (top.key <= options.min_gain) break;  // nothing useful remains
+      evaluator.Add(top.photo);
+      result.selected.push_back(top.photo);
+      remaining -= instance.cost(top.photo);
+      epoch = evaluator.num_selected();
+    } else {
+      // Stale: recompute δ_p and re-queue (lines 17-18).
+      const double gain = evaluator.GainOf(top.photo);
+      queue.push({key_of(top.photo, gain), top.photo, epoch});
+    }
+  }
+
+  result.score = evaluator.score();
+  result.cost = evaluator.selected_cost();
+  result.gain_evaluations = evaluator.gain_evaluations();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SolverResult CelfSolver::Solve(const ParInstance& instance) {
+  Stopwatch timer;
+  SolverResult uc = LazyGreedy(instance, GreedyRule::kUnitCost, options_);
+  SolverResult cb = LazyGreedy(instance, GreedyRule::kCostBenefit, options_);
+  uc_score_ = uc.score;
+  cb_score_ = cb.score;
+  winning_rule_ =
+      cb.score >= uc.score ? GreedyRule::kCostBenefit : GreedyRule::kUnitCost;
+
+  SolverResult best = winning_rule_ == GreedyRule::kCostBenefit ? cb : uc;
+  best.solver_name = name();
+  best.detail = winning_rule_ == GreedyRule::kCostBenefit ? "CB" : "UC";
+  best.gain_evaluations = uc.gain_evaluations + cb.gain_evaluations;
+  best.seconds = timer.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace phocus

@@ -1,0 +1,67 @@
+#ifndef PHOCUS_CORE_CELF_H_
+#define PHOCUS_CORE_CELF_H_
+
+#include "core/objective.h"
+#include "core/solver.h"
+
+/// \file celf.h
+/// The PHOcus main algorithm (Algorithms 1 & 2, §4.2): two CELF lazy-greedy
+/// passes — unit-cost (UC) and cost-benefit (CB) — returning the better
+/// solution. Worst-case guarantee (1 − 1/e)/2 [Leskovec et al. 2007]; the
+/// a-posteriori data-dependent bound lives in online_bound.h.
+
+namespace phocus {
+
+/// Which greedy selection rule a lazy pass uses (Algorithm 2's `type`).
+enum class GreedyRule {
+  kUnitCost,    ///< argmax δ_p           (UC)
+  kCostBenefit  ///< argmax δ_p / C(p)    (CB)
+};
+
+struct CelfOptions {
+  /// Photos with marginal gain at or below this threshold are not added even
+  /// if budget remains — they cannot change G(S). Set negative to fill the
+  /// budget exactly as the paper's pseudo-code does.
+  double min_gain = 1e-12;
+  /// Compute the first round of marginal gains in parallel across the
+  /// global thread pool (the only embarrassingly parallel phase; later
+  /// rounds are lazy and touch few photos). Identical results either way.
+  bool parallel_first_round = true;
+};
+
+/// One lazy-greedy pass (Algorithm 2); S0 is taken from the instance.
+/// The result lists S0 first, then picks in selection order.
+SolverResult LazyGreedy(const ParInstance& instance, GreedyRule rule,
+                        const CelfOptions& options = {});
+
+/// Lazy-greedy completion from an arbitrary feasible seed (used by the
+/// Sviridenko partial-enumeration scheme). `seed` must include S0, contain
+/// no duplicates, and fit the budget.
+SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
+                            const CelfOptions& options,
+                            const std::vector<PhotoId>& seed);
+
+/// Algorithm 1: best of LazyGreedy(UC) and LazyGreedy(CB).
+class CelfSolver : public Solver {
+ public:
+  explicit CelfSolver(CelfOptions options = {}) : options_(options) {}
+
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return "PHOcus"; }
+
+  /// After Solve: which rule produced the returned solution.
+  GreedyRule winning_rule() const { return winning_rule_; }
+  /// After Solve: scores of the two passes (for the §5.3 UC-vs-CB report).
+  double uc_score() const { return uc_score_; }
+  double cb_score() const { return cb_score_; }
+
+ private:
+  CelfOptions options_;
+  GreedyRule winning_rule_ = GreedyRule::kCostBenefit;
+  double uc_score_ = 0.0;
+  double cb_score_ = 0.0;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_CELF_H_

@@ -1,0 +1,253 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/celf.h"
+#include "core/objective.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+namespace {
+
+/// Fractional-knapsack upper bound on the extra score reachable from the
+/// evaluator's current selection: by submodularity,
+/// G(S ∪ T) ≤ G(S) + Σ_{t∈T} δ_t(S), and the best Σ over C(T) ≤ remaining
+/// is bounded by greedy fractional packing of the densities.
+double FractionalGainBound(const ParInstance& instance,
+                           const ObjectiveEvaluator& evaluator,
+                           const std::vector<PhotoId>& candidates,
+                           std::size_t from, Cost remaining) {
+  struct Item {
+    double gain;
+    Cost cost;
+  };
+  std::vector<Item> items;
+  items.reserve(candidates.size() - from);
+  for (std::size_t i = from; i < candidates.size(); ++i) {
+    const PhotoId p = candidates[i];
+    if (evaluator.IsSelected(p)) continue;
+    if (instance.cost(p) > remaining) continue;
+    const double gain = evaluator.GainOf(p);
+    if (gain > 0.0) items.push_back({gain, instance.cost(p)});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.gain * static_cast<double>(b.cost) >
+           b.gain * static_cast<double>(a.cost);
+  });
+  double bound = 0.0;
+  Cost budget = remaining;
+  for (const Item& item : items) {
+    if (item.cost <= budget) {
+      bound += item.gain;
+      budget -= item.cost;
+    } else {
+      bound += item.gain * static_cast<double>(budget) /
+               static_cast<double>(item.cost);
+      break;
+    }
+  }
+  return bound;
+}
+
+struct BnbState {
+  const ParInstance* instance;
+  std::vector<PhotoId> candidates;
+  double best_score = -1.0;
+  std::vector<PhotoId> best_selection;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+  bool node_budget_exhausted = false;
+};
+
+void BranchAndBound(BnbState& state, ObjectiveEvaluator& evaluator,
+                    std::vector<PhotoId>& chosen, std::size_t index,
+                    Cost remaining) {
+  if (state.node_budget_exhausted) return;
+  if (++state.nodes > state.max_nodes) {
+    state.node_budget_exhausted = true;
+    return;
+  }
+  if (evaluator.score() > state.best_score) {
+    state.best_score = evaluator.score();
+    state.best_selection = chosen;
+  }
+  if (index >= state.candidates.size()) return;
+
+  const double bound = FractionalGainBound(*state.instance, evaluator,
+                                           state.candidates, index, remaining);
+  if (evaluator.score() + bound <= state.best_score + 1e-12) return;
+
+  const PhotoId p = state.candidates[index];
+  // Include branch (on a copied evaluator so the exclude branch is cheap).
+  if (state.instance->cost(p) <= remaining) {
+    ObjectiveEvaluator with = evaluator;
+    with.Add(p);
+    chosen.push_back(p);
+    BranchAndBound(state, with, chosen, index + 1,
+                   remaining - state.instance->cost(p));
+    chosen.pop_back();
+  }
+  // Exclude branch.
+  BranchAndBound(state, evaluator, chosen, index + 1, remaining);
+}
+
+}  // namespace
+
+SolverResult BruteForceSolver::Solve(const ParInstance& instance) {
+  Stopwatch timer;
+  SolverResult result;
+  result.solver_name = name();
+
+  ObjectiveEvaluator evaluator(&instance);
+  std::vector<PhotoId> base;
+  for (PhotoId p : instance.RequiredPhotos()) {
+    evaluator.Add(p);
+    base.push_back(p);
+  }
+  PHOCUS_CHECK(evaluator.selected_cost() <= instance.budget(),
+               "required set exceeds budget");
+  const Cost remaining = instance.budget() - evaluator.selected_cost();
+
+  BnbState state;
+  state.instance = &instance;
+  state.max_nodes = max_nodes_;
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (!evaluator.IsSelected(p) && instance.cost(p) <= remaining) {
+      state.candidates.push_back(p);
+    }
+  }
+  // Order candidates by initial gain density: good incumbents early make the
+  // bound bite sooner.
+  {
+    std::vector<double> density(state.candidates.size());
+    for (std::size_t i = 0; i < state.candidates.size(); ++i) {
+      density[i] = evaluator.GainOf(state.candidates[i]) /
+                   static_cast<double>(instance.cost(state.candidates[i]));
+    }
+    std::vector<std::size_t> order(state.candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return density[a] > density[b];
+    });
+    std::vector<PhotoId> sorted;
+    sorted.reserve(order.size());
+    for (std::size_t i : order) sorted.push_back(state.candidates[i]);
+    state.candidates = std::move(sorted);
+  }
+
+  // Warm start: seed the incumbent with Algorithm 1's solution (and any
+  // caller-provided one), so pruning bites immediately and the result can
+  // never fall below them.
+  {
+    auto consider_incumbent = [&](const std::vector<PhotoId>& selection) {
+      const double score = ObjectiveEvaluator::Evaluate(instance, selection);
+      if (score <= state.best_score) return;
+      state.best_score = score;
+      state.best_selection.clear();
+      for (PhotoId p : selection) {
+        if (!instance.IsRequired(p)) state.best_selection.push_back(p);
+      }
+    };
+    CelfSolver celf;
+    consider_incumbent(celf.Solve(instance).selected);
+    if (!warm_start_.empty()) consider_incumbent(warm_start_);
+  }
+
+  std::vector<PhotoId> chosen;
+  BranchAndBound(state, evaluator, chosen, 0, remaining);
+
+  result.selected = base;
+  result.selected.insert(result.selected.end(), state.best_selection.begin(),
+                         state.best_selection.end());
+  result.score = ObjectiveEvaluator::Evaluate(instance, result.selected);
+  result.cost = 0;
+  for (PhotoId p : result.selected) result.cost += instance.cost(p);
+  result.exact = !state.node_budget_exhausted;
+  result.detail = StrFormat("nodes=%llu%s",
+                            static_cast<unsigned long long>(state.nodes),
+                            state.node_budget_exhausted ? " (capped)" : "");
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SolverResult SviridenkoSolver::Solve(const ParInstance& instance) {
+  Stopwatch timer;
+  PHOCUS_CHECK(enumeration_size_ >= 1 && enumeration_size_ <= 3,
+               "enumeration size must be in [1, 3]");
+  const std::vector<PhotoId> required = instance.RequiredPhotos();
+
+  std::vector<PhotoId> candidates;
+  {
+    Cost required_cost = instance.RequiredCost();
+    for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+      if (!instance.IsRequired(p) &&
+          required_cost + instance.cost(p) <= instance.budget()) {
+        candidates.push_back(p);
+      }
+    }
+  }
+
+  SolverResult best;
+  best.score = -1.0;
+  std::size_t gain_evaluations = 0;
+
+  auto consider = [&](const std::vector<PhotoId>& seed, bool complete) {
+    Cost seed_cost = 0;
+    for (PhotoId p : seed) seed_cost += instance.cost(p);
+    if (seed_cost > instance.budget()) return;
+    if (complete) {
+      SolverResult run = LazyGreedyFrom(instance, GreedyRule::kCostBenefit,
+                                        CelfOptions{}, seed);
+      gain_evaluations += run.gain_evaluations;
+      if (run.score > best.score) best = std::move(run);
+    } else {
+      const double score = ObjectiveEvaluator::Evaluate(instance, seed);
+      ++gain_evaluations;
+      if (score > best.score) {
+        best.selected = seed;
+        best.score = score;
+        best.cost = seed_cost;
+      }
+    }
+  };
+
+  // Candidate solutions of size < enumeration_size are taken as-is
+  // (S0 plus up to d−1 photos); size-d seeds are completed greedily.
+  consider(required, /*complete=*/enumeration_size_ == 0);
+  if (enumeration_size_ >= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      std::vector<PhotoId> seed = required;
+      seed.push_back(candidates[i]);
+      consider(seed, /*complete=*/enumeration_size_ == 1);
+      if (enumeration_size_ >= 2) {
+        for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+          std::vector<PhotoId> seed2 = seed;
+          seed2.push_back(candidates[j]);
+          consider(seed2, /*complete=*/enumeration_size_ == 2);
+          if (enumeration_size_ >= 3) {
+            for (std::size_t k = j + 1; k < candidates.size(); ++k) {
+              std::vector<PhotoId> seed3 = seed2;
+              seed3.push_back(candidates[k]);
+              consider(seed3, /*complete=*/true);
+            }
+          }
+        }
+      }
+    }
+  }
+  // Also complete from the bare required set so small instances (fewer
+  // candidates than the enumeration size) still get a greedy pass.
+  consider(required, /*complete=*/true);
+
+  best.solver_name = name();
+  best.detail = StrFormat("d=%d", enumeration_size_);
+  best.gain_evaluations = gain_evaluations;
+  best.seconds = timer.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace phocus

@@ -1,0 +1,57 @@
+#ifndef PHOCUS_CORE_EXACT_H_
+#define PHOCUS_CORE_EXACT_H_
+
+#include <cstdint>
+
+#include "core/solver.h"
+
+/// \file exact.h
+/// Optimal and optimal-guarantee solvers:
+///   - BruteForceSolver: exact branch-and-bound (the Fig. 5d comparator),
+///     with a submodularity-based fractional-knapsack upper bound for
+///     pruning and a node cap for graceful degradation.
+///   - SviridenkoSolver: the (1 − 1/e)-optimal partial-enumeration greedy
+///     of [Sviridenko 2004] (Theorem 4.6), practical only on small inputs —
+///     Ω(B·n⁴) gain evaluations, exactly as §4.2 warns.
+
+namespace phocus {
+
+class BruteForceSolver : public Solver {
+ public:
+  /// \param max_nodes branch-and-bound node budget; when exhausted the best
+  ///        solution so far is returned with `exact = false`.
+  explicit BruteForceSolver(std::uint64_t max_nodes = 50'000'000)
+      : max_nodes_(max_nodes) {}
+
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return "Brute-Force"; }
+
+  /// Seeds the branch-and-bound incumbent with a known feasible solution
+  /// (in addition to the Algorithm 1 warm start it always computes). The
+  /// result can then never score below this solution.
+  void SetWarmStart(std::vector<PhotoId> selection) {
+    warm_start_ = std::move(selection);
+  }
+
+ private:
+  std::uint64_t max_nodes_;
+  std::vector<PhotoId> warm_start_;
+};
+
+class SviridenkoSolver : public Solver {
+ public:
+  /// \param enumeration_size seed-set size d; d = 3 yields the full
+  ///        (1 − 1/e) guarantee, smaller d trades the guarantee for speed.
+  explicit SviridenkoSolver(int enumeration_size = 3)
+      : enumeration_size_(enumeration_size) {}
+
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return "Sviridenko"; }
+
+ private:
+  int enumeration_size_;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_EXACT_H_

@@ -1,0 +1,174 @@
+#include "core/gfl.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+GflGraph GflGraph::FromInstance(const ParInstance& instance) {
+  GflGraph graph;
+  graph.left_weight_.resize(instance.num_photos());
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    graph.left_weight_[p] = static_cast<double>(instance.cost(p));
+  }
+  graph.photo_edges_.resize(instance.num_photos());
+
+  for (SubsetId qi = 0; qi < instance.num_subsets(); ++qi) {
+    const Subset& q = instance.subset(qi);
+    const std::size_t m = q.members.size();
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const std::uint32_t right_id =
+          static_cast<std::uint32_t>(graph.right_nodes_.size());
+      graph.right_nodes_.push_back({qi, j, q.weight * q.relevance[j]});
+      std::vector<std::pair<PhotoId, float>> incident;
+      // Self edge of weight 1 (p_j covers its own right node perfectly).
+      incident.emplace_back(q.members[j], 1.0f);
+      // Edges from every other member with nonzero similarity.
+      switch (q.sim_mode) {
+        case Subset::SimMode::kUniform:
+          for (std::uint32_t i = 0; i < m; ++i) {
+            if (i != j) incident.emplace_back(q.members[i], 1.0f);
+          }
+          break;
+        case Subset::SimMode::kDense:
+          for (std::uint32_t i = 0; i < m; ++i) {
+            if (i == j) continue;
+            const float s = q.dense_sim[static_cast<std::size_t>(i) * m + j];
+            if (s > 0.0f) incident.emplace_back(q.members[i], s);
+          }
+          break;
+        case Subset::SimMode::kSparse:
+          for (const auto& [i, s] : q.sparse_sim[j]) {
+            incident.emplace_back(q.members[i], s);
+          }
+          break;
+      }
+      for (const auto& [photo, weight] : incident) {
+        graph.photo_edges_[photo].emplace_back(right_id, weight);
+      }
+      graph.edges_.push_back(std::move(incident));
+    }
+  }
+  return graph;
+}
+
+double GflGraph::Evaluate(const std::vector<PhotoId>& selection) const {
+  std::vector<bool> in(left_weight_.size(), false);
+  for (PhotoId p : selection) in[p] = true;
+  double total = 0.0;
+  for (std::size_t r = 0; r < right_nodes_.size(); ++r) {
+    float best = 0.0f;
+    for (const auto& [photo, weight] : edges_[r]) {
+      if (in[photo] && weight > best) best = weight;
+    }
+    total += right_nodes_[r].weight * static_cast<double>(best);
+  }
+  return total;
+}
+
+double GflGraph::TotalRightWeight() const {
+  double total = 0.0;
+  for (const RightNode& node : right_nodes_) total += node.weight;
+  return total;
+}
+
+std::size_t GflGraph::num_edges() const {
+  std::size_t count = 0;
+  for (const auto& list : edges_) count += list.size();
+  return count;
+}
+
+/// Internal access to the photo → right-node adjacency for the coverage run.
+struct GflCoverageAccess {
+  static const std::vector<std::vector<std::pair<std::uint32_t, float>>>&
+  PhotoEdges(const GflGraph& graph) {
+    return graph.photo_edges_;
+  }
+};
+
+namespace {
+
+/// Lazy greedy over the coverage objective: a photo's gain is the total
+/// weight of yet-uncovered right nodes reachable through a τ-heavy edge.
+CoverageResult CoverageGreedy(const GflGraph& graph, double tau, Cost budget,
+                              bool cost_benefit) {
+  const auto& photo_edges = GflCoverageAccess::PhotoEdges(graph);
+  const std::size_t n = graph.num_left();
+
+  std::vector<bool> covered(graph.num_right(), false);
+  std::vector<bool> selected(n, false);
+  auto gain_of = [&](PhotoId p) {
+    double gain = 0.0;
+    for (const auto& [right, weight] : photo_edges[p]) {
+      if (!covered[right] && weight >= tau) {
+        gain += graph.right_nodes()[right].weight;
+      }
+    }
+    return gain;
+  };
+  auto key_of = [&](PhotoId p, double gain) {
+    return cost_benefit ? gain / std::max(1.0, graph.left_weight(p)) : gain;
+  };
+
+  struct Entry {
+    double key;
+    PhotoId photo;
+    std::size_t epoch;
+    bool operator<(const Entry& other) const { return key < other.key; }
+  };
+  std::priority_queue<Entry> queue;
+  Cost remaining = budget;
+  for (PhotoId p = 0; p < n; ++p) {
+    if (static_cast<Cost>(graph.left_weight(p)) <= remaining) {
+      queue.push({std::numeric_limits<double>::infinity(), p,
+                  std::numeric_limits<std::size_t>::max()});
+    }
+  }
+
+  CoverageResult result;
+  std::size_t epoch = 0;
+  while (!queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    const Cost cost = static_cast<Cost>(graph.left_weight(top.photo));
+    if (cost > remaining) continue;
+    if (top.epoch == epoch) {
+      if (top.key <= 0.0) break;
+      selected[top.photo] = true;
+      result.selected.push_back(top.photo);
+      remaining -= cost;
+      for (const auto& [right, weight] : photo_edges[top.photo]) {
+        if (weight >= tau && !covered[right]) {
+          covered[right] = true;
+          result.covered_weight += graph.right_nodes()[right].weight;
+        }
+      }
+      ++epoch;
+    } else {
+      queue.push({key_of(top.photo, gain_of(top.photo)), top.photo, epoch});
+    }
+  }
+  const double total = graph.TotalRightWeight();
+  result.alpha = total > 0.0 ? result.covered_weight / total : 0.0;
+  return result;
+}
+
+}  // namespace
+
+CoverageResult BudgetedMaxCoverage(const GflGraph& graph, double tau,
+                                   Cost budget) {
+  PHOCUS_CHECK(tau >= 0.0 && tau <= 1.0, "tau must be in [0, 1]");
+  CoverageResult uc = CoverageGreedy(graph, tau, budget, /*cost_benefit=*/false);
+  CoverageResult cb = CoverageGreedy(graph, tau, budget, /*cost_benefit=*/true);
+  return cb.covered_weight >= uc.covered_weight ? cb : uc;
+}
+
+double SparsificationGuarantee(double alpha) {
+  if (alpha <= 0.0) return 0.0;
+  return 1.0 / (1.0 + 1.0 / alpha);
+}
+
+}  // namespace phocus

@@ -1,0 +1,82 @@
+#ifndef PHOCUS_CORE_GFL_H_
+#define PHOCUS_CORE_GFL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file gfl.h
+/// The Generalized Facility Location (GFL) formulation of PAR (§4.3) and the
+/// machinery behind Theorem 4.8's data-dependent sparsification bound.
+///
+/// Left nodes T_L are photos (weight C(p)); right nodes T_R are (q, p∈q)
+/// pairs (weight W(q)·R(q,p)); edges carry SIM(q, p₁, p₂). The objective
+/// F(S) = Σ_{(q,p)} max-incident-edge-weight(S) equals G(S), which the test
+/// suite verifies. Selecting S to cover the most right-node weight through
+/// τ-heavy edges is Budgeted Maximum Coverage; the covered fraction α then
+/// certifies F(O_τ) ≥ OPT / (1 + 1/α).
+
+namespace phocus {
+
+/// The explicit bipartite GFL graph.
+class GflGraph {
+ public:
+  struct RightNode {
+    SubsetId subset = 0;
+    std::uint32_t local_index = 0;
+    double weight = 0.0;  ///< w_R = W(q)·R(q,p)
+  };
+
+  /// Builds the graph from a PAR instance.
+  static GflGraph FromInstance(const ParInstance& instance);
+
+  /// F(S): total over right nodes of the heaviest incident edge into S
+  /// (0 when no edge lands in S).
+  double Evaluate(const std::vector<PhotoId>& selection) const;
+
+  /// Total right-node weight W_R.
+  double TotalRightWeight() const;
+
+  std::size_t num_left() const { return left_weight_.size(); }
+  std::size_t num_right() const { return right_nodes_.size(); }
+  std::size_t num_edges() const;
+
+  const std::vector<RightNode>& right_nodes() const { return right_nodes_; }
+  /// Edges incident to right node r: (photo, weight); includes the weight-1
+  /// self edge p → (q, p).
+  const std::vector<std::vector<std::pair<PhotoId, float>>>& edges() const {
+    return edges_;
+  }
+  double left_weight(PhotoId p) const { return left_weight_[p]; }
+
+ private:
+  std::vector<RightNode> right_nodes_;
+  std::vector<std::vector<std::pair<PhotoId, float>>> edges_;
+  /// Reverse adjacency: for each photo, (right node, weight).
+  std::vector<std::vector<std::pair<std::uint32_t, float>>> photo_edges_;
+  std::vector<double> left_weight_;
+
+  friend struct GflCoverageAccess;
+};
+
+/// Result of the Budgeted Maximum Coverage run on the τ-graph.
+struct CoverageResult {
+  std::vector<PhotoId> selected;
+  double covered_weight = 0.0;  ///< Σ w_R over τ-covered right nodes
+  double alpha = 0.0;           ///< covered_weight / W_R
+};
+
+/// Greedy (lazy, best-of-UC/CB) budgeted max coverage over edges of weight
+/// ≥ tau, with photo costs from `graph` and the given budget. Any feasible
+/// output certifies a valid Theorem 4.8 bound.
+CoverageResult BudgetedMaxCoverage(const GflGraph& graph, double tau,
+                                   Cost budget);
+
+/// Theorem 4.8: with coverage fraction alpha, the τ-sparsified optimum is at
+/// least `1/(1 + 1/alpha)` of the true optimum. Returns 0 for alpha <= 0.
+double SparsificationGuarantee(double alpha);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_GFL_H_

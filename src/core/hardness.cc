@@ -1,0 +1,66 @@
+#include "core/hardness.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+ParInstance ReduceMaxCoverageToPar(const MaxCoverageInstance& mc) {
+  PHOCUS_CHECK(!mc.sets.empty(), "MC instance needs at least one set");
+  PHOCUS_CHECK(mc.k >= 1, "MC instance needs k >= 1");
+  // One unit-cost photo per set; budget B = k.
+  ParInstance instance(mc.sets.size(),
+                       std::vector<Cost>(mc.sets.size(), 1), mc.k);
+
+  // Invert: element -> sets containing it.
+  std::vector<std::vector<PhotoId>> containing(mc.num_elements);
+  for (std::size_t s = 0; s < mc.sets.size(); ++s) {
+    for (std::uint32_t e : mc.sets[s]) {
+      PHOCUS_CHECK(e < mc.num_elements, "element id out of range");
+      containing[e].push_back(static_cast<PhotoId>(s));
+    }
+  }
+  for (std::size_t e = 0; e < mc.num_elements; ++e) {
+    if (containing[e].empty()) continue;  // never coverable
+    Subset q;
+    q.name = "element-" + std::to_string(e);
+    q.weight = 1.0;
+    std::sort(containing[e].begin(), containing[e].end());
+    q.members = containing[e];
+    q.relevance.assign(q.members.size(),
+                       1.0 / static_cast<double>(q.members.size()));
+    q.sim_mode = Subset::SimMode::kUniform;  // SIM ≡ 1 within the subset
+    instance.AddSubset(std::move(q));
+  }
+  instance.Validate();
+  return instance;
+}
+
+std::size_t CoverageOf(const MaxCoverageInstance& mc,
+                       const std::vector<PhotoId>& chosen_sets) {
+  std::vector<bool> covered(mc.num_elements, false);
+  for (PhotoId s : chosen_sets) {
+    PHOCUS_CHECK(s < mc.sets.size(), "chosen set id out of range");
+    for (std::uint32_t e : mc.sets[s]) covered[e] = true;
+  }
+  return static_cast<std::size_t>(
+      std::count(covered.begin(), covered.end(), true));
+}
+
+std::size_t EnumerateMaxCoverage(const MaxCoverageInstance& mc) {
+  const std::size_t n = mc.sets.size();
+  PHOCUS_CHECK(n <= 20, "EnumerateMaxCoverage is exponential; keep n <= 20");
+  std::size_t best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) > mc.k) continue;
+    std::vector<PhotoId> chosen;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (mask & (1u << s)) chosen.push_back(static_cast<PhotoId>(s));
+    }
+    best = std::max(best, CoverageOf(mc, chosen));
+  }
+  return best;
+}
+
+}  // namespace phocus

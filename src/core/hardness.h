@@ -1,0 +1,44 @@
+#ifndef PHOCUS_CORE_HARDNESS_H_
+#define PHOCUS_CORE_HARDNESS_H_
+
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file hardness.h
+/// The §3.2 hardness reduction, made executable: every Maximum Coverage
+/// instance maps to a PAR instance such that PAR solutions of score σ
+/// correspond exactly to MC solutions covering σ elements (Theorem 3.4's
+/// construction). Each set s becomes a photo p_s of cost 1; each element e
+/// becomes a pre-defined subset q_e containing the photos of the sets that
+/// contain e, with weight 1, uniform relevance, and SIM ≡ 1 inside q_e; the
+/// budget is k. The test suite uses this to check that optimal PAR scores
+/// equal optimal coverage counts — the equivalence the NP-hardness proof
+/// rests on.
+
+namespace phocus {
+
+/// A Maximum Coverage instance: `sets[i]` lists the element ids (from
+/// `0..num_elements-1`) covered by set i; `k` sets may be chosen.
+struct MaxCoverageInstance {
+  std::size_t num_elements = 0;
+  std::vector<std::vector<std::uint32_t>> sets;
+  std::size_t k = 0;
+};
+
+/// Builds the PAR instance of the reduction. Elements contained in no set
+/// are dropped (they can never be covered and would only shift the score by
+/// a constant 0).
+ParInstance ReduceMaxCoverageToPar(const MaxCoverageInstance& mc);
+
+/// Interprets a PAR selection as an MC solution: number of elements covered
+/// by the chosen sets (photo ids = set ids).
+std::size_t CoverageOf(const MaxCoverageInstance& mc,
+                       const std::vector<PhotoId>& chosen_sets);
+
+/// Exact MC optimum by enumeration (exponential; for tests only).
+std::size_t EnumerateMaxCoverage(const MaxCoverageInstance& mc);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_HARDNESS_H_

@@ -1,0 +1,207 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+double Subset::Similarity(std::uint32_t local_a, std::uint32_t local_b) const {
+  PHOCUS_CHECK(local_a < members.size() && local_b < members.size(),
+               "local index out of range");
+  if (local_a == local_b) return 1.0;
+  switch (sim_mode) {
+    case SimMode::kUniform:
+      return 1.0;
+    case SimMode::kDense:
+      return dense_sim[static_cast<std::size_t>(local_a) * members.size() + local_b];
+    case SimMode::kSparse: {
+      for (const auto& [other, sim] : sparse_sim[local_a]) {
+        if (other == local_b) return sim;
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+std::size_t Subset::CountSimEntries() const {
+  const std::size_t m = members.size();
+  switch (sim_mode) {
+    case SimMode::kUniform:
+      return m * (m - 1);
+    case SimMode::kDense: {
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          if (i != j && dense_sim[i * m + j] > 0.0f) ++count;
+        }
+      }
+      return count;
+    }
+    case SimMode::kSparse: {
+      std::size_t count = 0;
+      for (const auto& list : sparse_sim) count += list.size();
+      return count;
+    }
+  }
+  return 0;
+}
+
+ParInstance::ParInstance(std::size_t num_photos, std::vector<Cost> costs,
+                         Cost budget)
+    : costs_(std::move(costs)), required_(num_photos, false), budget_(budget) {
+  PHOCUS_CHECK(costs_.size() == num_photos,
+               "costs vector must have one entry per photo");
+}
+
+Cost ParInstance::TotalCost() const {
+  Cost total = 0;
+  for (Cost c : costs_) total += c;
+  return total;
+}
+
+void ParInstance::MarkRequired(PhotoId p) {
+  PHOCUS_CHECK(p < required_.size(), "photo id out of range");
+  required_[p] = true;
+}
+
+std::vector<PhotoId> ParInstance::RequiredPhotos() const {
+  std::vector<PhotoId> out;
+  for (PhotoId p = 0; p < required_.size(); ++p) {
+    if (required_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+Cost ParInstance::RequiredCost() const {
+  Cost total = 0;
+  for (PhotoId p = 0; p < required_.size(); ++p) {
+    if (required_[p]) total += costs_[p];
+  }
+  return total;
+}
+
+SubsetId ParInstance::AddSubset(Subset subset) {
+  PHOCUS_CHECK(subset.members.size() == subset.relevance.size() ||
+                   subset.relevance.empty(),
+               "relevance must be empty or aligned with members");
+  if (subset.relevance.empty()) {
+    subset.relevance.assign(subset.members.size(),
+                            subset.members.empty()
+                                ? 0.0
+                                : 1.0 / static_cast<double>(subset.members.size()));
+  }
+  for (PhotoId p : subset.members) {
+    PHOCUS_CHECK(p < costs_.size(), "subset member photo id out of range");
+  }
+  subsets_.push_back(std::move(subset));
+  membership_index_valid_ = false;
+  return static_cast<SubsetId>(subsets_.size() - 1);
+}
+
+void ParInstance::NormalizeRelevance() {
+  for (Subset& q : subsets_) {
+    double total = 0.0;
+    for (double r : q.relevance) total += r;
+    if (total <= 0.0) {
+      if (!q.relevance.empty()) {
+        const double uniform = 1.0 / static_cast<double>(q.relevance.size());
+        std::fill(q.relevance.begin(), q.relevance.end(), uniform);
+      }
+    } else {
+      for (double& r : q.relevance) r /= total;
+    }
+  }
+}
+
+void ParInstance::BuildMembershipIndex() const {
+  membership_index_.assign(costs_.size(), {});
+  for (SubsetId q = 0; q < subsets_.size(); ++q) {
+    const Subset& subset = subsets_[q];
+    for (std::uint32_t i = 0; i < subset.members.size(); ++i) {
+      membership_index_[subset.members[i]].push_back({q, i});
+    }
+  }
+  membership_index_valid_ = true;
+}
+
+const std::vector<Membership>& ParInstance::memberships(PhotoId p) const {
+  PHOCUS_CHECK(p < costs_.size(), "photo id out of range");
+  if (!membership_index_valid_) BuildMembershipIndex();
+  return membership_index_[p];
+}
+
+void ParInstance::Validate() const {
+  for (PhotoId p = 0; p < costs_.size(); ++p) {
+    PHOCUS_CHECK(costs_[p] > 0,
+                 StrFormat("photo %u has non-positive cost", p));
+  }
+  PHOCUS_CHECK(RequiredCost() <= budget_,
+               "required photos S0 exceed the budget; instance infeasible");
+  for (SubsetId qi = 0; qi < subsets_.size(); ++qi) {
+    const Subset& q = subsets_[qi];
+    PHOCUS_CHECK(q.weight > 0.0,
+                 StrFormat("subset %u has non-positive weight", qi));
+    PHOCUS_CHECK(q.members.size() == q.relevance.size(),
+                 StrFormat("subset %u relevance misaligned", qi));
+    // Members must be unique.
+    std::vector<PhotoId> sorted = q.members;
+    std::sort(sorted.begin(), sorted.end());
+    PHOCUS_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                 StrFormat("subset %u has duplicate members", qi));
+    double total = 0.0;
+    for (double r : q.relevance) {
+      PHOCUS_CHECK(r >= 0.0, StrFormat("subset %u has negative relevance", qi));
+      total += r;
+    }
+    if (!q.members.empty()) {
+      PHOCUS_CHECK(std::abs(total - 1.0) < 1e-6,
+                   StrFormat("subset %u relevance sums to %.6f, not 1", qi, total));
+    }
+    const std::size_t m = q.members.size();
+    switch (q.sim_mode) {
+      case Subset::SimMode::kUniform:
+        break;
+      case Subset::SimMode::kDense: {
+        PHOCUS_CHECK(q.dense_sim.size() == m * m,
+                     StrFormat("subset %u dense sim has wrong size", qi));
+        for (std::size_t i = 0; i < m; ++i) {
+          PHOCUS_CHECK(std::abs(q.dense_sim[i * m + i] - 1.0f) < 1e-6f,
+                       StrFormat("subset %u dense sim diagonal != 1", qi));
+          for (std::size_t j = 0; j < m; ++j) {
+            const float s = q.dense_sim[i * m + j];
+            PHOCUS_CHECK(s >= 0.0f && s <= 1.0f + 1e-6f,
+                         StrFormat("subset %u sim out of [0,1]", qi));
+            PHOCUS_CHECK(std::abs(s - q.dense_sim[j * m + i]) < 1e-6f,
+                         StrFormat("subset %u dense sim not symmetric", qi));
+          }
+        }
+        break;
+      }
+      case Subset::SimMode::kSparse: {
+        PHOCUS_CHECK(q.sparse_sim.size() == m,
+                     StrFormat("subset %u sparse sim has wrong size", qi));
+        for (std::size_t i = 0; i < m; ++i) {
+          for (const auto& [j, s] : q.sparse_sim[i]) {
+            PHOCUS_CHECK(j < m && j != i,
+                         StrFormat("subset %u sparse sim bad neighbor", qi));
+            PHOCUS_CHECK(s > 0.0f && s <= 1.0f + 1e-6f,
+                         StrFormat("subset %u sparse sim out of (0,1]", qi));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::size_t ParInstance::CountSimEntries() const {
+  std::size_t total = 0;
+  for (const Subset& q : subsets_) total += q.CountSimEntries();
+  return total;
+}
+
+}  // namespace phocus

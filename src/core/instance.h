@@ -1,0 +1,123 @@
+#ifndef PHOCUS_CORE_INSTANCE_H_
+#define PHOCUS_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file instance.h
+/// The PAR problem instance ⟨P, S0, Q, C, W, R, SIM, B⟩ (§3.1).
+///
+/// Photos are dense ids `0..n-1`. Each pre-defined subset stores its member
+/// photo ids, their (normalized) relevance scores, and the contextualized
+/// similarity among members, in one of three storage modes:
+///   - kDense:   full |q|×|q| matrix (PHOcus-NS / small subsets),
+///   - kSparse:  per-member neighbor lists (τ-sparsified, §4.3),
+///   - kUniform: SIM ≡ 1 among all members (the Greedy-NR surrogate and the
+///               hardness-reduction instances, where one pick covers all).
+/// Self-similarity is always exactly 1 and is implicit (never stored in
+/// sparse lists).
+
+namespace phocus {
+
+using PhotoId = std::uint32_t;
+using SubsetId = std::uint32_t;
+using Cost = std::uint64_t;
+
+/// One pre-defined subset q ∈ Q with weight, relevance, and contextual SIM.
+struct Subset {
+  enum class SimMode { kDense, kSparse, kUniform };
+
+  std::string name;
+  double weight = 1.0;
+  std::vector<PhotoId> members;
+  /// Aligned with `members`; normalized to sum to 1 by
+  /// ParInstance::NormalizeRelevance().
+  std::vector<double> relevance;
+
+  SimMode sim_mode = SimMode::kUniform;
+  /// kDense: row-major |members|²; diagonal must be 1.
+  std::vector<float> dense_sim;
+  /// kSparse: for each local member index, (other local index, sim) entries
+  /// with sim > 0; symmetric; self-pairs excluded.
+  std::vector<std::vector<std::pair<std::uint32_t, float>>> sparse_sim;
+
+  std::size_t size() const { return members.size(); }
+
+  /// SIM between two members, by *local* index. Diagonal returns 1.
+  double Similarity(std::uint32_t local_a, std::uint32_t local_b) const;
+
+  /// Number of stored (nonzero, off-diagonal) similarity entries; for dense
+  /// mode counts nonzero off-diagonal cells, for uniform m(m-1).
+  std::size_t CountSimEntries() const;
+};
+
+/// A photo's membership in one subset.
+struct Membership {
+  SubsetId subset = 0;
+  std::uint32_t local_index = 0;  ///< position within Subset::members
+};
+
+/// The full PAR input.
+class ParInstance {
+ public:
+  ParInstance() = default;
+
+  /// \param num_photos |P|
+  /// \param costs per-photo byte cost C, size num_photos, all > 0
+  /// \param budget B
+  ParInstance(std::size_t num_photos, std::vector<Cost> costs, Cost budget);
+
+  std::size_t num_photos() const { return costs_.size(); }
+  Cost cost(PhotoId p) const { return costs_[p]; }
+  const std::vector<Cost>& costs() const { return costs_; }
+  Cost budget() const { return budget_; }
+  void set_budget(Cost budget) { budget_ = budget; }
+
+  /// Sum of all photo costs (the archive size).
+  Cost TotalCost() const;
+
+  /// Marks a photo as policy-required (a member of S0).
+  void MarkRequired(PhotoId p);
+  bool IsRequired(PhotoId p) const { return required_[p]; }
+  std::vector<PhotoId> RequiredPhotos() const;
+  Cost RequiredCost() const;
+
+  /// Appends a subset; returns its id. Invalidates the membership index.
+  SubsetId AddSubset(Subset subset);
+  const Subset& subset(SubsetId q) const { return subsets_[q]; }
+  Subset& mutable_subset(SubsetId q) { return subsets_[q]; }
+  std::size_t num_subsets() const { return subsets_.size(); }
+
+  /// Rescales every subset's relevance vector to sum to 1 (§3.1). Subsets
+  /// whose relevance sums to 0 get uniform scores.
+  void NormalizeRelevance();
+
+  /// Builds the photo → memberships index; called automatically by
+  /// memberships() when stale. NOT thread-safe: when an instance is shared
+  /// across threads, call this once (or construct one ObjectiveEvaluator,
+  /// which does) before fanning out — all later concurrent reads are safe.
+  void BuildMembershipIndex() const;
+  const std::vector<Membership>& memberships(PhotoId p) const;
+
+  /// Structural validation: relevance normalized, similarities in [0, 1],
+  /// dense diagonals 1, sparse symmetry spot-checks, required cost within
+  /// budget. Throws CheckFailure with a precise message on violation.
+  void Validate() const;
+
+  /// Total stored similarity entries across subsets (sparsification metric).
+  std::size_t CountSimEntries() const;
+
+ private:
+  std::vector<Cost> costs_;
+  std::vector<bool> required_;
+  std::vector<Subset> subsets_;
+  Cost budget_ = 0;
+
+  mutable std::vector<std::vector<Membership>> membership_index_;
+  mutable bool membership_index_valid_ = false;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_INSTANCE_H_

@@ -1,0 +1,71 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+
+#include "core/celf.h"
+#include "core/objective.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace phocus {
+
+LocalSearchStats ImproveByLocalSearch(const ParInstance& instance,
+                                      SolverResult& solution,
+                                      const LocalSearchOptions& options) {
+  LocalSearchStats stats;
+  stats.initial_score = ObjectiveEvaluator::Evaluate(instance, solution.selected);
+  double current_score = stats.initial_score;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++stats.passes;
+    bool any_accepted = false;
+    // Iterate over a snapshot: accepted moves rewrite the selection.
+    const std::vector<PhotoId> snapshot = solution.selected;
+    for (PhotoId victim : snapshot) {
+      if (instance.IsRequired(victim)) continue;
+      // Is the victim still in the current selection?
+      auto it = std::find(solution.selected.begin(), solution.selected.end(),
+                          victim);
+      if (it == solution.selected.end()) continue;
+
+      std::vector<PhotoId> base;
+      base.reserve(solution.selected.size() - 1);
+      for (PhotoId p : solution.selected) {
+        if (p != victim) base.push_back(p);
+      }
+      // Greedy refill of the freed budget (may re-add the victim, in which
+      // case the move cannot strictly improve and is rejected).
+      const SolverResult refilled =
+          LazyGreedyFrom(instance, GreedyRule::kCostBenefit, CelfOptions{}, base);
+      if (refilled.score >
+          current_score * (1.0 + options.min_relative_gain)) {
+        solution.selected = refilled.selected;
+        current_score = refilled.score;
+        ++stats.moves_accepted;
+        any_accepted = true;
+      }
+    }
+    if (!any_accepted) break;
+  }
+
+  solution.score = current_score;
+  solution.cost = 0;
+  for (PhotoId p : solution.selected) solution.cost += instance.cost(p);
+  stats.final_score = current_score;
+  return stats;
+}
+
+SolverResult LocalSearchSolver::Solve(const ParInstance& instance) {
+  Stopwatch timer;
+  SolverResult result = inner_->Solve(instance);
+  const LocalSearchStats stats =
+      ImproveByLocalSearch(instance, result, options_);
+  result.solver_name = name();
+  result.detail = result.detail +
+                  (result.detail.empty() ? "" : ", ") +
+                  "ls_moves=" + std::to_string(stats.moves_accepted);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace phocus

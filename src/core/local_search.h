@@ -1,0 +1,56 @@
+#ifndef PHOCUS_CORE_LOCAL_SEARCH_H_
+#define PHOCUS_CORE_LOCAL_SEARCH_H_
+
+#include "core/solver.h"
+
+/// \file local_search.h
+/// Swap-based post-optimization for any feasible PAR solution — the
+/// standard companion to greedy in the submodular-maximization toolbox.
+/// Each pass tries, for every selected non-required photo, to evict it and
+/// greedily refill the freed budget (cost-benefit rule); the move is kept
+/// only if it strictly improves G. The result is therefore never worse
+/// than the input, terminates (G strictly increases per accepted move and
+/// is bounded), and typically closes part of whatever gap greedy left.
+
+namespace phocus {
+
+struct LocalSearchOptions {
+  /// Maximum full sweeps over the selection (each sweep is O(|S|) evict-
+  /// and-refill attempts).
+  int max_passes = 3;
+  /// Relative improvement below which a move is rejected (guards against
+  /// floating-point churn).
+  double min_relative_gain = 1e-9;
+};
+
+struct LocalSearchStats {
+  int passes = 0;
+  int moves_accepted = 0;
+  double initial_score = 0.0;
+  double final_score = 0.0;
+};
+
+/// Improves `solution` in place. `solution` must be feasible for
+/// `instance` (budget + S0); the output remains feasible. Returns stats.
+LocalSearchStats ImproveByLocalSearch(const ParInstance& instance,
+                                      SolverResult& solution,
+                                      const LocalSearchOptions& options = {});
+
+/// Solver wrapper: runs an inner solver, then local search on its output.
+class LocalSearchSolver : public Solver {
+ public:
+  /// Does not take ownership; `inner` must outlive this solver.
+  LocalSearchSolver(Solver* inner, LocalSearchOptions options = {})
+      : inner_(inner), options_(options) {}
+
+  SolverResult Solve(const ParInstance& instance) override;
+  std::string name() const override { return inner_->name() + "+LS"; }
+
+ private:
+  Solver* inner_;
+  LocalSearchOptions options_;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_LOCAL_SEARCH_H_

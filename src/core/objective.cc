@@ -1,0 +1,153 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+ObjectiveEvaluator::ObjectiveEvaluator(const ParInstance* instance)
+    : instance_(instance) {
+  PHOCUS_CHECK(instance != nullptr, "instance must be non-null");
+  instance_->BuildMembershipIndex();
+  Reset();
+}
+
+ObjectiveEvaluator::ObjectiveEvaluator(const ObjectiveEvaluator& other)
+    : instance_(other.instance_),
+      best_sim_(other.best_sim_),
+      selected_(other.selected_),
+      num_selected_(other.num_selected_),
+      selected_cost_(other.selected_cost_),
+      score_(other.score_),
+      gain_evaluations_(other.gain_evaluations()) {}
+
+ObjectiveEvaluator& ObjectiveEvaluator::operator=(
+    const ObjectiveEvaluator& other) {
+  if (this == &other) return *this;
+  instance_ = other.instance_;
+  best_sim_ = other.best_sim_;
+  selected_ = other.selected_;
+  num_selected_ = other.num_selected_;
+  selected_cost_ = other.selected_cost_;
+  score_ = other.score_;
+  gain_evaluations_.store(other.gain_evaluations(),
+                          std::memory_order_relaxed);
+  return *this;
+}
+
+void ObjectiveEvaluator::Reset() {
+  best_sim_.resize(instance_->num_subsets());
+  for (SubsetId q = 0; q < instance_->num_subsets(); ++q) {
+    best_sim_[q].assign(instance_->subset(q).size(), 0.0f);
+  }
+  selected_.assign(instance_->num_photos(), false);
+  num_selected_ = 0;
+  selected_cost_ = 0;
+  score_ = 0.0;
+}
+
+namespace {
+
+/// Applies `visit(local_j, sim_with_p)` for every member j of `subset` whose
+/// similarity to the member at `local_p` is nonzero (including j == local_p
+/// with similarity 1).
+template <typename Visitor>
+void ForEachSimilar(const Subset& subset, std::uint32_t local_p,
+                    Visitor&& visit) {
+  const std::size_t m = subset.size();
+  switch (subset.sim_mode) {
+    case Subset::SimMode::kUniform:
+      for (std::uint32_t j = 0; j < m; ++j) visit(j, 1.0f);
+      return;
+    case Subset::SimMode::kDense: {
+      const float* row = &subset.dense_sim[static_cast<std::size_t>(local_p) * m];
+      for (std::uint32_t j = 0; j < m; ++j) {
+        const float s = (j == local_p) ? 1.0f : row[j];
+        if (s > 0.0f) visit(j, s);
+      }
+      return;
+    }
+    case Subset::SimMode::kSparse: {
+      visit(local_p, 1.0f);
+      for (const auto& [j, s] : subset.sparse_sim[local_p]) visit(j, s);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+double ObjectiveEvaluator::GainOf(PhotoId p) const {
+  gain_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (selected_[p]) return 0.0;
+  double gain = 0.0;
+  for (const Membership& membership : instance_->memberships(p)) {
+    const Subset& subset = instance_->subset(membership.subset);
+    const std::vector<float>& best = best_sim_[membership.subset];
+    ForEachSimilar(subset, membership.local_index,
+                   [&](std::uint32_t j, float sim) {
+                     if (sim > best[j]) {
+                       gain += subset.weight * subset.relevance[j] *
+                               (static_cast<double>(sim) - best[j]);
+                     }
+                   });
+  }
+  return gain;
+}
+
+double ObjectiveEvaluator::Add(PhotoId p) {
+  PHOCUS_CHECK(p < instance_->num_photos(), "photo id out of range");
+  PHOCUS_CHECK(!selected_[p], "photo already selected");
+  gain_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  double gain = 0.0;
+  for (const Membership& membership : instance_->memberships(p)) {
+    const Subset& subset = instance_->subset(membership.subset);
+    std::vector<float>& best = best_sim_[membership.subset];
+    ForEachSimilar(subset, membership.local_index,
+                   [&](std::uint32_t j, float sim) {
+                     if (sim > best[j]) {
+                       gain += subset.weight * subset.relevance[j] *
+                               (static_cast<double>(sim) - best[j]);
+                       best[j] = sim;
+                     }
+                   });
+  }
+  selected_[p] = true;
+  ++num_selected_;
+  selected_cost_ += instance_->cost(p);
+  score_ += gain;
+  return gain;
+}
+
+double ObjectiveEvaluator::SubsetScore(SubsetId q) const {
+  PHOCUS_CHECK(q < instance_->num_subsets(), "subset id out of range");
+  const Subset& subset = instance_->subset(q);
+  double score = 0.0;
+  for (std::size_t j = 0; j < subset.size(); ++j) {
+    score += subset.relevance[j] * best_sim_[q][j];
+  }
+  return score;
+}
+
+double ObjectiveEvaluator::Evaluate(const ParInstance& instance,
+                                    const std::vector<PhotoId>& selection) {
+  ObjectiveEvaluator evaluator(&instance);
+  for (PhotoId p : selection) {
+    if (!evaluator.IsSelected(p)) evaluator.Add(p);
+  }
+  return evaluator.score();
+}
+
+double ObjectiveEvaluator::MaxScore(const ParInstance& instance) {
+  double total = 0.0;
+  for (SubsetId q = 0; q < instance.num_subsets(); ++q) {
+    const Subset& subset = instance.subset(q);
+    double relevance_total = 0.0;
+    for (double r : subset.relevance) relevance_total += r;
+    total += subset.weight * relevance_total;
+  }
+  return total;
+}
+
+}  // namespace phocus

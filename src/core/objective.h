@@ -1,0 +1,81 @@
+#ifndef PHOCUS_CORE_OBJECTIVE_H_
+#define PHOCUS_CORE_OBJECTIVE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file objective.h
+/// The PAR objective G(S) (§3.1) with incremental nearest-neighbor state.
+///
+/// The evaluator maintains, for every (subset, member) pair, the best
+/// similarity any selected photo achieves for that member
+/// (`best_sim[q][j] = SIM(q, p_j, NN(q, p_j, S))`, or 0 when S∩q = ∅).
+/// Adding photo p touches only the subsets containing p, so a marginal-gain
+/// probe costs O(Σ_{q∋p} |q|) dense / O(deg(p)) sparse — the property that
+/// makes lazy greedy fast (§4.2).
+
+namespace phocus {
+
+class ObjectiveEvaluator {
+ public:
+  /// The instance must outlive the evaluator.
+  explicit ObjectiveEvaluator(const ParInstance* instance);
+
+  /// Copyable (branch-and-bound snapshots evaluator state); the atomic
+  /// evaluation counter is copied by value.
+  ObjectiveEvaluator(const ObjectiveEvaluator& other);
+  ObjectiveEvaluator& operator=(const ObjectiveEvaluator& other);
+
+  /// Returns to the empty selection.
+  void Reset();
+
+  /// Marginal gain G(S ∪ {p}) − G(S) without modifying state.
+  double GainOf(PhotoId p) const;
+
+  /// Adds p to the selection; returns the realized gain.
+  double Add(PhotoId p);
+
+  /// Current G(S).
+  double score() const { return score_; }
+
+  bool IsSelected(PhotoId p) const { return selected_[p]; }
+  const std::vector<bool>& selected() const { return selected_; }
+  std::size_t num_selected() const { return num_selected_; }
+  Cost selected_cost() const { return selected_cost_; }
+
+  /// Number of GainOf/Add gain computations performed (the paper's
+  /// "number of times it evaluates the gain" metric). Counted with relaxed
+  /// atomics so concurrent const probes (parallel first CELF round) are
+  /// race-free.
+  std::size_t gain_evaluations() const {
+    return gain_evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-subset score G(q, S) ∈ [0, 1] (unweighted by W) for the current
+  /// selection: Σ_j R(q, p_j)·best_sim[q][j].
+  double SubsetScore(SubsetId q) const;
+
+  /// One-shot evaluation of an arbitrary selection.
+  static double Evaluate(const ParInstance& instance,
+                         const std::vector<PhotoId>& selection);
+
+  /// The maximum attainable score: G(P) = Σ_q W(q) (every member covered by
+  /// itself). Useful for "percent of total quality" reports (§5.3).
+  static double MaxScore(const ParInstance& instance);
+
+ private:
+  const ParInstance* instance_;
+  std::vector<std::vector<float>> best_sim_;  // [subset][local member]
+  std::vector<bool> selected_;
+  std::size_t num_selected_ = 0;
+  Cost selected_cost_ = 0;
+  double score_ = 0.0;
+  mutable std::atomic<std::size_t> gain_evaluations_{0};
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_OBJECTIVE_H_

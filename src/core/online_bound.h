@@ -1,0 +1,34 @@
+#ifndef PHOCUS_CORE_ONLINE_BOUND_H_
+#define PHOCUS_CORE_ONLINE_BOUND_H_
+
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file online_bound.h
+/// The a-posteriori (data-dependent) optimality bound of Leskovec et al.
+/// [30], §4.2: for ANY solution S, submodularity gives
+///
+///   G(OPT) ≤ G(S) + max_{T : C(T) ≤ B} Σ_{p∈T} δ_p(S)
+///          ≤ G(S) + fractional-knapsack(δ·(S), C, B)
+///
+/// so `G(S) / bound` is a certified performance ratio — in practice far
+/// above the worst-case (1 − 1/e)/2 ≈ 0.316.
+
+namespace phocus {
+
+struct OnlineBound {
+  double solution_score = 0.0;
+  double upper_bound = 0.0;  ///< certified upper bound on G(OPT)
+  /// Certified ratio G(S)/upper_bound in (0, 1]; 1 when no photo has
+  /// positive residual gain (the solution is provably optimal).
+  double certified_ratio = 0.0;
+};
+
+/// Computes the online bound for `selection` (which must be feasible).
+OnlineBound ComputeOnlineBound(const ParInstance& instance,
+                               const std::vector<PhotoId>& selection);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_ONLINE_BOUND_H_

@@ -1,0 +1,38 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+void CheckFeasible(const ParInstance& instance, const SolverResult& result) {
+  Cost total = 0;
+  std::vector<bool> seen(instance.num_photos(), false);
+  for (PhotoId p : result.selected) {
+    PHOCUS_CHECK(p < instance.num_photos(), "selected photo id out of range");
+    PHOCUS_CHECK(!seen[p], StrFormat("photo %u selected twice", p));
+    seen[p] = true;
+    total += instance.cost(p);
+  }
+  PHOCUS_CHECK(total <= instance.budget(),
+               StrFormat("solution cost %llu exceeds budget %llu",
+                         static_cast<unsigned long long>(total),
+                         static_cast<unsigned long long>(instance.budget())));
+  PHOCUS_CHECK(total == result.cost, "reported cost does not match selection");
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (instance.IsRequired(p)) {
+      PHOCUS_CHECK(seen[p], StrFormat("required photo %u missing from solution", p));
+    }
+  }
+  const double reevaluated = ObjectiveEvaluator::Evaluate(instance, result.selected);
+  PHOCUS_CHECK(std::abs(reevaluated - result.score) <=
+                   1e-6 * std::max(1.0, std::abs(reevaluated)),
+               StrFormat("reported score %.9f != re-evaluated %.9f",
+                         result.score, reevaluated));
+}
+
+}  // namespace phocus

@@ -1,0 +1,43 @@
+#ifndef PHOCUS_CORE_SOLVER_H_
+#define PHOCUS_CORE_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file solver.h
+/// Common solver interface and result record shared by the PHOcus algorithm
+/// (§4), the exact solvers, and the experimental baselines (§5.2).
+
+namespace phocus {
+
+struct SolverResult {
+  std::string solver_name;
+  /// Selected photos, S0 included, in selection order.
+  std::vector<PhotoId> selected;
+  double score = 0.0;        ///< G(selected) under the *given* instance
+  Cost cost = 0;             ///< C(selected)
+  double seconds = 0.0;      ///< wall-clock solve time
+  std::size_t gain_evaluations = 0;
+  bool exact = false;        ///< true only for provably-optimal outputs
+  std::string detail;        ///< solver-specific notes (e.g. winning variant)
+};
+
+/// Abstract solver. Implementations must honor S0 ⊆ S and C(S) ≤ B.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  virtual SolverResult Solve(const ParInstance& instance) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Verifies that `result` is feasible for `instance` (budget respected, S0
+/// included, no duplicates) and that `result.score` matches an independent
+/// re-evaluation. Throws CheckFailure on violation. Used by tests and the
+/// bench harness as a cross-check.
+void CheckFeasible(const ParInstance& instance, const SolverResult& result);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_SOLVER_H_

@@ -1,0 +1,64 @@
+#include "core/sparsify.h"
+
+#include "util/logging.h"
+
+namespace phocus {
+
+ParInstance SparsifyInstance(const ParInstance& instance, double tau,
+                             SparsifyStats* stats) {
+  PHOCUS_CHECK(tau >= 0.0 && tau <= 1.0, "tau must be in [0, 1]");
+  ParInstance out(instance.num_photos(), instance.costs(), instance.budget());
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (instance.IsRequired(p)) out.MarkRequired(p);
+  }
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (SubsetId qi = 0; qi < instance.num_subsets(); ++qi) {
+    const Subset& q = instance.subset(qi);
+    before += q.CountSimEntries();
+    Subset sparse;
+    sparse.name = q.name;
+    sparse.weight = q.weight;
+    sparse.members = q.members;
+    sparse.relevance = q.relevance;
+    const std::size_t m = q.members.size();
+    if (q.sim_mode == Subset::SimMode::kUniform) {
+      // All off-diagonal sims are exactly 1 ≥ τ; nothing to drop.
+      sparse.sim_mode = Subset::SimMode::kUniform;
+      after += q.CountSimEntries();
+      out.AddSubset(std::move(sparse));
+      continue;
+    }
+    sparse.sim_mode = Subset::SimMode::kSparse;
+    sparse.sparse_sim.resize(m);
+    if (q.sim_mode == Subset::SimMode::kDense) {
+      for (std::uint32_t i = 0; i < m; ++i) {
+        for (std::uint32_t j = 0; j < m; ++j) {
+          if (i == j) continue;
+          const float s = q.dense_sim[static_cast<std::size_t>(i) * m + j];
+          if (s >= tau && s > 0.0f) {
+            sparse.sparse_sim[i].emplace_back(j, s);
+            ++after;
+          }
+        }
+      }
+    } else {  // already sparse: re-threshold
+      for (std::uint32_t i = 0; i < m; ++i) {
+        for (const auto& [j, s] : q.sparse_sim[i]) {
+          if (s >= tau) {
+            sparse.sparse_sim[i].emplace_back(j, s);
+            ++after;
+          }
+        }
+      }
+    }
+    out.AddSubset(std::move(sparse));
+  }
+  if (stats != nullptr) {
+    stats->entries_before = before;
+    stats->entries_after = after;
+  }
+  return out;
+}
+
+}  // namespace phocus

@@ -1,0 +1,31 @@
+#ifndef PHOCUS_CORE_SPARSIFY_H_
+#define PHOCUS_CORE_SPARSIFY_H_
+
+#include "core/instance.h"
+
+/// \file sparsify.h
+/// τ-sparsification (§4.3): all similarities strictly below τ are rounded
+/// down to 0, turning dense per-subset matrices into sparse neighbor lists
+/// and shrinking every nearest-neighbor pass the solver performs.
+
+namespace phocus {
+
+struct SparsifyStats {
+  std::size_t entries_before = 0;  ///< stored off-diagonal sim entries
+  std::size_t entries_after = 0;
+  double kept_fraction() const {
+    return entries_before == 0
+               ? 1.0
+               : static_cast<double>(entries_after) / entries_before;
+  }
+};
+
+/// Returns a copy of `instance` whose SIM is τ-sparsified. Subsets already
+/// sparse are re-thresholded; kUniform subsets are unchanged when τ ≤ 1.
+/// Costs, weights, relevance, S0 and budget are preserved.
+ParInstance SparsifyInstance(const ParInstance& instance, double tau,
+                             SparsifyStats* stats = nullptr);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_SPARSIFY_H_

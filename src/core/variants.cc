@@ -1,0 +1,124 @@
+#include "core/variants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+ParInstance ExpandWithCompressionVariants(
+    const ParInstance& instance, const std::vector<CompressionLevel>& levels,
+    VariantMap* map) {
+  PHOCUS_CHECK(!levels.empty(), "need at least one compression level");
+  for (const CompressionLevel& level : levels) {
+    PHOCUS_CHECK(level.cost_factor > 0.0 && level.cost_factor <= 1.0,
+                 "cost_factor must be in (0, 1]");
+    PHOCUS_CHECK(level.value_factor > 0.0 && level.value_factor <= 1.0,
+                 "value_factor must be in (0, 1]");
+  }
+  const std::size_t n = instance.num_photos();
+  const std::size_t num_levels = levels.size();
+
+  std::vector<Cost> costs;
+  costs.reserve(n * (1 + num_levels));
+  for (PhotoId p = 0; p < n; ++p) costs.push_back(instance.cost(p));
+  for (const CompressionLevel& level : levels) {
+    for (PhotoId p = 0; p < n; ++p) {
+      const double scaled =
+          std::ceil(level.cost_factor * static_cast<double>(instance.cost(p)));
+      costs.push_back(std::max<Cost>(1, static_cast<Cost>(scaled)));
+    }
+  }
+  ParInstance expanded(n * (1 + num_levels), std::move(costs),
+                       instance.budget());
+  for (PhotoId p = 0; p < n; ++p) {
+    if (instance.IsRequired(p)) expanded.MarkRequired(p);
+  }
+
+  // Value factor of an expanded *local* index within a subset of m original
+  // members: locals [0, m) are originals (factor 1), locals
+  // [m(k+1), m(k+2)) are level-k variants.
+  auto local_factor = [&](std::size_t local, std::size_t m) {
+    return local < m ? 1.0 : levels[local / m - 1].value_factor;
+  };
+
+  for (SubsetId qi = 0; qi < instance.num_subsets(); ++qi) {
+    const Subset& q = instance.subset(qi);
+    const std::size_t m = q.members.size();
+    Subset out;
+    out.name = q.name;
+    out.weight = q.weight;
+    out.members.reserve(m * (1 + num_levels));
+    out.relevance.reserve(m * (1 + num_levels));
+    for (PhotoId p : q.members) out.members.push_back(p);
+    out.relevance = q.relevance;
+    for (std::size_t k = 0; k < num_levels; ++k) {
+      for (PhotoId p : q.members) {
+        // Variant ids live at n*(k+1)+p; they supply coverage but demand
+        // none (relevance 0), so normalization and G's demand side are
+        // untouched.
+        out.members.push_back(static_cast<PhotoId>(n * (k + 1) + p));
+        out.relevance.push_back(0.0);
+      }
+    }
+
+    const std::size_t em = out.members.size();
+    if (q.sim_mode == Subset::SimMode::kSparse) {
+      out.sim_mode = Subset::SimMode::kSparse;
+      out.sparse_sim.resize(em);
+      auto connect = [&](std::size_t a, std::size_t b, double sim) {
+        const float value = static_cast<float>(std::min(1.0, sim));
+        if (value <= 0.0f) return;
+        out.sparse_sim[a].emplace_back(static_cast<std::uint32_t>(b), value);
+        out.sparse_sim[b].emplace_back(static_cast<std::uint32_t>(a), value);
+      };
+      // Original neighbor pairs, replicated across variant combinations.
+      for (std::uint32_t i = 0; i < m; ++i) {
+        for (const auto& [j, s] : q.sparse_sim[i]) {
+          if (j <= i) continue;  // handle each unordered pair once
+          for (std::size_t a = i; a < em; a += m) {
+            for (std::size_t b = j; b < em; b += m) {
+              connect(a, b, local_factor(a, m) * local_factor(b, m) * s);
+            }
+          }
+        }
+        // Variant ↔ its own original (and variant ↔ variant of the same
+        // photo): the implicit self-similarity 1 becomes explicit edges.
+        for (std::size_t a = i; a < em; a += m) {
+          for (std::size_t b = a + m; b < em; b += m) {
+            connect(a, b, local_factor(a, m) * local_factor(b, m));
+          }
+        }
+      }
+    } else {
+      // kDense and kUniform both expand to dense.
+      out.sim_mode = Subset::SimMode::kDense;
+      out.dense_sim.assign(em * em, 0.0f);
+      auto base_sim = [&](std::size_t i, std::size_t j) {
+        if (i == j) return 1.0;
+        return q.Similarity(static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(j));
+      };
+      for (std::size_t a = 0; a < em; ++a) {
+        out.dense_sim[a * em + a] = 1.0f;
+        for (std::size_t b = a + 1; b < em; ++b) {
+          const double sim = local_factor(a, m) * local_factor(b, m) *
+                             base_sim(a % m, b % m);
+          const float value = static_cast<float>(std::min(1.0, sim));
+          out.dense_sim[a * em + b] = value;
+          out.dense_sim[b * em + a] = value;
+        }
+      }
+    }
+    expanded.AddSubset(std::move(out));
+  }
+
+  if (map != nullptr) {
+    map->original_count = n;
+    map->num_levels = num_levels;
+  }
+  return expanded;
+}
+
+}  // namespace phocus

@@ -1,0 +1,65 @@
+#ifndef PHOCUS_CORE_VARIANTS_H_
+#define PHOCUS_CORE_VARIANTS_H_
+
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file variants.h
+/// The paper's §6 future-work extension, implemented: "consider which
+/// photos to compress (i.e., to sacrifice quality to gain space) rather
+/// than to remove. We believe that our model can already capture this
+/// problem." It can — by instance expansion:
+///
+/// Each photo p gains one extra selectable photo per compression level k,
+/// with cost `cost_factor_k · C(p)` and, in every subset q ∋ p, similarity
+/// `value_factor_k · SIM(q, p, ·)` to the other members (and value_factor_k
+/// to p itself). Crucially the variant carries **zero relevance**: it adds
+/// supply (it can cover members) but no demand (nothing needs to cover it),
+/// so the objective stays nonnegative, monotone and submodular, and every
+/// solver in the repository works on the expanded instance unchanged.
+///
+/// Selecting a variant means "keep p at compression level k"; selecting the
+/// original means "keep p at full quality". The solver will never spend
+/// budget on both, since a variant's marginal gain collapses once the
+/// original is selected (and vice versa the original's gain shrinks to the
+/// residual quality headroom).
+
+namespace phocus {
+
+/// One compression level.
+struct CompressionLevel {
+  /// Stored-bytes multiplier in (0, 1]; e.g. 0.35 for JPEG q50 vs q85.
+  double cost_factor = 0.35;
+  /// Usefulness multiplier in (0, 1]: how much of the original's similarity
+  /// (including self-similarity) the compressed rendition retains.
+  double value_factor = 0.9;
+};
+
+/// Mapping from expanded photo ids back to (original photo, level).
+struct VariantMap {
+  /// Expanded id of level k of photo p: `original_count * (k + 1) + p`.
+  std::size_t original_count = 0;
+  std::size_t num_levels = 0;
+
+  bool IsOriginal(PhotoId expanded) const { return expanded < original_count; }
+  PhotoId OriginalOf(PhotoId expanded) const {
+    return static_cast<PhotoId>(expanded % original_count);
+  }
+  /// Level index of an expanded id; originals return -1.
+  int LevelOf(PhotoId expanded) const {
+    return static_cast<int>(expanded / original_count) - 1;
+  }
+};
+
+/// Expands `instance` with the given compression levels. Dense and uniform
+/// subsets expand to dense; sparse subsets stay sparse. Required photos
+/// (S0) remain required at full quality only. Costs are rounded up and
+/// clamped to at least 1 byte.
+ParInstance ExpandWithCompressionVariants(
+    const ParInstance& instance, const std::vector<CompressionLevel>& levels,
+    VariantMap* map = nullptr);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_CORE_VARIANTS_H_

@@ -1,0 +1,18 @@
+#include "datagen/corpus.h"
+
+namespace phocus {
+
+Cost Corpus::TotalBytes() const {
+  Cost total = 0;
+  for (const CorpusPhoto& photo : photos) total += photo.bytes;
+  return total;
+}
+
+double Corpus::MeanSubsetSize() const {
+  if (subsets.empty()) return 0.0;
+  std::size_t members = 0;
+  for (const SubsetSpec& subset : subsets) members += subset.members.size();
+  return static_cast<double>(members) / static_cast<double>(subsets.size());
+}
+
+}  // namespace phocus

@@ -1,0 +1,59 @@
+#ifndef PHOCUS_DATAGEN_CORPUS_H_
+#define PHOCUS_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "embedding/vector_ops.h"
+#include "imaging/exif.h"
+#include "imaging/scene.h"
+
+/// \file corpus.h
+/// The photo corpus handed from the dataset generators to the PHOcus Data
+/// Representation Module: photos with embeddings/costs/metadata plus
+/// pre-defined subset *specifications* (members + raw relevance). The
+/// representation module (src/phocus/representation.h) turns a corpus into a
+/// solvable ParInstance by normalizing relevance and materializing SIM.
+
+namespace phocus {
+
+/// One generated photo and everything derived from it.
+struct CorpusPhoto {
+  Embedding embedding;   ///< unit-norm visual embedding
+  ExifMetadata exif;
+  Cost bytes = 0;        ///< estimated stored size (the PAR cost)
+  double quality = 0.0;  ///< overall no-reference quality in [0, 1]
+  std::string title;     ///< indexable text (product title / caption)
+  SceneParams scene;     ///< renderable parameters (for export/examples)
+};
+
+/// A pre-defined subset before normalization/SIM.
+struct SubsetSpec {
+  std::string name;
+  double weight = 1.0;
+  std::vector<PhotoId> members;
+  /// Raw (unnormalized) relevance, aligned with members; empty = uniform.
+  std::vector<double> relevance;
+};
+
+struct Corpus {
+  std::string name;
+  std::vector<CorpusPhoto> photos;
+  std::vector<SubsetSpec> subsets;
+  std::vector<PhotoId> required;  ///< S0
+  std::uint64_t seed = 0;         ///< generator seed, for reproducibility
+
+  std::size_t num_photos() const { return photos.size(); }
+
+  /// Sum of photo costs (the archive size the budgets are quoted against).
+  Cost TotalBytes() const;
+
+  /// Mean subset cardinality (reported alongside Table 2).
+  double MeanSubsetSize() const;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_DATAGEN_CORPUS_H_

@@ -1,0 +1,178 @@
+#include "datagen/corpus_io.h"
+
+#include "util/binary_io.h"
+#include "util/json.h"  // ReadFile/WriteFile
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50484f434f525031ULL;  // "PHOCORP1"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteScene(BinaryWriter& writer, const SceneParams& scene) {
+  auto write_rgb = [&](Rgb color) {
+    writer.WriteU8(color.r);
+    writer.WriteU8(color.g);
+    writer.WriteU8(color.b);
+  };
+  write_rgb(scene.background_top);
+  write_rgb(scene.background_bottom);
+  writer.WriteU32(static_cast<std::uint32_t>(scene.shapes.size()));
+  for (const SceneShape& shape : scene.shapes) {
+    writer.WriteU8(static_cast<std::uint8_t>(shape.kind));
+    writer.WriteF32(shape.center_x);
+    writer.WriteF32(shape.center_y);
+    writer.WriteF32(shape.size);
+    writer.WriteF32(shape.angle);
+    write_rgb(shape.color);
+  }
+  writer.WriteF32(scene.noise_sigma);
+  writer.WriteF32(scene.blur_sigma);
+  writer.WriteF32(scene.brightness);
+  writer.WriteU64(scene.noise_seed);
+}
+
+SceneParams ReadScene(BinaryReader& reader) {
+  auto read_rgb = [&]() {
+    Rgb color;
+    color.r = reader.ReadU8();
+    color.g = reader.ReadU8();
+    color.b = reader.ReadU8();
+    return color;
+  };
+  SceneParams scene;
+  scene.background_top = read_rgb();
+  scene.background_bottom = read_rgb();
+  const std::uint32_t shapes = reader.ReadU32();
+  PHOCUS_CHECK(shapes <= 10'000, "corrupt scene: implausible shape count");
+  scene.shapes.reserve(shapes);
+  for (std::uint32_t i = 0; i < shapes; ++i) {
+    SceneShape shape;
+    const std::uint8_t kind = reader.ReadU8();
+    PHOCUS_CHECK(kind <= static_cast<std::uint8_t>(SceneShape::Kind::kStripe),
+                 "corrupt scene shape kind");
+    shape.kind = static_cast<SceneShape::Kind>(kind);
+    shape.center_x = reader.ReadF32();
+    shape.center_y = reader.ReadF32();
+    shape.size = reader.ReadF32();
+    shape.angle = reader.ReadF32();
+    shape.color = read_rgb();
+    scene.shapes.push_back(shape);
+  }
+  scene.noise_sigma = reader.ReadF32();
+  scene.blur_sigma = reader.ReadF32();
+  scene.brightness = reader.ReadF32();
+  scene.noise_seed = reader.ReadU64();
+  return scene;
+}
+
+void WriteExif(BinaryWriter& writer, const ExifMetadata& exif) {
+  writer.WriteI64(exif.timestamp_unix);
+  writer.WriteString(exif.camera_model);
+  writer.WriteU32(static_cast<std::uint32_t>(exif.iso));
+  writer.WriteF64(exif.exposure_ms);
+  writer.WriteF64(exif.focal_mm);
+  writer.WriteF64(exif.latitude);
+  writer.WriteF64(exif.longitude);
+}
+
+ExifMetadata ReadExif(BinaryReader& reader) {
+  ExifMetadata exif;
+  exif.timestamp_unix = reader.ReadI64();
+  exif.camera_model = reader.ReadString();
+  exif.iso = static_cast<int>(reader.ReadU32());
+  exif.exposure_ms = reader.ReadF64();
+  exif.focal_mm = reader.ReadF64();
+  exif.latitude = reader.ReadF64();
+  exif.longitude = reader.ReadF64();
+  return exif;
+}
+
+}  // namespace
+
+std::string EncodeCorpus(const Corpus& corpus) {
+  BinaryWriter writer;
+  writer.WriteU64(kMagic);
+  writer.WriteU32(kVersion);
+  writer.WriteString(corpus.name);
+  writer.WriteU64(corpus.seed);
+
+  writer.WriteU32(static_cast<std::uint32_t>(corpus.photos.size()));
+  for (const CorpusPhoto& photo : corpus.photos) {
+    writer.WriteF32Vector(photo.embedding);
+    WriteExif(writer, photo.exif);
+    writer.WriteU64(photo.bytes);
+    writer.WriteF64(photo.quality);
+    writer.WriteString(photo.title);
+    WriteScene(writer, photo.scene);
+  }
+
+  writer.WriteU32(static_cast<std::uint32_t>(corpus.subsets.size()));
+  for (const SubsetSpec& subset : corpus.subsets) {
+    writer.WriteString(subset.name);
+    writer.WriteF64(subset.weight);
+    writer.WriteU32Vector(subset.members);
+    writer.WriteF64Vector(subset.relevance);
+  }
+
+  std::vector<std::uint32_t> required(corpus.required.begin(),
+                                      corpus.required.end());
+  writer.WriteU32Vector(required);
+  return writer.TakeBuffer();
+}
+
+Corpus DecodeCorpus(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  PHOCUS_CHECK(reader.ReadU64() == kMagic, "not a PHOcus corpus file");
+  PHOCUS_CHECK(reader.ReadU32() == kVersion, "unsupported corpus version");
+  Corpus corpus;
+  corpus.name = reader.ReadString();
+  corpus.seed = reader.ReadU64();
+
+  const std::uint32_t photos = reader.ReadU32();
+  for (std::uint32_t i = 0; i < photos; ++i) {
+    CorpusPhoto photo;
+    photo.embedding = reader.ReadF32Vector();
+    photo.exif = ReadExif(reader);
+    photo.bytes = reader.ReadU64();
+    photo.quality = reader.ReadF64();
+    photo.title = reader.ReadString();
+    photo.scene = ReadScene(reader);
+    corpus.photos.push_back(std::move(photo));
+  }
+
+  const std::uint32_t subsets = reader.ReadU32();
+  for (std::uint32_t i = 0; i < subsets; ++i) {
+    SubsetSpec subset;
+    subset.name = reader.ReadString();
+    subset.weight = reader.ReadF64();
+    subset.members = reader.ReadU32Vector();
+    subset.relevance = reader.ReadF64Vector();
+    PHOCUS_CHECK(subset.relevance.empty() ||
+                     subset.relevance.size() == subset.members.size(),
+                 "corrupt subset: relevance misaligned");
+    for (PhotoId p : subset.members) {
+      PHOCUS_CHECK(p < corpus.photos.size(), "corrupt subset member id");
+    }
+    corpus.subsets.push_back(std::move(subset));
+  }
+
+  for (std::uint32_t p : reader.ReadU32Vector()) {
+    PHOCUS_CHECK(p < corpus.photos.size(), "corrupt required photo id");
+    corpus.required.push_back(p);
+  }
+  PHOCUS_CHECK(reader.AtEnd(), "trailing bytes after corpus payload");
+  return corpus;
+}
+
+void SaveCorpus(const Corpus& corpus, const std::string& path) {
+  WriteFile(path, EncodeCorpus(corpus));
+}
+
+Corpus LoadCorpus(const std::string& path) {
+  return DecodeCorpus(ReadFile(path));
+}
+
+}  // namespace phocus

@@ -1,0 +1,31 @@
+#ifndef PHOCUS_DATAGEN_CORPUS_IO_H_
+#define PHOCUS_DATAGEN_CORPUS_IO_H_
+
+#include <string>
+
+#include "datagen/corpus.h"
+
+/// \file corpus_io.h
+/// Compact binary (de)serialization of corpora. A Table-2-sized corpus
+/// carries hundreds of thousands of embedding floats, so JSON is the wrong
+/// tool; this format stores them raw. Used both as a public export format
+/// and as the bench harness's generation cache (see CachedTable2Corpus in
+/// table2.h): the large datasets are generated once and re-read in
+/// milliseconds by every figure that needs them.
+
+namespace phocus {
+
+/// Serializes a corpus to the binary format (version-tagged, magic-prefixed).
+std::string EncodeCorpus(const Corpus& corpus);
+
+/// Parses a corpus; throws CheckFailure on malformed/truncated input or
+/// version mismatch.
+Corpus DecodeCorpus(const std::string& bytes);
+
+/// File convenience wrappers.
+void SaveCorpus(const Corpus& corpus, const std::string& path);
+Corpus LoadCorpus(const std::string& path);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_DATAGEN_CORPUS_IO_H_

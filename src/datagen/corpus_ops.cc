@@ -1,0 +1,60 @@
+#include "datagen/corpus_ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+Corpus RestrictCorpus(const Corpus& corpus, const std::vector<PhotoId>& keep,
+                      std::size_t min_subset_size) {
+  Corpus out;
+  out.name = corpus.name + "/restricted";
+  out.seed = corpus.seed;
+  std::unordered_map<PhotoId, PhotoId> remap;
+  remap.reserve(keep.size());
+  for (PhotoId p : keep) {
+    PHOCUS_CHECK(p < corpus.photos.size(), "kept photo id out of range");
+    PHOCUS_CHECK(remap.emplace(p, static_cast<PhotoId>(out.photos.size())).second,
+                 "duplicate photo id in keep list");
+    out.photos.push_back(corpus.photos[p]);
+  }
+  for (const SubsetSpec& spec : corpus.subsets) {
+    SubsetSpec restricted;
+    restricted.name = spec.name;
+    restricted.weight = spec.weight;
+    for (std::size_t i = 0; i < spec.members.size(); ++i) {
+      auto it = remap.find(spec.members[i]);
+      if (it == remap.end()) continue;
+      restricted.members.push_back(it->second);
+      restricted.relevance.push_back(
+          spec.relevance.empty() ? 1.0 : spec.relevance[i]);
+    }
+    if (restricted.members.size() >= min_subset_size) {
+      out.subsets.push_back(std::move(restricted));
+    }
+  }
+  for (PhotoId p : corpus.required) {
+    auto it = remap.find(p);
+    if (it != remap.end()) out.required.push_back(it->second);
+  }
+  std::sort(out.required.begin(), out.required.end());
+  return out;
+}
+
+Corpus SubsampleCorpus(const Corpus& corpus, std::size_t count, Rng& rng,
+                       std::size_t min_subset_size) {
+  PHOCUS_CHECK(count <= corpus.photos.size(),
+               "cannot subsample more photos than the corpus holds");
+  std::vector<PhotoId> keep;
+  keep.reserve(count);
+  for (std::size_t idx : rng.SampleWithoutReplacement(corpus.photos.size(),
+                                                      count)) {
+    keep.push_back(static_cast<PhotoId>(idx));
+  }
+  std::sort(keep.begin(), keep.end());
+  return RestrictCorpus(corpus, keep, min_subset_size);
+}
+
+}  // namespace phocus

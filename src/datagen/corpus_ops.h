@@ -1,0 +1,29 @@
+#ifndef PHOCUS_DATAGEN_CORPUS_OPS_H_
+#define PHOCUS_DATAGEN_CORPUS_OPS_H_
+
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "util/rng.h"
+
+/// \file corpus_ops.h
+/// Corpus transformations used by the experiments: restriction to a photo
+/// subset (Fig. 5d's 100-photo slices, the user study's ~100-photo
+/// iterations) and random subsampling.
+
+namespace phocus {
+
+/// Restricts a corpus to `keep` (photo ids into `corpus`). Photo ids are
+/// remapped to 0..keep.size()-1 in the order given; subsets are intersected
+/// with the kept set and dropped when fewer than `min_subset_size` members
+/// survive. Required photos outside `keep` are dropped.
+Corpus RestrictCorpus(const Corpus& corpus, const std::vector<PhotoId>& keep,
+                      std::size_t min_subset_size = 2);
+
+/// Uniformly samples `count` photos and restricts to them.
+Corpus SubsampleCorpus(const Corpus& corpus, std::size_t count, Rng& rng,
+                       std::size_t min_subset_size = 2);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_DATAGEN_CORPUS_OPS_H_

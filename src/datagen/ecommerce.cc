@@ -1,0 +1,212 @@
+#include "datagen/ecommerce.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "embedding/pipeline.h"
+#include "imaging/jpeg_size.h"
+#include "imaging/quality.h"
+#include "index/search_engine.h"
+#include "util/logging.h"
+#include "util/samplers.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace phocus {
+
+std::string GenerateProductTitle(EcDomain domain, Rng& rng) {
+  const EcVocabulary& vocabulary = VocabularyFor(domain);
+  std::string title;
+  auto maybe = [&](const std::vector<std::string>& words, double probability) {
+    if (rng.Bernoulli(probability)) {
+      if (!title.empty()) title += " ";
+      title += words[rng.NextBelow(words.size())];
+    }
+  };
+  maybe(vocabulary.brands, 0.7);
+  maybe(vocabulary.colors, 0.65);
+  maybe(vocabulary.attributes, 0.45);
+  if (!title.empty()) title += " ";
+  title += vocabulary.product_types[rng.NextBelow(vocabulary.product_types.size())];
+  maybe(vocabulary.audiences, 0.35);
+  return title;
+}
+
+std::vector<QueryLogEntry> GenerateQueryLog(EcDomain domain, std::size_t count,
+                                            std::uint64_t seed) {
+  const EcVocabulary& v = VocabularyFor(domain);
+  Rng rng(seed ^ 0xec0123ULL);
+  std::vector<std::string> queries;
+  std::unordered_set<std::string> seen;
+  auto push = [&](const std::string& query) {
+    if (seen.insert(query).second) queries.push_back(query);
+  };
+  auto pick = [&](const std::vector<std::string>& words) {
+    return words[rng.NextBelow(words.size())];
+  };
+  // Head queries: bare product types (these dominate real logs).
+  for (const std::string& type : v.product_types) push(type);
+  // Tail: templated combinations, generated until we have enough.
+  std::size_t guard = 0;
+  while (queries.size() < count && guard++ < count * 50) {
+    switch (rng.NextBelow(5)) {
+      case 0: push(pick(v.colors) + " " + pick(v.product_types)); break;
+      case 1: push(pick(v.brands) + " " + pick(v.product_types)); break;
+      case 2:
+        push(pick(v.colors) + " " + pick(v.brands) + " " + pick(v.product_types));
+        break;
+      case 3: push(pick(v.audiences) + " " + pick(v.product_types)); break;
+      default: push(pick(v.attributes) + " " + pick(v.product_types)); break;
+    }
+  }
+  PHOCUS_CHECK(queries.size() >= count,
+               "vocabulary too small for the requested query count");
+  queries.resize(count);
+
+  // Zipf frequencies over a modeled quarter of traffic.
+  const ZipfSampler zipf(count, 1.0);
+  std::vector<QueryLogEntry> log;
+  log.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    log.push_back({queries[i], 1e7 * zipf.Probability(i)});
+  }
+  return log;
+}
+
+Corpus GenerateEcommerceCorpus(const EcommerceOptions& options) {
+  PHOCUS_CHECK(options.num_products > 0, "num_products must be positive");
+  Rng rng(options.seed);
+  const EcVocabulary& vocabulary = VocabularyFor(options.domain);
+
+  // Phase 1: catalog. Products of the same type share a visual style; some
+  // shots are near-duplicates of an earlier same-type shot.
+  struct Draft {
+    std::string title;
+    SceneParams scene;
+    double resolution_scale;
+  };
+  std::vector<Draft> drafts;
+  drafts.reserve(options.num_products);
+  std::unordered_map<std::string, SceneStyle> style_cache;
+  std::unordered_map<std::string, SceneParams> last_scene_of_type;
+  for (std::size_t i = 0; i < options.num_products; ++i) {
+    Draft draft;
+    draft.title = GenerateProductTitle(options.domain, rng);
+    // Style key: the product type (last 1-2 tokens work, but hashing the
+    // full title over-fragments); find the type substring.
+    std::string type_key;
+    for (const std::string& type : vocabulary.product_types) {
+      if (draft.title.find(type) != std::string::npos &&
+          type.size() > type_key.size()) {
+        type_key = type;
+      }
+    }
+    if (type_key.empty()) type_key = draft.title;
+    auto style_it = style_cache.find(type_key);
+    if (style_it == style_cache.end()) {
+      style_it = style_cache.emplace(type_key, StyleForCategory(type_key)).first;
+    }
+    auto last_it = last_scene_of_type.find(type_key);
+    if (last_it != last_scene_of_type.end() &&
+        rng.Bernoulli(options.near_duplicate_prob)) {
+      draft.scene = JitterScene(last_it->second, rng, 0.35);
+    } else {
+      draft.scene = SampleScene(style_it->second, rng);
+    }
+    last_scene_of_type[type_key] = draft.scene;
+    const double tier = rng.UniformDouble();
+    draft.resolution_scale = tier < 0.15 ? 3.0 : (tier < 0.7 ? 6.5 : 11.0);
+    drafts.push_back(std::move(draft));
+  }
+
+  // Phase 2: render + embed + size.
+  EmbeddingPipelineOptions pipeline_options;
+  pipeline_options.working_size = options.render_size;
+  pipeline_options.projection_dim = 160;  // keeps large archives compact
+  const EmbeddingPipeline pipeline(pipeline_options);
+
+  Corpus corpus;
+  corpus.seed = options.seed;
+  corpus.name = "EC-" + EcDomainName(options.domain);
+  corpus.photos.resize(drafts.size());
+  Rng exif_rng = rng.Fork(0x1234);
+  ThreadPool::Global().ParallelFor(drafts.size(), [&](std::size_t i) {
+    const Draft& draft = drafts[i];
+    CorpusPhoto& photo = corpus.photos[i];
+    const Image image =
+        RenderScene(draft.scene, options.render_size, options.render_size);
+    photo.embedding = pipeline.Extract(image);
+    photo.quality = AssessQuality(image).overall;
+    JpegSizeOptions size_options;
+    size_options.resolution_scale = draft.resolution_scale;
+    photo.bytes = EstimateJpegBytes(image, size_options);
+    photo.title = draft.title;
+    photo.scene = draft.scene;
+  });
+  // Studio shoots happen in one place/time window; EXIF is sampled
+  // sequentially (cheap) for determinism.
+  for (CorpusPhoto& photo : corpus.photos) {
+    photo.exif = SampleExif(exif_rng, 1'650'000'000, 40.0, -74.0);
+  }
+
+  // Phase 3: query log → landing pages via BM25 retrieval.
+  SearchEngine engine;
+  for (std::size_t i = 0; i < corpus.photos.size(); ++i) {
+    engine.AddDocument(static_cast<SearchEngine::DocId>(i),
+                       corpus.photos[i].title);
+  }
+  engine.Finalize();
+
+  // Over-generate queries; keep the first num_queries that return enough
+  // results (Table 2 reports exactly 250 subsets per domain).
+  const std::vector<QueryLogEntry> log =
+      GenerateQueryLog(options.domain, options.num_queries * 3, options.seed);
+  double total_frequency = 0.0;
+  for (const QueryLogEntry& entry : log) total_frequency += entry.frequency;
+
+  for (const QueryLogEntry& entry : log) {
+    if (corpus.subsets.size() >= options.num_queries) break;
+    const std::vector<SearchEngine::Hit> hits =
+        engine.Search(entry.text, options.max_results_per_query);
+    if (hits.size() < 3) continue;
+    SubsetSpec spec;
+    spec.name = entry.text;
+    // Landing-page importance: normalized visit/query frequency (§5.1).
+    spec.weight = entry.frequency / total_frequency;
+    for (const SearchEngine::Hit& hit : hits) {
+      spec.members.push_back(hit.doc);
+      // Relevance blends retrieval score with image quality (§5.1).
+      spec.relevance.push_back(hit.score *
+                               (0.5 + 0.5 * corpus.photos[hit.doc].quality));
+    }
+    corpus.subsets.push_back(std::move(spec));
+  }
+  PHOCUS_CHECK(corpus.subsets.size() == options.num_queries,
+               "could not realize the requested number of landing pages");
+
+  // Phase 4: contractual retention (S0): required photos must be ones that
+  // actually appear on pages.
+  if (options.required_fraction > 0.0) {
+    std::vector<PhotoId> on_pages;
+    {
+      std::unordered_set<PhotoId> unique;
+      for (const SubsetSpec& spec : corpus.subsets) {
+        unique.insert(spec.members.begin(), spec.members.end());
+      }
+      on_pages.assign(unique.begin(), unique.end());
+      std::sort(on_pages.begin(), on_pages.end());
+    }
+    const std::size_t count = std::min(
+        on_pages.size(),
+        static_cast<std::size_t>(options.required_fraction *
+                                 static_cast<double>(corpus.num_photos())));
+    for (std::size_t idx : rng.SampleWithoutReplacement(on_pages.size(), count)) {
+      corpus.required.push_back(on_pages[idx]);
+    }
+    std::sort(corpus.required.begin(), corpus.required.end());
+  }
+  return corpus;
+}
+
+}  // namespace phocus

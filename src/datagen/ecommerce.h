@@ -1,0 +1,55 @@
+#ifndef PHOCUS_DATAGEN_ECOMMERCE_H_
+#define PHOCUS_DATAGEN_ECOMMERCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "datagen/vocabulary.h"
+
+/// \file ecommerce.h
+/// Generator for the private "EC" datasets of Table 2 (§5.2): a synthetic
+/// product catalog per domain, a Zipf query log whose top-k queries define
+/// the pre-defined subsets (one per landing page), BM25 retrieval over
+/// product titles for membership + relevance (blended with image quality, as
+/// §5.1 describes), and query frequency as subset importance.
+
+namespace phocus {
+
+struct EcommerceOptions {
+  EcDomain domain = EcDomain::kFashion;
+  std::size_t num_products = 20000;
+  /// Top-k most frequent queries become landing pages (paper: 250).
+  std::size_t num_queries = 250;
+  std::uint64_t seed = 7;
+  int render_size = 64;
+  /// Cap on the result set per query (the page's relevant-photo pool).
+  std::size_t max_results_per_query = 120;
+  /// Fraction of photos under "legal contract" retention (S0).
+  double required_fraction = 0.003;
+  /// Probability a product re-uses (near-duplicates) another product's shot
+  /// of the same type — catalogs are full of such shots.
+  double near_duplicate_prob = 0.2;
+};
+
+Corpus GenerateEcommerceCorpus(const EcommerceOptions& options);
+
+/// A generated search query with its log frequency (used by the user-study
+/// harness too).
+struct QueryLogEntry {
+  std::string text;
+  double frequency = 0.0;
+};
+
+/// The synthetic quarter query log for a domain: `count` distinct query
+/// strings with Zipf frequencies, most frequent first.
+std::vector<QueryLogEntry> GenerateQueryLog(EcDomain domain, std::size_t count,
+                                            std::uint64_t seed);
+
+/// A generated product title like "adidas black polo shirt men's".
+std::string GenerateProductTitle(EcDomain domain, Rng& rng);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_DATAGEN_ECOMMERCE_H_

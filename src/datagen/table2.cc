@@ -1,0 +1,80 @@
+#include "datagen/table2.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "datagen/corpus_io.h"
+#include "datagen/ecommerce.h"
+#include "datagen/openimages.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+const std::vector<std::string>& Table2DatasetNames() {
+  static const std::vector<std::string> names = {
+      "P-1K",       "P-5K",           "P-10K",
+      "P-50K",      "P-100K",         "EC-Fashion",
+      "EC-Electronics", "EC-Home & Garden"};
+  return names;
+}
+
+Corpus BuildTable2Corpus(const std::string& name, std::size_t scale) {
+  PHOCUS_CHECK(scale >= 1, "scale must be >= 1");
+  auto open_images = [&](std::size_t photos, std::uint64_t seed) {
+    OpenImagesOptions options;
+    options.num_photos = photos / scale;
+    options.seed = seed;
+    Corpus corpus = GenerateOpenImagesCorpus(options);
+    corpus.name = name;
+    return corpus;
+  };
+  auto ecommerce = [&](EcDomain domain, std::size_t products,
+                       std::uint64_t seed) {
+    EcommerceOptions options;
+    options.domain = domain;
+    options.num_products = products / scale;
+    options.seed = seed;
+    Corpus corpus = GenerateEcommerceCorpus(options);
+    corpus.name = name;
+    return corpus;
+  };
+  if (name == "P-1K") return open_images(1000, 101);
+  if (name == "P-5K") return open_images(5000, 102);
+  if (name == "P-10K") return open_images(10000, 103);
+  if (name == "P-50K") return open_images(50000, 104);
+  if (name == "P-100K") return open_images(100000, 105);
+  // Table 2 photo counts: Fashion 18745, Electronics 22783, H&G 19235.
+  if (name == "EC-Fashion") return ecommerce(EcDomain::kFashion, 18745, 201);
+  if (name == "EC-Electronics") {
+    return ecommerce(EcDomain::kElectronics, 22783, 202);
+  }
+  if (name == "EC-Home & Garden") {
+    return ecommerce(EcDomain::kHomeGarden, 19235, 203);
+  }
+  PHOCUS_CHECK(false, "unknown Table 2 dataset: " + name);
+  return {};
+}
+
+Corpus CachedTable2Corpus(const std::string& name, std::size_t scale) {
+  const char* cache_dir = std::getenv("PHOCUS_CACHE_DIR");
+  if (cache_dir == nullptr || cache_dir[0] == '\0') {
+    return BuildTable2Corpus(name, scale);
+  }
+  // File-system-safe cache key.
+  std::string key;
+  for (char c : name) key.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  const std::string path =
+      StrFormat("%s/%s_scale%zu.phocorp", cache_dir, key.c_str(), scale);
+  if (std::ifstream(path).good()) {
+    Corpus corpus = LoadCorpus(path);
+    PHOCUS_CHECK(corpus.name == name, "cache collision for " + path);
+    return corpus;
+  }
+  Corpus corpus = BuildTable2Corpus(name, scale);
+  SaveCorpus(corpus, path);
+  return corpus;
+}
+
+}  // namespace phocus

@@ -1,0 +1,35 @@
+#ifndef PHOCUS_DATAGEN_TABLE2_H_
+#define PHOCUS_DATAGEN_TABLE2_H_
+
+#include <string>
+
+#include "datagen/corpus.h"
+
+/// \file table2.h
+/// Convenience constructors for the eight Table 2 datasets with the paper's
+/// parameters (P-1K..P-100K from the Open-Images-like source; EC-Fashion /
+/// EC-Electronics / EC-Home&Garden with 250 landing pages each).
+
+namespace phocus {
+
+/// Builds one of: "P-1K", "P-5K", "P-10K", "P-50K", "P-100K", "EC-Fashion",
+/// "EC-Electronics", "EC-Home & Garden". Throws on unknown names.
+/// `scale` uniformly divides the photo count (for quick test runs); 1 keeps
+/// the paper's sizes. The per-dataset defaults (seeds, render size, EC
+/// product counts matching Table 2) live here so every bench builds
+/// identical data.
+Corpus BuildTable2Corpus(const std::string& name, std::size_t scale = 1);
+
+/// All eight Table 2 dataset names, in the paper's order.
+const std::vector<std::string>& Table2DatasetNames();
+
+/// Cache-aware variant: when the PHOCUS_CACHE_DIR environment variable is
+/// set, generated corpora are stored there in the binary corpus format
+/// (corpus_io.h) keyed by (name, scale); later calls load in milliseconds
+/// instead of re-rendering. Without the variable this is exactly
+/// BuildTable2Corpus.
+Corpus CachedTable2Corpus(const std::string& name, std::size_t scale = 1);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_DATAGEN_TABLE2_H_

@@ -1,0 +1,153 @@
+#include "datagen/vocabulary.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+constexpr std::array<const char*, 60> kSeedNouns = {
+    "cat",        "dog",      "bicycle",  "car",       "tree",     "flower",
+    "bird",       "house",    "mountain", "beach",     "bridge",   "boat",
+    "train",      "airplane", "guitar",   "piano",     "book",     "bookshelf",
+    "chair",      "table",    "lamp",     "clock",     "bottle",   "cup",
+    "plate",      "fruit",    "cake",     "pizza",     "sandwich", "salad",
+    "shirt",      "dress",    "shoe",     "hat",       "bag",      "watch",
+    "phone",      "laptop",   "camera",   "television","horse",    "cow",
+    "sheep",      "fish",     "butterfly","spider",    "snow",     "river",
+    "waterfall",  "castle",   "statue",   "fountain",  "garden",   "street",
+    "market",     "museum",   "stadium",  "festival",  "sunset",   "portrait"};
+
+constexpr std::array<const char*, 24> kAdjectives = {
+    "red",     "blue",    "green",   "yellow", "black",  "white",
+    "striped", "spotted", "vintage", "modern", "rustic", "shiny",
+    "wooden",  "metal",   "glass",   "small",  "large",  "tiny",
+    "giant",   "bright",  "dark",    "pale",   "curved", "angular"};
+
+constexpr std::array<const char*, 20> kSuffixNouns = {
+    "kettle",  "vase",   "mirror", "carpet", "pillow",  "blanket", "basket",
+    "ladder",  "bucket", "fence",  "gate",   "window",  "door",    "roof",
+    "tower",   "tent",   "canoe",  "sled",   "wagon",   "bench"};
+
+}  // namespace
+
+std::vector<std::string> MakeLabelVocabulary(std::size_t size) {
+  std::vector<std::string> labels;
+  labels.reserve(size);
+  for (const char* noun : kSeedNouns) {
+    if (labels.size() >= size) return labels;
+    labels.emplace_back(noun);
+  }
+  // adjective × seed-noun combinations.
+  for (const char* adjective : kAdjectives) {
+    for (const char* noun : kSeedNouns) {
+      if (labels.size() >= size) return labels;
+      labels.push_back(std::string(adjective) + " " + noun);
+    }
+  }
+  // adjective × suffix-noun combinations.
+  for (const char* adjective : kAdjectives) {
+    for (const char* noun : kSuffixNouns) {
+      if (labels.size() >= size) return labels;
+      labels.push_back(std::string(adjective) + " " + noun);
+    }
+  }
+  // adjective × adjective × noun for very large vocabularies.
+  for (const char* first : kAdjectives) {
+    for (const char* second : kAdjectives) {
+      if (first == second) continue;
+      for (const char* noun : kSeedNouns) {
+        if (labels.size() >= size) return labels;
+        labels.push_back(std::string(first) + " " + second + " " + noun);
+      }
+      for (const char* noun : kSuffixNouns) {
+        if (labels.size() >= size) return labels;
+        labels.push_back(std::string(first) + " " + second + " " + noun);
+      }
+    }
+  }
+  // Three-adjective tier for very large vocabularies (the long tail's exact
+  // wording is immaterial; only distinctness matters).
+  for (const char* first : kAdjectives) {
+    for (const char* second : kAdjectives) {
+      for (const char* third : kAdjectives) {
+        if (first == second || second == third || first == third) continue;
+        for (const char* noun : kSeedNouns) {
+          if (labels.size() >= size) return labels;
+          labels.push_back(std::string(first) + " " + second + " " + third +
+                           " " + noun);
+        }
+      }
+    }
+  }
+  PHOCUS_CHECK(labels.size() >= size,
+               "requested vocabulary larger than the generator can produce");
+  return labels;
+}
+
+std::string EcDomainName(EcDomain domain) {
+  switch (domain) {
+    case EcDomain::kFashion: return "Fashion";
+    case EcDomain::kElectronics: return "Electronics";
+    case EcDomain::kHomeGarden: return "Home & Garden";
+  }
+  return "?";
+}
+
+const EcVocabulary& VocabularyFor(EcDomain domain) {
+  static const EcVocabulary fashion = {
+      /*product_types=*/{"shirt", "t-shirt", "dress", "jeans", "skirt",
+                         "jacket", "coat", "sweater", "hoodie", "shorts",
+                         "sneakers", "boots", "sandals", "heels", "scarf",
+                         "hat", "belt", "handbag", "backpack", "socks",
+                         "polo shirt", "dress shirt", "leggings", "blazer"},
+      /*brands=*/{"adidas", "nike", "puma", "zara", "levis", "gap", "uniqlo",
+                  "gucci", "prada", "columbia", "reebok", "lacoste"},
+      /*colors=*/{"black", "white", "red", "blue", "green", "grey", "navy",
+                  "beige", "pink", "brown"},
+      /*attributes=*/{"buttoned", "slim fit", "oversized", "waterproof",
+                      "cotton", "leather", "wool", "denim", "striped",
+                      "floral"},
+      /*audiences=*/{"women's", "men's", "kids", "unisex"}};
+  static const EcVocabulary electronics = {
+      /*product_types=*/{"smartphone", "laptop", "tablet", "headphones",
+                         "earbuds", "smartwatch", "camera", "monitor",
+                         "keyboard", "mouse", "router", "speaker",
+                         "television", "drone", "charger", "power bank",
+                         "game console", "printer", "hard drive", "webcam",
+                         "microphone", "projector", "e-reader", "soundbar"},
+      /*brands=*/{"samsung", "apple", "sony", "lg", "dell", "hp", "lenovo",
+                  "asus", "logitech", "canon", "nikon", "bose"},
+      /*colors=*/{"black", "white", "silver", "space grey", "gold", "blue",
+                  "red", "graphite"},
+      /*attributes=*/{"wireless", "bluetooth", "4k", "gaming", "portable",
+                      "noise cancelling", "touchscreen", "ultra slim",
+                      "fast charging", "refurbished"},
+      /*audiences=*/{"pro", "home", "office", "travel"}};
+  static const EcVocabulary home_garden = {
+      /*product_types=*/{"office chair", "sofa", "dining table", "bookshelf",
+                         "bed frame", "mattress", "desk", "wardrobe", "rug",
+                         "curtains", "lamp", "mirror", "garden hose",
+                         "lawn mower", "grill", "planter", "patio set",
+                         "toolbox", "ladder", "vacuum cleaner", "kettle",
+                         "cookware set", "blender", "coffee maker"},
+      /*brands=*/{"ikea", "ashley", "wayfair", "dyson", "bosch", "philips",
+                  "kitchenaid", "weber", "makita", "dewalt", "tefal",
+                  "keurig"},
+      /*colors=*/{"white", "black", "oak", "walnut", "grey", "beige", "green",
+                  "terracotta"},
+      /*attributes=*/{"ergonomic", "foldable", "outdoor", "indoor", "cordless",
+                      "stainless steel", "ceramic", "adjustable", "compact",
+                      "heavy duty"},
+      /*audiences=*/{"family", "studio", "patio", "kitchen"}};
+  switch (domain) {
+    case EcDomain::kFashion: return fashion;
+    case EcDomain::kElectronics: return electronics;
+    case EcDomain::kHomeGarden: return home_garden;
+  }
+  return fashion;
+}
+
+}  // namespace phocus

@@ -1,0 +1,39 @@
+#ifndef PHOCUS_DATAGEN_VOCABULARY_H_
+#define PHOCUS_DATAGEN_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+/// \file vocabulary.h
+/// Word lists used by the generators: an Open-Images-like label vocabulary
+/// (synthesized adjective×noun combinations on top of a curated seed list,
+/// so the vocabulary can reach the thousands of labels the real dataset
+/// has), and per-domain e-commerce vocabularies (product types, brands,
+/// attributes) plus query templates.
+
+namespace phocus {
+
+/// Generates `size` distinct label names. The first entries are curated
+/// single nouns ("cat", "bicycle", ...); the tail is adjective+noun
+/// combinations ("striped kettle"). Deterministic.
+std::vector<std::string> MakeLabelVocabulary(std::size_t size);
+
+/// E-commerce domains used by the paper's user study.
+enum class EcDomain { kFashion, kElectronics, kHomeGarden };
+
+std::string EcDomainName(EcDomain domain);
+
+struct EcVocabulary {
+  std::vector<std::string> product_types;
+  std::vector<std::string> brands;
+  std::vector<std::string> colors;
+  std::vector<std::string> attributes;   ///< e.g. "wireless", "buttoned"
+  std::vector<std::string> audiences;    ///< e.g. "women's", "kids"
+};
+
+/// The curated vocabulary for one domain.
+const EcVocabulary& VocabularyFor(EcDomain domain);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_DATAGEN_VOCABULARY_H_

@@ -1,0 +1,78 @@
+#include "embedding/context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+/// Distance in [0,1] combining visual (1 - cos⁺) and EXIF terms.
+double PairDistance(const std::vector<Embedding>& embeddings,
+                    const std::vector<ExifMetadata>* exif, std::uint32_t a,
+                    std::uint32_t b, const ContextSimilarityOptions& options) {
+  const double cosine =
+      std::max(0.0, CosineSimilarity(embeddings[a], embeddings[b]));
+  const double visual = 1.0 - std::min(1.0, cosine);
+  if (options.exif_weight <= 0.0 || exif == nullptr) return visual;
+  const double meta = ExifMetadata::Distance((*exif)[a], (*exif)[b]);
+  return (1.0 - options.exif_weight) * visual + options.exif_weight * meta;
+}
+
+}  // namespace
+
+double RawSimilarity(const std::vector<Embedding>& embeddings,
+                     const std::vector<ExifMetadata>* exif, std::uint32_t a,
+                     std::uint32_t b,
+                     const ContextSimilarityOptions& options) {
+  if (a == b) return 1.0;
+  const double sim = 1.0 - PairDistance(embeddings, exif, a, b, options);
+  return sim >= options.min_similarity ? sim : 0.0;
+}
+
+std::vector<float> SubsetSimilarityMatrix(
+    const std::vector<Embedding>& embeddings,
+    const std::vector<ExifMetadata>* exif,
+    const std::vector<std::uint32_t>& members,
+    const ContextSimilarityOptions& options) {
+  const std::size_t m = members.size();
+  for (std::uint32_t id : members) {
+    PHOCUS_CHECK(id < embeddings.size(), "member photo id out of range");
+  }
+  if (options.exif_weight > 0.0) {
+    PHOCUS_CHECK(exif != nullptr && exif->size() == embeddings.size(),
+                 "EXIF metadata required when exif_weight > 0");
+  }
+  std::vector<float> matrix(m * m, 0.0f);
+
+  // First pass: raw distances + the context's max pairwise distance.
+  std::vector<double> distance(m * m, 0.0);
+  double max_distance = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double d =
+          PairDistance(embeddings, exif, members[i], members[j], options);
+      distance[i * m + j] = d;
+      distance[j * m + i] = d;
+      max_distance = std::max(max_distance, d);
+    }
+  }
+  const double scale =
+      (options.context_normalize && max_distance > 0.0) ? 1.0 / max_distance
+                                                        : 1.0;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    matrix[i * m + i] = 1.0f;
+    for (std::size_t j = i + 1; j < m; ++j) {
+      double sim = 1.0 - std::min(1.0, distance[i * m + j] * scale);
+      if (sim < options.min_similarity) sim = 0.0;
+      matrix[i * m + j] = static_cast<float>(sim);
+      matrix[j * m + i] = static_cast<float>(sim);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace phocus

@@ -1,0 +1,146 @@
+#include "embedding/descriptors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/ops.h"
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+/// L1-normalizes a contiguous block of the embedding.
+void NormalizeBlock(Embedding& e, std::size_t begin, std::size_t end) {
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) total += e[i];
+  if (total <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / total);
+  for (std::size_t i = begin; i < end; ++i) e[i] *= inv;
+}
+
+}  // namespace
+
+Embedding ColorHistogram(const Image& image,
+                         const ColorHistogramOptions& options) {
+  PHOCUS_CHECK(!image.empty(), "cannot embed an empty image");
+  PHOCUS_CHECK(options.grid > 0 && options.hue_bins > 0 &&
+                   options.sat_bins > 0 && options.val_bins > 0,
+               "bad color histogram options");
+  const int grid = options.grid;
+  const int bins_per_cell =
+      options.hue_bins * options.sat_bins * options.val_bins;
+  Embedding histogram(
+      static_cast<std::size_t>(grid) * grid * bins_per_cell, 0.0f);
+
+  for (int y = 0; y < image.height(); ++y) {
+    const int gy = std::min(grid - 1, y * grid / image.height());
+    for (int x = 0; x < image.width(); ++x) {
+      const int gx = std::min(grid - 1, x * grid / image.width());
+      float h, s, v;
+      RgbToHsv(image.At(x, y), &h, &s, &v);
+      const int hue_bin = std::min(options.hue_bins - 1,
+                                   static_cast<int>(h / 360.0f * options.hue_bins));
+      const int sat_bin =
+          std::min(options.sat_bins - 1, static_cast<int>(s * options.sat_bins));
+      const int val_bin =
+          std::min(options.val_bins - 1, static_cast<int>(v * options.val_bins));
+      const std::size_t cell = static_cast<std::size_t>(gy) * grid + gx;
+      const std::size_t index =
+          cell * bins_per_cell +
+          static_cast<std::size_t>(
+              (hue_bin * options.sat_bins + sat_bin) * options.val_bins + val_bin);
+      // Saturation weighting: desaturated pixels contribute mostly to their
+      // value bin regardless of hue, so we soften their vote.
+      histogram[index] += 0.25f + 0.75f * s;
+    }
+  }
+  for (int cell = 0; cell < grid * grid; ++cell) {
+    NormalizeBlock(histogram, static_cast<std::size_t>(cell) * bins_per_cell,
+                   static_cast<std::size_t>(cell + 1) * bins_per_cell);
+  }
+  return histogram;
+}
+
+Embedding HogDescriptor(const Image& image, const HogOptions& options) {
+  PHOCUS_CHECK(!image.empty(), "cannot embed an empty image");
+  PHOCUS_CHECK(options.cell > 0 && options.orientation_bins > 0,
+               "bad HOG options");
+  const Plane luma = ToLuma(image);
+  Plane dx, dy;
+  SobelGradients(luma, &dx, &dy);
+
+  const int cells_x = std::max(1, image.width() / options.cell);
+  const int cells_y = std::max(1, image.height() / options.cell);
+  const int bins = options.orientation_bins;
+  Embedding hog(static_cast<std::size_t>(cells_x) * cells_y * bins, 0.0f);
+
+  for (int y = 0; y < image.height(); ++y) {
+    const int cy = std::min(cells_y - 1, y / options.cell);
+    for (int x = 0; x < image.width(); ++x) {
+      const int cx = std::min(cells_x - 1, x / options.cell);
+      const float gx = dx.At(x, y);
+      const float gy = dy.At(x, y);
+      const float magnitude = std::sqrt(gx * gx + gy * gy);
+      if (magnitude <= 1e-6f) continue;
+      // Unsigned orientation in [0, pi).
+      float angle = std::atan2(gy, gx);
+      if (angle < 0.0f) angle += static_cast<float>(M_PI);
+      const float bin_position = angle / static_cast<float>(M_PI) * bins;
+      int bin0 = static_cast<int>(bin_position) % bins;
+      const int bin1 = (bin0 + 1) % bins;
+      const float t = bin_position - std::floor(bin_position);
+      const std::size_t base =
+          (static_cast<std::size_t>(cy) * cells_x + cx) * bins;
+      hog[base + static_cast<std::size_t>(bin0)] += magnitude * (1.0f - t);
+      hog[base + static_cast<std::size_t>(bin1)] += magnitude * t;
+    }
+  }
+  // Per-cell L2-hys normalization (clip at 0.3, renormalize via L1 for
+  // nonnegative output).
+  for (int cell = 0; cell < cells_x * cells_y; ++cell) {
+    const std::size_t begin = static_cast<std::size_t>(cell) * bins;
+    const std::size_t end = begin + bins;
+    double norm = 0.0;
+    for (std::size_t i = begin; i < end; ++i) norm += hog[i] * hog[i];
+    norm = std::sqrt(norm) + 1e-6;
+    for (std::size_t i = begin; i < end; ++i) {
+      hog[i] = std::min(0.3f, static_cast<float>(hog[i] / norm));
+    }
+    NormalizeBlock(hog, begin, end);
+  }
+  return hog;
+}
+
+Embedding LbpDescriptor(const Image& image) {
+  PHOCUS_CHECK(!image.empty(), "cannot embed an empty image");
+  const Plane luma = ToLuma(image);
+  constexpr int kGrid = 2;
+  constexpr int kBuckets = 32;  // 256 patterns folded by 3-bit right shift
+  Embedding histogram(kGrid * kGrid * kBuckets, 0.0f);
+  for (int y = 0; y < luma.height(); ++y) {
+    const int gy = std::min(kGrid - 1, y * kGrid / luma.height());
+    for (int x = 0; x < luma.width(); ++x) {
+      const int gx = std::min(kGrid - 1, x * kGrid / luma.width());
+      const float center = luma.At(x, y);
+      int pattern = 0;
+      int bit = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (luma.AtClamped(x + dx, y + dy) >= center) pattern |= (1 << bit);
+          ++bit;
+        }
+      }
+      const std::size_t cell = static_cast<std::size_t>(gy) * kGrid + gx;
+      histogram[cell * kBuckets + static_cast<std::size_t>(pattern / 8)] += 1.0f;
+    }
+  }
+  for (int cell = 0; cell < kGrid * kGrid; ++cell) {
+    NormalizeBlock(histogram, static_cast<std::size_t>(cell) * kBuckets,
+                   static_cast<std::size_t>(cell + 1) * kBuckets);
+  }
+  return histogram;
+}
+
+}  // namespace phocus

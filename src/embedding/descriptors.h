@@ -1,0 +1,42 @@
+#ifndef PHOCUS_EMBEDDING_DESCRIPTORS_H_
+#define PHOCUS_EMBEDDING_DESCRIPTORS_H_
+
+#include "embedding/vector_ops.h"
+#include "imaging/raster.h"
+
+/// \file descriptors.h
+/// Hand-crafted visual descriptors standing in for the paper's ResNet-50
+/// embeddings. Each descriptor is L1-normalized per-block and nonnegative,
+/// so cosine similarity between full embeddings lands naturally in [0, 1].
+
+namespace phocus {
+
+/// Spatially-pooled HSV color histogram: the image is divided into a
+/// `grid×grid` layout; each cell contributes `hue_bins×sat_bins×val_bins`
+/// normalized counts. Saturation-weighted hue voting avoids gray pixels
+/// polluting hue bins.
+struct ColorHistogramOptions {
+  int grid = 2;
+  int hue_bins = 8;
+  int sat_bins = 3;
+  int val_bins = 3;
+};
+Embedding ColorHistogram(const Image& image,
+                         const ColorHistogramOptions& options = {});
+
+/// Histogram-of-oriented-gradients: `cell`-pixel cells, 9 unsigned
+/// orientation bins with bilinear bin interpolation, L2-hys-style per-cell
+/// normalization.
+struct HogOptions {
+  int cell = 8;
+  int orientation_bins = 9;
+};
+Embedding HogDescriptor(const Image& image, const HogOptions& options = {});
+
+/// Local binary pattern texture histogram over the luma plane (8-neighbour
+/// LBP, 256 raw patterns folded into 32 buckets, pooled over a 2×2 grid).
+Embedding LbpDescriptor(const Image& image);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_EMBEDDING_DESCRIPTORS_H_

@@ -1,0 +1,53 @@
+#include "embedding/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+double Dot(const Embedding& a, const Embedding& b) {
+  PHOCUS_CHECK(a.size() == b.size(), "vector dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+double Norm(const Embedding& a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double EuclideanDistance(const Embedding& a, const Embedding& b) {
+  PHOCUS_CHECK(a.size() == b.size(), "vector dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void NormalizeInPlace(Embedding& a) {
+  const double norm = Norm(a);
+  if (norm == 0.0) return;
+  const float inv = static_cast<float>(1.0 / norm);
+  for (float& v : a) v *= inv;
+}
+
+void AppendWeighted(Embedding& head, const Embedding& tail, float weight) {
+  head.reserve(head.size() + tail.size());
+  for (float v : tail) head.push_back(v * weight);
+}
+
+}  // namespace phocus

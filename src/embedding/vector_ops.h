@@ -1,0 +1,33 @@
+#ifndef PHOCUS_EMBEDDING_VECTOR_OPS_H_
+#define PHOCUS_EMBEDDING_VECTOR_OPS_H_
+
+#include <vector>
+
+/// \file vector_ops.h
+/// Dense float vector arithmetic for embeddings.
+
+namespace phocus {
+
+using Embedding = std::vector<float>;
+
+/// Dot product; vectors must have equal dimension.
+double Dot(const Embedding& a, const Embedding& b);
+
+/// Euclidean norm.
+double Norm(const Embedding& a);
+
+/// Cosine similarity in [-1, 1]; returns 0 if either vector is zero.
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+/// Euclidean distance.
+double EuclideanDistance(const Embedding& a, const Embedding& b);
+
+/// Scales `a` in place to unit norm (no-op for the zero vector).
+void NormalizeInPlace(Embedding& a);
+
+/// Appends `tail` to `head` with a scalar weight applied to the tail block.
+void AppendWeighted(Embedding& head, const Embedding& tail, float weight);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_EMBEDDING_VECTOR_OPS_H_

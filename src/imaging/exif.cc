@@ -1,0 +1,43 @@
+#include "imaging/exif.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace phocus {
+
+namespace {
+constexpr std::array<const char*, 6> kCameraModels = {
+    "Acme A7", "Acme A9", "PhonePro 12", "PhonePro 14", "Lumen X100",
+    "Lumen Z50"};
+}  // namespace
+
+double ExifMetadata::Distance(const ExifMetadata& a, const ExifMetadata& b) {
+  // Time: saturating at 30 days apart.
+  const double dt = std::abs(static_cast<double>(a.timestamp_unix - b.timestamp_unix));
+  const double time_term = std::min(1.0, dt / (30.0 * 86400.0));
+  // Location: saturating at ~5 degrees (crude but monotone).
+  const double dlat = a.latitude - b.latitude;
+  const double dlon = a.longitude - b.longitude;
+  const double degrees = std::sqrt(dlat * dlat + dlon * dlon);
+  const double location_term = std::min(1.0, degrees / 5.0);
+  const double device_term = a.camera_model == b.camera_model ? 0.0 : 1.0;
+  return 0.5 * time_term + 0.35 * location_term + 0.15 * device_term;
+}
+
+ExifMetadata SampleExif(Rng& rng, std::int64_t event_center_unix,
+                        double event_latitude, double event_longitude) {
+  ExifMetadata exif;
+  exif.timestamp_unix =
+      event_center_unix + static_cast<std::int64_t>(rng.Normal(0.0, 3600.0 * 6));
+  exif.camera_model = kCameraModels[rng.NextBelow(kCameraModels.size())];
+  static constexpr int kIsoStops[] = {100, 200, 400, 800, 1600, 3200};
+  exif.iso = kIsoStops[rng.NextBelow(6)];
+  exif.exposure_ms = std::exp(rng.Uniform(std::log(0.5), std::log(100.0)));
+  exif.focal_mm = rng.Uniform(18.0, 200.0);
+  exif.latitude = std::clamp(event_latitude + rng.Normal(0.0, 0.05), -90.0, 90.0);
+  exif.longitude = event_longitude + rng.Normal(0.0, 0.05);
+  return exif;
+}
+
+}  // namespace phocus

@@ -1,0 +1,38 @@
+#ifndef PHOCUS_IMAGING_EXIF_H_
+#define PHOCUS_IMAGING_EXIF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+/// \file exif.h
+/// EXIF-like capture metadata. The paper's Data Representation Module
+/// derives photo attributes "including, e.g., reading the EXIF metadata"
+/// (§5.1); the contextual similarity combines visual descriptors with these
+/// quantitative/categorical attributes.
+
+namespace phocus {
+
+struct ExifMetadata {
+  std::int64_t timestamp_unix = 0;  ///< capture time (seconds since epoch)
+  std::string camera_model;
+  int iso = 100;
+  double exposure_ms = 10.0;
+  double focal_mm = 35.0;
+  double latitude = 0.0;
+  double longitude = 0.0;
+
+  /// Normalized distance in [0, 1] between two captures combining time,
+  /// location and device (used as the categorical half of photo distance).
+  static double Distance(const ExifMetadata& a, const ExifMetadata& b);
+};
+
+/// Samples plausible metadata; captures drawn from the same `event_center`
+/// cluster in time/space, mimicking photos from one shoot/trip.
+ExifMetadata SampleExif(Rng& rng, std::int64_t event_center_unix,
+                        double event_latitude, double event_longitude);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_EXIF_H_

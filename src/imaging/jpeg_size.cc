@@ -1,0 +1,295 @@
+#include "imaging/jpeg_size.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/ops.h"
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+// JPEG Annex K quantization tables.
+constexpr int kLumaQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  //
+    12, 12, 14, 19, 26,  58,  60,  55,  //
+    14, 13, 16, 24, 40,  57,  69,  56,  //
+    14, 17, 22, 29, 51,  87,  80,  62,  //
+    18, 22, 37, 56, 68,  109, 103, 77,  //
+    24, 35, 55, 64, 81,  104, 113, 92,  //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr int kChromaQuant[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99,  //
+    18, 21, 26, 66, 99, 99, 99, 99,  //
+    24, 26, 56, 99, 99, 99, 99, 99,  //
+    47, 66, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99};
+
+/// libjpeg quality scaling: quality -> table multiplier.
+int ScaleQuant(int base, int quality) {
+  int scale;
+  if (quality < 50) {
+    scale = 5000 / quality;
+  } else {
+    scale = 200 - quality * 2;
+  }
+  int q = (base * scale + 50) / 100;
+  return std::clamp(q, 1, 255);
+}
+
+/// Bits needed for a JPEG magnitude category of value v (size of |v|).
+int MagnitudeBits(int v) {
+  int magnitude = std::abs(v);
+  int bits = 0;
+  while (magnitude > 0) {
+    ++bits;
+    magnitude >>= 1;
+  }
+  return bits;
+}
+
+/// Estimates entropy-coded bits for one quantized 8×8 block: for each
+/// nonzero AC coefficient we charge its magnitude-category bits plus an
+/// average 4-bit run/size Huffman prefix; the DC delta is charged similarly.
+double BlockBits(const float dct[64], const int quant[64], int quality,
+                 int* dc_out, int prev_dc) {
+  double bits = 0.0;
+  int dc = 0;
+  for (int i = 0; i < 64; ++i) {
+    const int q = ScaleQuant(quant[i], quality);
+    const int coefficient =
+        static_cast<int>(std::lround(dct[i] / static_cast<float>(q)));
+    if (i == 0) {
+      dc = coefficient;
+      const int delta = dc - prev_dc;
+      bits += 4.0 + MagnitudeBits(delta);  // DC size code + amplitude
+    } else if (coefficient != 0) {
+      bits += 4.0 + MagnitudeBits(coefficient);  // run/size prefix + amplitude
+    }
+  }
+  bits += 4.0;  // end-of-block marker
+  *dc_out = dc;
+  return bits;
+}
+
+/// Extracts an 8×8 block (replicate padding) centred at (bx*8, by*8),
+/// level-shifted by -128.
+void ExtractBlock(const Plane& plane, int bx, int by, float out[64]) {
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      out[y * 8 + x] = plane.AtClamped(bx * 8 + x, by * 8 + y) - 128.0f;
+    }
+  }
+}
+
+/// Sums entropy bits across all blocks of one plane.
+double PlaneBits(const Plane& plane, const int quant[64], int quality) {
+  const int blocks_x = (plane.width() + 7) / 8;
+  const int blocks_y = (plane.height() + 7) / 8;
+  double bits = 0.0;
+  int prev_dc = 0;
+  float block[64];
+  float dct[64];
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      ExtractBlock(plane, bx, by, block);
+      ForwardDct8x8(block, dct);
+      int dc = 0;
+      bits += BlockBits(dct, quant, quality, &dc, prev_dc);
+      prev_dc = dc;
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+void ForwardDct8x8(const float input[64], float output[64]) {
+  // Separable DCT-II with orthonormal scaling (matches JPEG conventions up
+  // to the standard x4 factor folded into the basis constants below).
+  static float cos_table[8][8];
+  static bool initialized = false;
+  if (!initialized) {
+    for (int k = 0; k < 8; ++k) {
+      for (int n = 0; n < 8; ++n) {
+        cos_table[k][n] =
+            static_cast<float>(std::cos((2 * n + 1) * k * M_PI / 16.0));
+      }
+    }
+    initialized = true;
+  }
+  float temp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int k = 0; k < 8; ++k) {
+      float acc = 0.0f;
+      for (int n = 0; n < 8; ++n) acc += input[y * 8 + n] * cos_table[k][n];
+      const float alpha = (k == 0) ? 0.353553391f : 0.5f;  // sqrt(1/8), sqrt(2/8)
+      temp[y * 8 + k] = alpha * acc;
+    }
+  }
+  // Columns.
+  for (int x = 0; x < 8; ++x) {
+    for (int k = 0; k < 8; ++k) {
+      float acc = 0.0f;
+      for (int n = 0; n < 8; ++n) acc += temp[n * 8 + x] * cos_table[k][n];
+      const float alpha = (k == 0) ? 0.353553391f : 0.5f;
+      output[k * 8 + x] = alpha * acc;
+    }
+  }
+}
+
+void InverseDct8x8(const float input[64], float output[64]) {
+  static float cos_table[8][8];
+  static bool initialized = false;
+  if (!initialized) {
+    for (int k = 0; k < 8; ++k) {
+      for (int n = 0; n < 8; ++n) {
+        cos_table[k][n] =
+            static_cast<float>(std::cos((2 * n + 1) * k * M_PI / 16.0));
+      }
+    }
+    initialized = true;
+  }
+  float temp[64];
+  // Columns (DCT-III with orthonormal scaling).
+  for (int x = 0; x < 8; ++x) {
+    for (int n = 0; n < 8; ++n) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; ++k) {
+        const float alpha = (k == 0) ? 0.353553391f : 0.5f;
+        acc += alpha * input[k * 8 + x] * cos_table[k][n];
+      }
+      temp[n * 8 + x] = acc;
+    }
+  }
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int n = 0; n < 8; ++n) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; ++k) {
+        const float alpha = (k == 0) ? 0.353553391f : 0.5f;
+        acc += alpha * temp[y * 8 + k] * cos_table[k][n];
+      }
+      output[y * 8 + n] = acc;
+    }
+  }
+}
+
+namespace {
+
+/// Quantize/dequantize every 8×8 block of a plane in place.
+void RoundTripPlane(Plane& plane, const int quant[64], int quality) {
+  const int blocks_x = (plane.width() + 7) / 8;
+  const int blocks_y = (plane.height() + 7) / 8;
+  float block[64], dct[64], back[64];
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      ExtractBlock(plane, bx, by, block);
+      ForwardDct8x8(block, dct);
+      for (int i = 0; i < 64; ++i) {
+        const int q = ScaleQuant(quant[i], quality);
+        dct[i] = static_cast<float>(
+            std::lround(dct[i] / static_cast<float>(q)) * q);
+      }
+      InverseDct8x8(dct, back);
+      for (int y = 0; y < 8; ++y) {
+        const int py = by * 8 + y;
+        if (py >= plane.height()) break;
+        for (int x = 0; x < 8; ++x) {
+          const int px = bx * 8 + x;
+          if (px >= plane.width()) break;
+          plane.At(px, py) = back[y * 8 + x] + 128.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image SimulateJpegRoundTrip(const Image& image, int quality) {
+  PHOCUS_CHECK(!image.empty(), "cannot round-trip an empty image");
+  PHOCUS_CHECK(quality >= 1 && quality <= 100, "quality must be in [1, 100]");
+  const int w = image.width();
+  const int h = image.height();
+  Plane y_plane(w, h), cb_full(w, h), cr_full(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Rgb p = image.At(x, y);
+      y_plane.At(x, y) = 0.299f * p.r + 0.587f * p.g + 0.114f * p.b;
+      cb_full.At(x, y) = 128.0f - 0.168736f * p.r - 0.331264f * p.g + 0.5f * p.b;
+      cr_full.At(x, y) = 128.0f + 0.5f * p.r - 0.418688f * p.g - 0.081312f * p.b;
+    }
+  }
+  const int cw = std::max(1, w / 2);
+  const int ch = std::max(1, h / 2);
+  Plane cb = ResizeBilinear(cb_full, cw, ch);
+  Plane cr = ResizeBilinear(cr_full, cw, ch);
+
+  RoundTripPlane(y_plane, kLumaQuant, quality);
+  RoundTripPlane(cb, kChromaQuant, quality);
+  RoundTripPlane(cr, kChromaQuant, quality);
+
+  const Plane cb_up = ResizeBilinear(cb, w, h);
+  const Plane cr_up = ResizeBilinear(cr, w, h);
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float yy = y_plane.At(x, y);
+      const float cbv = cb_up.At(x, y) - 128.0f;
+      const float crv = cr_up.At(x, y) - 128.0f;
+      auto to8 = [](float f) {
+        return static_cast<std::uint8_t>(std::clamp(f + 0.5f, 0.0f, 255.0f));
+      };
+      out.At(x, y) = Rgb{to8(yy + 1.402f * crv),
+                         to8(yy - 0.344136f * cbv - 0.714136f * crv),
+                         to8(yy + 1.772f * cbv)};
+    }
+  }
+  return out;
+}
+
+std::uint64_t EstimateJpegBytes(const Image& image,
+                                const JpegSizeOptions& options) {
+  PHOCUS_CHECK(!image.empty(), "cannot size an empty image");
+  PHOCUS_CHECK(options.quality >= 1 && options.quality <= 100,
+               "JPEG quality must be in [1, 100]");
+  PHOCUS_CHECK(options.resolution_scale > 0.0,
+               "resolution_scale must be positive");
+
+  // Y/Cb/Cr planes; chroma subsampled 2:1 in both axes (4:2:0).
+  const int w = image.width();
+  const int h = image.height();
+  Plane y_plane(w, h), cb_full(w, h), cr_full(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Rgb p = image.At(x, y);
+      const float yy = 0.299f * p.r + 0.587f * p.g + 0.114f * p.b;
+      y_plane.At(x, y) = yy;
+      cb_full.At(x, y) = 128.0f - 0.168736f * p.r - 0.331264f * p.g + 0.5f * p.b;
+      cr_full.At(x, y) = 128.0f + 0.5f * p.r - 0.418688f * p.g - 0.081312f * p.b;
+    }
+  }
+  const int cw = std::max(1, w / 2);
+  const int ch = std::max(1, h / 2);
+  const Plane cb = ResizeBilinear(cb_full, cw, ch);
+  const Plane cr = ResizeBilinear(cr_full, cw, ch);
+
+  double bits = PlaneBits(y_plane, kLumaQuant, options.quality) +
+                PlaneBits(cb, kChromaQuant, options.quality) +
+                PlaneBits(cr, kChromaQuant, options.quality);
+
+  constexpr double kHeaderBytes = 640.0;  // markers + tables + EXIF stub
+  const double scale = options.resolution_scale * options.resolution_scale;
+  const double bytes = kHeaderBytes + scale * bits / 8.0;
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+}  // namespace phocus

@@ -1,0 +1,52 @@
+#ifndef PHOCUS_IMAGING_JPEG_SIZE_H_
+#define PHOCUS_IMAGING_JPEG_SIZE_H_
+
+#include <cstdint>
+
+#include "imaging/raster.h"
+
+/// \file jpeg_size.h
+/// Content-dependent compressed-size estimation — the PAR cost model C(p).
+///
+/// The estimator performs a real (simplified) JPEG front-end: 8×8 blockwise
+/// DCT on luma and 2×2-subsampled chroma, quantization with the Annex-K
+/// tables scaled by a quality factor, then an entropy estimate of the
+/// quantized coefficients (magnitude-category bits plus per-nonzero run
+/// overhead, as in baseline Huffman coding). The result tracks the real
+/// behaviour that matters to PAR: busy, high-frequency photos cost several
+/// times more bytes than flat ones of the same dimensions — which is what
+/// makes the cost-benefit (CB) greedy variant diverge from unit-cost (UC).
+
+namespace phocus {
+
+struct JpegSizeOptions {
+  /// libjpeg-style quality in [1, 100]; scales the quantization tables.
+  int quality = 85;
+  /// The raster may stand in for a higher-resolution original: estimated
+  /// bytes scale by this factor squared (entropy-per-pixel is resolution
+  /// dependent only weakly).
+  double resolution_scale = 1.0;
+};
+
+/// Estimates the encoded JPEG size of `image` in bytes.
+std::uint64_t EstimateJpegBytes(const Image& image,
+                                const JpegSizeOptions& options = {});
+
+/// Forward 8×8 DCT-II of a block (row-major, 64 floats), exposed for tests.
+void ForwardDct8x8(const float input[64], float output[64]);
+
+/// Inverse of ForwardDct8x8 (orthonormal DCT-III).
+void InverseDct8x8(const float input[64], float output[64]);
+
+/// Applies the lossy part of JPEG to an image and returns the degraded
+/// result: YCbCr conversion with 4:2:0 chroma subsampling, 8×8 blockwise
+/// DCT, quantization at `quality` (Annex-K tables, libjpeg scaling),
+/// dequantization, inverse DCT, and reassembly. This is what a photo
+/// *looks like* after being kept at a lower compression level — used to
+/// calibrate the §6 compression-variant value factors from pixels (see
+/// phocus/compression_calibration.h).
+Image SimulateJpegRoundTrip(const Image& image, int quality);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_JPEG_SIZE_H_

@@ -1,0 +1,75 @@
+#include "imaging/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+double Psnr(const Image& a, const Image& b) {
+  PHOCUS_CHECK(a.width() == b.width() && a.height() == b.height(),
+               "PSNR requires equal dimensions");
+  PHOCUS_CHECK(!a.empty(), "PSNR of empty images");
+  double sum_squared = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const Rgb pa = a.pixels()[i];
+    const Rgb pb = b.pixels()[i];
+    const double dr = static_cast<double>(pa.r) - pb.r;
+    const double dg = static_cast<double>(pa.g) - pb.g;
+    const double db = static_cast<double>(pa.b) - pb.b;
+    sum_squared += dr * dr + dg * dg + db * db;
+  }
+  const double mse =
+      sum_squared / (3.0 * static_cast<double>(a.pixels().size()));
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double Ssim(const Image& a, const Image& b) {
+  PHOCUS_CHECK(a.width() == b.width() && a.height() == b.height(),
+               "SSIM requires equal dimensions");
+  PHOCUS_CHECK(a.width() >= 8 && a.height() >= 8,
+               "SSIM requires at least 8x8 images");
+  const Plane luma_a = ToLuma(a);
+  const Plane luma_b = ToLuma(b);
+  constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+  constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (int wy = 0; wy + 8 <= a.height(); wy += 8) {
+    for (int wx = 0; wx + 8 <= a.width(); wx += 8) {
+      double mean_a = 0, mean_b = 0;
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          mean_a += luma_a.At(wx + x, wy + y);
+          mean_b += luma_b.At(wx + x, wy + y);
+        }
+      }
+      mean_a /= 64.0;
+      mean_b /= 64.0;
+      double var_a = 0, var_b = 0, covariance = 0;
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          const double da = luma_a.At(wx + x, wy + y) - mean_a;
+          const double db = luma_b.At(wx + x, wy + y) - mean_b;
+          var_a += da * da;
+          var_b += db * db;
+          covariance += da * db;
+        }
+      }
+      var_a /= 63.0;
+      var_b /= 63.0;
+      covariance /= 63.0;
+      const double ssim =
+          ((2 * mean_a * mean_b + kC1) * (2 * covariance + kC2)) /
+          ((mean_a * mean_a + mean_b * mean_b + kC1) * (var_a + var_b + kC2));
+      total += ssim;
+      ++windows;
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace phocus

@@ -1,0 +1,25 @@
+#ifndef PHOCUS_IMAGING_METRICS_H_
+#define PHOCUS_IMAGING_METRICS_H_
+
+#include "imaging/raster.h"
+
+/// \file metrics.h
+/// Full-reference image quality metrics, used to quantify what a
+/// compression level does to a photo (phocus/compression_calibration.h)
+/// and available to downstream users comparing renditions.
+
+namespace phocus {
+
+/// Peak signal-to-noise ratio in dB over all RGB channels. Identical
+/// images return +infinity. Dimensions must match.
+double Psnr(const Image& a, const Image& b);
+
+/// Mean SSIM (structural similarity) over the luma plane, computed on
+/// non-overlapping 8×8 windows with the standard constants
+/// (k1 = 0.01, k2 = 0.03, L = 255). Returns a value in [-1, 1]
+/// (1 = identical). Dimensions must match and be at least 8×8.
+double Ssim(const Image& a, const Image& b);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_METRICS_H_

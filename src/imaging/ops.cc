@@ -1,0 +1,177 @@
+#include "imaging/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+inline float Lerp(float a, float b, float t) { return a + (b - a) * t; }
+
+}  // namespace
+
+Image ResizeBilinear(const Image& image, int new_width, int new_height) {
+  PHOCUS_CHECK(!image.empty(), "cannot resize an empty image");
+  PHOCUS_CHECK(new_width > 0 && new_height > 0, "bad resize dimensions");
+  Image out(new_width, new_height);
+  const float x_scale = static_cast<float>(image.width()) / new_width;
+  const float y_scale = static_cast<float>(image.height()) / new_height;
+  for (int y = 0; y < new_height; ++y) {
+    const float sy = (y + 0.5f) * y_scale - 0.5f;
+    const int y0 = static_cast<int>(std::floor(sy));
+    const float ty = sy - y0;
+    for (int x = 0; x < new_width; ++x) {
+      const float sx = (x + 0.5f) * x_scale - 0.5f;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const float tx = sx - x0;
+      const Rgb p00 = image.AtClamped(x0, y0);
+      const Rgb p10 = image.AtClamped(x0 + 1, y0);
+      const Rgb p01 = image.AtClamped(x0, y0 + 1);
+      const Rgb p11 = image.AtClamped(x0 + 1, y0 + 1);
+      auto blend = [&](std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d) {
+        const float top = Lerp(a, b, tx);
+        const float bottom = Lerp(c, d, tx);
+        return static_cast<std::uint8_t>(
+            std::clamp(Lerp(top, bottom, ty) + 0.5f, 0.0f, 255.0f));
+      };
+      out.At(x, y) = Rgb{blend(p00.r, p10.r, p01.r, p11.r),
+                         blend(p00.g, p10.g, p01.g, p11.g),
+                         blend(p00.b, p10.b, p01.b, p11.b)};
+    }
+  }
+  return out;
+}
+
+Plane ResizeBilinear(const Plane& plane, int new_width, int new_height) {
+  PHOCUS_CHECK(!plane.empty(), "cannot resize an empty plane");
+  PHOCUS_CHECK(new_width > 0 && new_height > 0, "bad resize dimensions");
+  Plane out(new_width, new_height);
+  const float x_scale = static_cast<float>(plane.width()) / new_width;
+  const float y_scale = static_cast<float>(plane.height()) / new_height;
+  for (int y = 0; y < new_height; ++y) {
+    const float sy = (y + 0.5f) * y_scale - 0.5f;
+    const int y0 = static_cast<int>(std::floor(sy));
+    const float ty = sy - y0;
+    for (int x = 0; x < new_width; ++x) {
+      const float sx = (x + 0.5f) * x_scale - 0.5f;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const float tx = sx - x0;
+      const float top = Lerp(plane.AtClamped(x0, y0), plane.AtClamped(x0 + 1, y0), tx);
+      const float bottom =
+          Lerp(plane.AtClamped(x0, y0 + 1), plane.AtClamped(x0 + 1, y0 + 1), tx);
+      out.At(x, y) = Lerp(top, bottom, ty);
+    }
+  }
+  return out;
+}
+
+Plane GaussianBlur(const Plane& plane, double sigma) {
+  PHOCUS_CHECK(sigma > 0.0, "Gaussian sigma must be positive");
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float total = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float w = static_cast<float>(std::exp(-0.5 * (i * i) / (sigma * sigma)));
+    kernel[static_cast<std::size_t>(i + radius)] = w;
+    total += w;
+  }
+  for (float& w : kernel) w /= total;
+
+  Plane horizontal(plane.width(), plane.height());
+  for (int y = 0; y < plane.height(); ++y) {
+    for (int x = 0; x < plane.width(); ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * plane.AtClamped(x + i, y);
+      }
+      horizontal.At(x, y) = acc;
+    }
+  }
+  Plane out(plane.width(), plane.height());
+  for (int y = 0; y < plane.height(); ++y) {
+    for (int x = 0; x < plane.width(); ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               horizontal.AtClamped(x, y + i);
+      }
+      out.At(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+void SobelGradients(const Plane& plane, Plane* dx, Plane* dy) {
+  PHOCUS_CHECK(dx != nullptr && dy != nullptr, "output planes must be non-null");
+  *dx = Plane(plane.width(), plane.height());
+  *dy = Plane(plane.width(), plane.height());
+  for (int y = 0; y < plane.height(); ++y) {
+    for (int x = 0; x < plane.width(); ++x) {
+      const float p00 = plane.AtClamped(x - 1, y - 1);
+      const float p10 = plane.AtClamped(x, y - 1);
+      const float p20 = plane.AtClamped(x + 1, y - 1);
+      const float p01 = plane.AtClamped(x - 1, y);
+      const float p21 = plane.AtClamped(x + 1, y);
+      const float p02 = plane.AtClamped(x - 1, y + 1);
+      const float p12 = plane.AtClamped(x, y + 1);
+      const float p22 = plane.AtClamped(x + 1, y + 1);
+      dx->At(x, y) = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+      dy->At(x, y) = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+    }
+  }
+}
+
+Plane Laplacian(const Plane& plane) {
+  Plane out(plane.width(), plane.height());
+  for (int y = 0; y < plane.height(); ++y) {
+    for (int x = 0; x < plane.width(); ++x) {
+      out.At(x, y) = plane.AtClamped(x - 1, y) + plane.AtClamped(x + 1, y) +
+                     plane.AtClamped(x, y - 1) + plane.AtClamped(x, y + 1) -
+                     4.0f * plane.At(x, y);
+    }
+  }
+  return out;
+}
+
+Plane GradientMagnitude(const Plane& plane) {
+  Plane dx, dy;
+  SobelGradients(plane, &dx, &dy);
+  Plane out(plane.width(), plane.height());
+  for (int y = 0; y < plane.height(); ++y) {
+    for (int x = 0; x < plane.width(); ++x) {
+      out.At(x, y) = std::sqrt(dx.At(x, y) * dx.At(x, y) + dy.At(x, y) * dy.At(x, y));
+    }
+  }
+  return out;
+}
+
+void RgbToHsv(Rgb pixel, float* h, float* s, float* v) {
+  const float r = pixel.r / 255.0f;
+  const float g = pixel.g / 255.0f;
+  const float b = pixel.b / 255.0f;
+  const float maxc = std::max({r, g, b});
+  const float minc = std::min({r, g, b});
+  const float delta = maxc - minc;
+  *v = maxc;
+  *s = maxc > 0.0f ? delta / maxc : 0.0f;
+  if (delta <= 0.0f) {
+    *h = 0.0f;
+    return;
+  }
+  float hue;
+  if (maxc == r) {
+    hue = 60.0f * std::fmod((g - b) / delta, 6.0f);
+  } else if (maxc == g) {
+    hue = 60.0f * ((b - r) / delta + 2.0f);
+  } else {
+    hue = 60.0f * ((r - g) / delta + 4.0f);
+  }
+  if (hue < 0.0f) hue += 360.0f;
+  *h = hue;
+}
+
+}  // namespace phocus

@@ -1,0 +1,37 @@
+#ifndef PHOCUS_IMAGING_OPS_H_
+#define PHOCUS_IMAGING_OPS_H_
+
+#include <vector>
+
+#include "imaging/raster.h"
+
+/// \file ops.h
+/// Basic image processing kernels: resize, blur, gradients, Laplacian.
+/// These feed the quality metrics and the HOG/texture descriptors.
+
+namespace phocus {
+
+/// Bilinear resize of an RGB image.
+Image ResizeBilinear(const Image& image, int new_width, int new_height);
+
+/// Bilinear resize of a float plane.
+Plane ResizeBilinear(const Plane& plane, int new_width, int new_height);
+
+/// Separable Gaussian blur with the given sigma (kernel radius = ceil(3σ)).
+Plane GaussianBlur(const Plane& plane, double sigma);
+
+/// Sobel gradients; outputs per-pixel dx and dy planes.
+void SobelGradients(const Plane& plane, Plane* dx, Plane* dy);
+
+/// 4-neighbour Laplacian.
+Plane Laplacian(const Plane& plane);
+
+/// Per-pixel gradient magnitude sqrt(dx²+dy²).
+Plane GradientMagnitude(const Plane& plane);
+
+/// Converts RGB in [0,255] to HSV with h in [0,360), s,v in [0,1].
+void RgbToHsv(Rgb pixel, float* h, float* s, float* v);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_OPS_H_

@@ -1,0 +1,87 @@
+#include "imaging/ppm_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/json.h"  // ReadFile/WriteFile
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+std::string EncodePpm(const Image& image) {
+  PHOCUS_CHECK(!image.empty(), "cannot encode an empty image");
+  std::string out = StrFormat("P6\n%d %d\n255\n", image.width(), image.height());
+  out.reserve(out.size() + image.pixels().size() * 3);
+  for (const Rgb& p : image.pixels()) {
+    out.push_back(static_cast<char>(p.r));
+    out.push_back(static_cast<char>(p.g));
+    out.push_back(static_cast<char>(p.b));
+  }
+  return out;
+}
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited token of a PNM header.
+std::string NextToken(const std::string& bytes, std::size_t& pos) {
+  while (pos < bytes.size()) {
+    if (bytes[pos] == '#') {
+      while (pos < bytes.size() && bytes[pos] != '\n') ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  std::size_t start = pos;
+  while (pos < bytes.size() &&
+         !std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+    ++pos;
+  }
+  PHOCUS_CHECK(pos > start, "truncated PNM header");
+  return bytes.substr(start, pos - start);
+}
+
+}  // namespace
+
+Image DecodePpm(const std::string& bytes) {
+  std::size_t pos = 0;
+  PHOCUS_CHECK(NextToken(bytes, pos) == "P6", "not a binary PPM (P6) file");
+  const int width = std::stoi(NextToken(bytes, pos));
+  const int height = std::stoi(NextToken(bytes, pos));
+  const int maxval = std::stoi(NextToken(bytes, pos));
+  PHOCUS_CHECK(width > 0 && height > 0, "bad PPM dimensions");
+  PHOCUS_CHECK(maxval == 255, "only 8-bit PPM supported");
+  PHOCUS_CHECK(pos < bytes.size(), "truncated PPM header");
+  ++pos;  // single whitespace after maxval
+  const std::size_t need = static_cast<std::size_t>(width) * height * 3;
+  PHOCUS_CHECK(bytes.size() - pos >= need, "truncated PPM pixel data");
+  Image image(width, height);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(width) * height; ++i) {
+    image.pixels()[i].r = static_cast<std::uint8_t>(bytes[pos + 3 * i]);
+    image.pixels()[i].g = static_cast<std::uint8_t>(bytes[pos + 3 * i + 1]);
+    image.pixels()[i].b = static_cast<std::uint8_t>(bytes[pos + 3 * i + 2]);
+  }
+  return image;
+}
+
+void WritePpm(const std::string& path, const Image& image) {
+  WriteFile(path, EncodePpm(image));
+}
+
+Image ReadPpm(const std::string& path) { return DecodePpm(ReadFile(path)); }
+
+void WritePgm(const std::string& path, const Plane& plane) {
+  PHOCUS_CHECK(!plane.empty(), "cannot encode an empty plane");
+  std::string out = StrFormat("P5\n%d %d\n255\n", plane.width(), plane.height());
+  out.reserve(out.size() + plane.values().size());
+  for (float v : plane.values()) {
+    out.push_back(static_cast<char>(
+        static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f))));
+  }
+  WriteFile(path, out);
+}
+
+}  // namespace phocus

@@ -1,0 +1,32 @@
+#ifndef PHOCUS_IMAGING_PPM_IO_H_
+#define PHOCUS_IMAGING_PPM_IO_H_
+
+#include <string>
+
+#include "imaging/raster.h"
+
+/// \file ppm_io.h
+/// Binary PPM (P6) / PGM (P5) reading and writing — the repository's
+/// dependency-free image interchange format (examples dump selected photos
+/// so a user can eyeball them).
+
+namespace phocus {
+
+/// Writes `image` as binary PPM (P6).
+void WritePpm(const std::string& path, const Image& image);
+
+/// Reads a binary PPM (P6) file. Throws CheckFailure on malformed input.
+Image ReadPpm(const std::string& path);
+
+/// Writes a float plane as binary PGM (P5); values are clamped to [0, 255].
+void WritePgm(const std::string& path, const Plane& plane);
+
+/// Serializes to an in-memory PPM byte string (used by tests).
+std::string EncodePpm(const Image& image);
+
+/// Parses an in-memory PPM byte string.
+Image DecodePpm(const std::string& bytes);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_PPM_IO_H_

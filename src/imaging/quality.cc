@@ -1,0 +1,68 @@
+#include "imaging/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/ops.h"
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+/// Maps an unbounded nonnegative score into [0, 1) with half-saturation at
+/// `half`: x / (x + half).
+double Saturate(double x, double half) { return x / (x + half); }
+
+}  // namespace
+
+double LaplacianVariance(const Image& image) {
+  const Plane luma = ToLuma(image);
+  const Plane lap = Laplacian(luma);
+  double mean = 0.0;
+  for (float v : lap.values()) mean += v;
+  mean /= static_cast<double>(lap.values().size());
+  double var = 0.0;
+  for (float v : lap.values()) var += (v - mean) * (v - mean);
+  return var / static_cast<double>(lap.values().size());
+}
+
+double NoiseResidual(const Image& image) {
+  const Plane luma = ToLuma(image);
+  const Plane smooth = GaussianBlur(luma, 0.8);
+  double residual = 0.0;
+  for (std::size_t i = 0; i < luma.values().size(); ++i) {
+    residual += std::abs(luma.values()[i] - smooth.values()[i]);
+  }
+  return residual / static_cast<double>(luma.values().size());
+}
+
+QualityReport AssessQuality(const Image& image) {
+  PHOCUS_CHECK(!image.empty(), "cannot assess an empty image");
+  QualityReport report;
+
+  report.sharpness = Saturate(LaplacianVariance(image), 150.0);
+
+  const Plane luma = ToLuma(image);
+  double mean = 0.0;
+  for (float v : luma.values()) mean += v;
+  mean /= static_cast<double>(luma.values().size());
+  double var = 0.0;
+  for (float v : luma.values()) var += (v - mean) * (v - mean);
+  const double stddev = std::sqrt(var / static_cast<double>(luma.values().size()));
+  report.contrast = Saturate(stddev, 32.0);
+
+  report.exposure = 1.0 - std::abs(mean - 128.0) / 128.0;
+
+  report.noise = 1.0 - Saturate(NoiseResidual(image), 12.0);
+
+  const double pixels = static_cast<double>(image.width()) * image.height();
+  report.resolution = std::min(1.0, pixels / (256.0 * 256.0));
+
+  report.overall = 0.35 * report.sharpness + 0.2 * report.contrast +
+                   0.15 * report.exposure + 0.15 * report.noise +
+                   0.15 * report.resolution;
+  return report;
+}
+
+}  // namespace phocus

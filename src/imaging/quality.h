@@ -1,0 +1,35 @@
+#ifndef PHOCUS_IMAGING_QUALITY_H_
+#define PHOCUS_IMAGING_QUALITY_H_
+
+#include "imaging/raster.h"
+
+/// \file quality.h
+/// No-reference image quality metrics. The paper's relevance function R is
+/// "computed based both on the quality of the image ... and the relevance
+/// score of the product" (§5.1); this module supplies the quality half.
+
+namespace phocus {
+
+/// Per-aspect quality scores, each normalized into [0, 1].
+struct QualityReport {
+  double sharpness = 0.0;   ///< variance-of-Laplacian, saturating map
+  double contrast = 0.0;    ///< luma standard deviation, saturating map
+  double exposure = 0.0;    ///< 1 − |mean luma − 128| / 128
+  double noise = 0.0;       ///< 1 − saturating high-frequency residual
+  double resolution = 0.0;  ///< pixel count relative to a 256×256 reference
+  double overall = 0.0;     ///< weighted combination of the above
+};
+
+/// Computes all quality aspects for an image.
+QualityReport AssessQuality(const Image& image);
+
+/// Variance of the Laplacian (the classic blur detector), unnormalized.
+double LaplacianVariance(const Image& image);
+
+/// Estimate of additive noise: the mean absolute residual between the luma
+/// plane and a lightly blurred copy, unnormalized.
+double NoiseResidual(const Image& image);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_QUALITY_H_

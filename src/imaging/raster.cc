@@ -1,0 +1,47 @@
+#include "imaging/raster.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height) {
+  PHOCUS_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+  data_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+const Rgb& Image::AtClamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return At(x, y);
+}
+
+Plane::Plane(int width, int height, float fill)
+    : width_(width), height_(height) {
+  PHOCUS_CHECK(width > 0 && height > 0, "plane dimensions must be positive");
+  data_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+float Plane::AtClamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return At(x, y);
+}
+
+float Luma(Rgb pixel) {
+  return 0.299f * pixel.r + 0.587f * pixel.g + 0.114f * pixel.b;
+}
+
+Plane ToLuma(const Image& image) {
+  Plane plane(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      plane.At(x, y) = Luma(image.At(x, y));
+    }
+  }
+  return plane;
+}
+
+}  // namespace phocus

@@ -1,0 +1,82 @@
+#ifndef PHOCUS_IMAGING_RASTER_H_
+#define PHOCUS_IMAGING_RASTER_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file raster.h
+/// In-memory image types: 8-bit interleaved RGB rasters and single-channel
+/// float planes (used by the filtering / feature pipeline).
+
+namespace phocus {
+
+/// An 8-bit-per-channel interleaved RGB image.
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  bool operator==(const Rgb&) const = default;
+};
+
+class Image {
+ public:
+  Image() = default;
+  /// Creates a width×height image filled with `fill`.
+  Image(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked pixel access (debug builds assert bounds via vector::at-free
+  /// arithmetic; callers must stay in range).
+  Rgb& At(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  const Rgb& At(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamped access: coordinates are clamped to the image border (replicate
+  /// padding), convenient for convolutions.
+  const Rgb& AtClamped(int x, int y) const;
+
+  const std::vector<Rgb>& pixels() const { return data_; }
+  std::vector<Rgb>& pixels() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> data_;
+};
+
+/// A single-channel float image (typically luminance in [0, 255]).
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  float& At(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  float At(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  float AtClamped(int x, int y) const;
+
+  const std::vector<float>& values() const { return data_; }
+  std::vector<float>& values() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// ITU-R BT.601 luma in [0, 255].
+float Luma(Rgb pixel);
+
+/// Converts RGB to a luminance plane.
+Plane ToLuma(const Image& image);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_RASTER_H_

@@ -1,0 +1,76 @@
+#ifndef PHOCUS_IMAGING_SCENE_H_
+#define PHOCUS_IMAGING_SCENE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imaging/raster.h"
+#include "util/rng.h"
+
+/// \file scene.h
+/// Procedural photo synthesis — the stand-in for real photo corpora.
+///
+/// The paper evaluates on Open Images photos and XYZ product images; neither
+/// is available offline, so we synthesize photos whose *embedding geometry*
+/// has the properties the PAR algorithms exploit: photos of one category
+/// cluster together, near-duplicates are very close, and unrelated photos are
+/// far apart. A `SceneStyle` (derived deterministically from a category
+/// name) fixes a palette and shape vocabulary; each photo is a `SceneParams`
+/// sample from the style; near-duplicates are small jitters of an existing
+/// sample.
+
+namespace phocus {
+
+/// One drawable primitive.
+struct SceneShape {
+  enum class Kind { kCircle, kRectangle, kTriangle, kRing, kStripe };
+  Kind kind = Kind::kCircle;
+  float center_x = 0.5f;  ///< in [0,1] image coordinates
+  float center_y = 0.5f;
+  float size = 0.25f;     ///< radius / half-extent, fraction of min dimension
+  float angle = 0.0f;     ///< radians
+  Rgb color;
+};
+
+/// The deterministic category "look".
+struct SceneStyle {
+  std::string category;
+  float base_hue = 0.0f;        ///< degrees, anchors the palette
+  float hue_spread = 30.0f;     ///< palette width, degrees
+  float texture_amount = 0.2f;  ///< stripes/noise business, in [0,1]
+  int min_shapes = 2;
+  int max_shapes = 5;
+  std::vector<SceneShape::Kind> shape_vocabulary;
+};
+
+/// A fully-specified renderable photo.
+struct SceneParams {
+  Rgb background_top;
+  Rgb background_bottom;
+  std::vector<SceneShape> shapes;
+  float noise_sigma = 2.0f;    ///< additive Gaussian pixel noise
+  float blur_sigma = 0.0f;     ///< 0 disables; simulates defocus
+  float brightness = 1.0f;     ///< exposure multiplier
+  std::uint64_t noise_seed = 0;
+};
+
+/// Deterministically derives a category's style from its name.
+SceneStyle StyleForCategory(const std::string& category);
+
+/// Samples one photo's parameters from a style.
+SceneParams SampleScene(const SceneStyle& style, Rng& rng);
+
+/// Produces a near-duplicate: each parameter perturbed by at most `amount`
+/// (0 = identical, 1 = fully resampled-scale perturbation).
+SceneParams JitterScene(const SceneParams& params, Rng& rng, double amount);
+
+/// Rasterizes the scene at the given resolution. Deterministic.
+Image RenderScene(const SceneParams& params, int width, int height);
+
+/// HSV→RGB helper used by the palette machinery (h in [0,360), s,v in [0,1]).
+Rgb HsvToRgb(float h, float s, float v);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_IMAGING_SCENE_H_

@@ -1,0 +1,76 @@
+#include "index/search_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+SearchEngine::SearchEngine(TokenizerOptions tokenizer_options)
+    : tokenizer_options_(tokenizer_options) {}
+
+void SearchEngine::AddDocument(DocId id, const std::string& text) {
+  PHOCUS_CHECK(!finalized_, "cannot add documents after Finalize()");
+  PHOCUS_CHECK(doc_lengths_.find(id) == doc_lengths_.end(),
+               "duplicate document id");
+  const std::vector<std::string> tokens = Tokenize(text, tokenizer_options_);
+  doc_lengths_[id] = static_cast<std::uint32_t>(tokens.size());
+
+  std::unordered_map<std::string, std::uint32_t> counts;
+  for (const std::string& token : tokens) ++counts[token];
+  for (const auto& [token, count] : counts) {
+    postings_[token].push_back({id, count});
+  }
+}
+
+void SearchEngine::Finalize() {
+  PHOCUS_CHECK(!finalized_, "Finalize() called twice");
+  double total = 0.0;
+  for (const auto& [id, length] : doc_lengths_) {
+    (void)id;
+    total += length;
+  }
+  average_doc_length_ =
+      doc_lengths_.empty() ? 0.0 : total / static_cast<double>(doc_lengths_.size());
+  for (auto& [token, list] : postings_) {
+    (void)token;
+    std::sort(list.begin(), list.end(),
+              [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  }
+  finalized_ = true;
+}
+
+std::vector<SearchEngine::Hit> SearchEngine::Search(const std::string& query,
+                                                    std::size_t top_k) const {
+  PHOCUS_CHECK(finalized_, "Search() before Finalize()");
+  const std::vector<std::string> terms = Tokenize(query, tokenizer_options_);
+  std::unordered_map<DocId, double> scores;
+  const double n = static_cast<double>(doc_lengths_.size());
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& list = it->second;
+    const double df = static_cast<double>(list.size());
+    // BM25+-style floor keeps idf positive for very common terms.
+    const double idf = std::max(0.05, std::log((n - df + 0.5) / (df + 0.5) + 1.0));
+    for (const Posting& posting : list) {
+      const double tf = posting.term_frequency;
+      const double doc_length = doc_lengths_.at(posting.doc);
+      const double denom =
+          tf + kK1 * (1.0 - kB + kB * doc_length /
+                                     std::max(1e-9, average_doc_length_));
+      scores[posting.doc] += idf * tf * (kK1 + 1.0) / denom;
+    }
+  }
+  std::vector<Hit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) hits.push_back({doc, score});
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.score != b.score ? a.score > b.score : a.doc < b.doc;
+  });
+  if (top_k > 0 && hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace phocus

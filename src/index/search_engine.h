@@ -1,0 +1,63 @@
+#ifndef PHOCUS_INDEX_SEARCH_ENGINE_H_
+#define PHOCUS_INDEX_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/tokenizer.h"
+
+/// \file search_engine.h
+/// A small inverted-index search engine with BM25 ranking — the stand-in for
+/// XYZ's internal retrieval system. Queries over photo titles/tags produce
+/// the pre-defined subsets, and the BM25 retrieval scores become the
+/// (pre-normalization) relevance scores R(q, p).
+
+namespace phocus {
+
+class SearchEngine {
+ public:
+  using DocId = std::uint32_t;
+
+  struct Hit {
+    DocId doc = 0;
+    double score = 0.0;
+  };
+
+  explicit SearchEngine(TokenizerOptions tokenizer_options = {});
+
+  /// Adds a document. Ids must be unique; text is tokenized immediately.
+  void AddDocument(DocId id, const std::string& text);
+
+  /// Builds IDF statistics. Must be called after the last AddDocument and
+  /// before the first Search.
+  void Finalize();
+
+  /// BM25 top-k retrieval (k = 0 means all matching documents), scores
+  /// strictly positive, sorted descending (ties by doc id).
+  std::vector<Hit> Search(const std::string& query, std::size_t top_k = 0) const;
+
+  std::size_t num_documents() const { return doc_lengths_.size(); }
+  std::size_t vocabulary_size() const { return postings_.size(); }
+
+  /// BM25 hyperparameters (exposed for tests).
+  static constexpr double kK1 = 1.2;
+  static constexpr double kB = 0.75;
+
+ private:
+  struct Posting {
+    DocId doc;
+    std::uint32_t term_frequency;
+  };
+
+  TokenizerOptions tokenizer_options_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<DocId, std::uint32_t> doc_lengths_;
+  double average_doc_length_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_INDEX_SEARCH_ENGINE_H_

@@ -1,0 +1,45 @@
+#include "index/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace phocus {
+
+namespace {
+constexpr std::array<std::string_view, 26> kStopwords = {
+    "a",    "an",  "and", "are", "as",   "at",   "be",  "by",  "for",
+    "from", "has", "he",  "in",  "is",   "it",   "its", "of",  "on",
+    "or",   "that", "the", "to", "was",  "were", "will", "with"};
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  for (std::string_view w : kStopwords) {
+    if (w == token) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      if (!options.drop_stopwords || !IsStopword(current)) {
+        tokens.push_back(current);
+      }
+      current.clear();
+    }
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace phocus

@@ -1,0 +1,29 @@
+#ifndef PHOCUS_INDEX_TOKENIZER_H_
+#define PHOCUS_INDEX_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file tokenizer.h
+/// Text tokenization for the internal search engine (§5.1 input mode 2:
+/// "users provide queries ... and the subsets are computed via the PHOcus
+/// search engine").
+
+namespace phocus {
+
+struct TokenizerOptions {
+  bool drop_stopwords = true;
+};
+
+/// Lowercases, splits on non-alphanumeric characters, and (optionally)
+/// removes a small English stopword list.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+/// True if the lowercase token is in the stopword list.
+bool IsStopword(std::string_view token);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_INDEX_TOKENIZER_H_

@@ -1,0 +1,53 @@
+#include "lsh/simhash.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+
+SimHasher::SimHasher(std::size_t dimension, int num_bits, std::uint64_t seed)
+    : dimension_(dimension), num_bits_(num_bits) {
+  PHOCUS_CHECK(dimension > 0, "SimHasher dimension must be positive");
+  PHOCUS_CHECK(num_bits > 0, "SimHasher num_bits must be positive");
+  hyperplanes_.resize(static_cast<std::size_t>(num_bits) * dimension);
+  Rng rng(seed);
+  for (float& w : hyperplanes_) w = static_cast<float>(rng.Normal());
+}
+
+SimHashSignature SimHasher::Signature(const Embedding& vector) const {
+  PHOCUS_CHECK(vector.size() == dimension_, "SimHasher dimension mismatch");
+  SimHashSignature signature(words_per_signature(), 0);
+  for (int bit = 0; bit < num_bits_; ++bit) {
+    const float* hyperplane = &hyperplanes_[static_cast<std::size_t>(bit) * dimension_];
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dimension_; ++i) {
+      dot += static_cast<double>(hyperplane[i]) * vector[i];
+    }
+    if (dot >= 0.0) {
+      signature[static_cast<std::size_t>(bit) / 64] |=
+          (1ULL << (static_cast<std::size_t>(bit) % 64));
+    }
+  }
+  return signature;
+}
+
+int SimHasher::HammingDistance(const SimHashSignature& a,
+                               const SimHashSignature& b) {
+  PHOCUS_CHECK(a.size() == b.size(), "signature length mismatch");
+  int distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    distance += std::popcount(a[i] ^ b[i]);
+  }
+  return distance;
+}
+
+double SimHasher::EstimateCosine(int hamming, int num_bits) {
+  PHOCUS_CHECK(num_bits > 0 && hamming >= 0 && hamming <= num_bits,
+               "bad hamming/num_bits");
+  return std::cos(M_PI * static_cast<double>(hamming) / num_bits);
+}
+
+}  // namespace phocus

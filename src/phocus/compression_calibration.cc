@@ -1,0 +1,77 @@
+#include "phocus/compression_calibration.h"
+
+#include <algorithm>
+
+#include "embedding/pipeline.h"
+#include "imaging/jpeg_size.h"
+#include "imaging/metrics.h"
+#include "imaging/scene.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+
+std::vector<MeasuredCompressionLevel> MeasureCompressionLevels(
+    const Corpus& corpus, const CalibrationOptions& options) {
+  PHOCUS_CHECK(!corpus.photos.empty(), "cannot calibrate on an empty corpus");
+  PHOCUS_CHECK(!options.qualities.empty(), "need at least one quality");
+  PHOCUS_CHECK(options.sample_size > 0, "sample_size must be positive");
+
+  Rng rng(options.seed);
+  const std::size_t sample_size =
+      std::min(options.sample_size, corpus.photos.size());
+  const std::vector<std::size_t> sample =
+      rng.SampleWithoutReplacement(corpus.photos.size(), sample_size);
+
+  EmbeddingPipelineOptions pipeline_options;
+  pipeline_options.working_size = options.render_size;
+  const EmbeddingPipeline pipeline(pipeline_options);
+
+  std::vector<MeasuredCompressionLevel> measured;
+  for (int quality : options.qualities) {
+    PHOCUS_CHECK(quality >= 1 && quality <= 100, "quality must be in [1,100]");
+    double cost_sum = 0.0, value_sum = 0.0, psnr_sum = 0.0, ssim_sum = 0.0;
+    for (std::size_t index : sample) {
+      const Image original = RenderScene(corpus.photos[index].scene,
+                                         options.render_size,
+                                         options.render_size);
+      const Image degraded = SimulateJpegRoundTrip(original, quality);
+
+      // Cost factors are taken at a stored-photo resolution scale so the
+      // fixed header term does not mask the entropy reduction (the corpus
+      // photos stand for multi-megapixel originals, not 64x64 thumbnails).
+      JpegSizeOptions reference_size;
+      reference_size.quality = options.reference_quality;
+      reference_size.resolution_scale = 6.5;
+      JpegSizeOptions level_size;
+      level_size.quality = quality;
+      level_size.resolution_scale = 6.5;
+      const double reference_bytes =
+          static_cast<double>(EstimateJpegBytes(original, reference_size));
+      const double level_bytes =
+          static_cast<double>(EstimateJpegBytes(original, level_size));
+      cost_sum += level_bytes / std::max(1.0, reference_bytes);
+
+      const Embedding original_embedding = pipeline.Extract(original);
+      const Embedding degraded_embedding = pipeline.Extract(degraded);
+      value_sum += std::max(
+          0.0, CosineSimilarity(original_embedding, degraded_embedding));
+
+      const double psnr = Psnr(original, degraded);
+      psnr_sum += std::min(psnr, 99.0);  // cap +inf for identical frames
+      ssim_sum += Ssim(original, degraded);
+    }
+    MeasuredCompressionLevel level;
+    level.jpeg_quality = quality;
+    level.level.cost_factor = std::clamp(
+        cost_sum / static_cast<double>(sample_size), 1e-6, 1.0);
+    level.level.value_factor = std::clamp(
+        value_sum / static_cast<double>(sample_size), 1e-6, 1.0);
+    level.mean_psnr_db = psnr_sum / static_cast<double>(sample_size);
+    level.mean_ssim = ssim_sum / static_cast<double>(sample_size);
+    measured.push_back(level);
+  }
+  return measured;
+}
+
+}  // namespace phocus

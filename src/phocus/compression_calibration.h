@@ -1,0 +1,50 @@
+#ifndef PHOCUS_PHOCUS_COMPRESSION_CALIBRATION_H_
+#define PHOCUS_PHOCUS_COMPRESSION_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/variants.h"
+#include "datagen/corpus.h"
+
+/// \file compression_calibration.h
+/// Calibrates the §6 compression-variant parameters from pixels instead of
+/// guesses: for a sample of corpus photos and each candidate JPEG quality,
+/// measure
+///   - cost_factor  = estimated bytes at that quality / bytes at q85, and
+///   - value_factor = mean cosine between the embedding of the original and
+///     the embedding of the lossy round-trip (SimulateJpegRoundTrip) —
+///     exactly the degree to which the compressed rendition still "covers"
+///     its original under the SIM the solver uses,
+/// along with PSNR/SSIM for human inspection. The resulting
+/// CompressionLevel list plugs straight into ExpandWithCompressionVariants.
+
+namespace phocus {
+
+struct MeasuredCompressionLevel {
+  int jpeg_quality = 50;
+  CompressionLevel level;     ///< measured cost/value factors
+  double mean_psnr_db = 0.0;
+  double mean_ssim = 0.0;
+};
+
+struct CalibrationOptions {
+  /// JPEG qualities to measure (each becomes one compression level).
+  std::vector<int> qualities = {50, 25};
+  /// Reference quality the cost factor is taken against.
+  int reference_quality = 85;
+  /// Photos sampled from the corpus (uniformly, seeded).
+  std::size_t sample_size = 32;
+  std::uint64_t seed = 99;
+  /// Raster edge for rendering/round-tripping the sampled photos.
+  int render_size = 64;
+};
+
+/// Measures compression levels on a corpus sample. Requires the corpus
+/// photos to carry renderable scenes (all generators and the REPL do).
+std::vector<MeasuredCompressionLevel> MeasureCompressionLevels(
+    const Corpus& corpus, const CalibrationOptions& options = {});
+
+}  // namespace phocus
+
+#endif  // PHOCUS_PHOCUS_COMPRESSION_CALIBRATION_H_

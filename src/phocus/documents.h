@@ -1,0 +1,56 @@
+#ifndef PHOCUS_PHOCUS_DOCUMENTS_H_
+#define PHOCUS_PHOCUS_DOCUMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+
+/// \file documents.h
+/// §6's closing future-work item, implemented: "expand the model to include
+/// other forms of structured and unstructured data". Nothing in PAR is
+/// photo-specific — it needs items with byte costs, usage contexts with
+/// weights and relevance, and a contextual similarity. This adapter
+/// instantiates all of that for text documents:
+///
+///   - cost C(d)      = document byte size,
+///   - contexts Q     = saved queries run through the BM25 engine
+///                      (src/index), weighted by query frequency,
+///   - relevance R    = normalized retrieval scores,
+///   - similarity SIM = cosine over L2-normalized TF-IDF vectors,
+///
+/// producing an ordinary `Corpus` that every PHOcus component — solvers,
+/// sparsifier, bounds, plans, explanations — consumes unchanged. (The
+/// `CorpusPhoto::scene` field is left default; only image-specific extras
+/// like vault rendering don't apply.)
+
+namespace phocus {
+
+struct DocumentRecord {
+  std::string title;  ///< indexable along with the body
+  std::string body;
+};
+
+struct SavedQuery {
+  std::string text;
+  double frequency = 1.0;   ///< becomes the context weight
+  std::size_t max_results = 50;
+};
+
+struct DocumentCorpusOptions {
+  /// TF-IDF embedding dimensionality: the most frequent terms get their own
+  /// axes; everything else is folded in by feature hashing.
+  std::size_t embedding_dim = 256;
+  /// Queries with fewer matching documents than this are dropped.
+  std::size_t min_results = 2;
+};
+
+/// Builds a PHOcus corpus over documents. The returned corpus's photo ids
+/// are document indices into `documents`.
+Corpus BuildDocumentCorpus(const std::vector<DocumentRecord>& documents,
+                           const std::vector<SavedQuery>& queries,
+                           const DocumentCorpusOptions& options = {});
+
+}  // namespace phocus
+
+#endif  // PHOCUS_PHOCUS_DOCUMENTS_H_

@@ -1,0 +1,79 @@
+#ifndef PHOCUS_PHOCUS_EXPLAIN_H_
+#define PHOCUS_PHOCUS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "phocus/system.h"
+
+/// \file explain.h
+/// Decision explanations. The user study reports that analysts "gained
+/// unexpected insights in terms of which photos to retain" (§5.4); this
+/// module turns those insights into an API: for any photo in a plan, why it
+/// was kept (which subset members it is the best surviving representative
+/// for, and how much of G it carries) or why it could go (who represents it
+/// now, and how little would change if it returned).
+
+namespace phocus {
+
+/// One subset's view of a retained photo.
+struct RetainedResponsibility {
+  SubsetId subset = 0;
+  std::string subset_name;
+  /// Members of the subset for which this photo is the nearest retained
+  /// neighbour (it "represents" them).
+  std::size_t members_represented = 0;
+  /// Weighted score this photo carries for the subset:
+  /// W(q)·Σ_{j: NN=p} R(q,j)·SIM(q,j,p).
+  double carried_score = 0.0;
+};
+
+struct RetainedExplanation {
+  PhotoId photo = 0;
+  /// Total G the photo carries (sum over subsets).
+  double carried_score = 0.0;
+  /// Exact loss if the photo were dropped (members fall back to their next
+  /// best retained neighbour): G(S) − G(S∖{p}).
+  double removal_loss = 0.0;
+  bool required = false;  ///< in S0: retained by policy regardless of score
+  std::vector<RetainedResponsibility> responsibilities;
+};
+
+/// One subset's view of an archived photo.
+struct ArchivedRepresentative {
+  SubsetId subset = 0;
+  std::string subset_name;
+  /// The retained photo standing in for it, or num_photos() when the subset
+  /// has no retained member at all.
+  PhotoId representative = 0;
+  double similarity = 0.0;  ///< SIM(q, photo, representative); 0 if none
+  bool has_representative = false;
+};
+
+struct ArchivedExplanation {
+  PhotoId photo = 0;
+  /// Gain G(S∪{p}) − G(S) if the photo were brought back.
+  double return_gain = 0.0;
+  std::vector<ArchivedRepresentative> representatives;
+};
+
+/// Explains a retained photo. `selection` must contain `photo`.
+RetainedExplanation ExplainRetained(const ParInstance& instance,
+                                    const std::vector<PhotoId>& selection,
+                                    PhotoId photo);
+
+/// Explains an archived photo. `selection` must not contain `photo`.
+ArchivedExplanation ExplainArchived(const ParInstance& instance,
+                                    const std::vector<PhotoId>& selection,
+                                    PhotoId photo);
+
+/// Human-readable renderings (used by the REPL's `explain` command).
+std::string DescribeRetained(const RetainedExplanation& explanation,
+                             std::size_t max_rows = 6);
+std::string DescribeArchived(const ArchivedExplanation& explanation,
+                             std::size_t max_rows = 6);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_PHOCUS_EXPLAIN_H_

@@ -1,0 +1,168 @@
+#include "phocus/incremental.h"
+
+#include <algorithm>
+
+#include "core/celf.h"
+#include "core/local_search.h"
+#include "core/objective.h"
+#include "core/online_bound.h"
+#include "phocus/representation.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace phocus {
+
+namespace {
+
+/// Rebuilds the plan record (retained/archived lists, coverage, bounds)
+/// from a selection — the same bookkeeping PhocusSystem::PlanArchiveWith
+/// performs after its solver run.
+ArchivePlan MakePlan(const ParInstance& instance, const Corpus& corpus,
+                     SolverResult result, const ArchiveOptions& options) {
+  (void)corpus;
+  CheckFeasible(instance, result);
+  ArchivePlan plan;
+  plan.solver_result = std::move(result);
+  plan.retained = plan.solver_result.selected;
+  std::sort(plan.retained.begin(), plan.retained.end());
+  std::vector<bool> kept(instance.num_photos(), false);
+  for (PhotoId p : plan.retained) kept[p] = true;
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (kept[p]) {
+      plan.retained_bytes += instance.cost(p);
+    } else {
+      plan.archived.push_back(p);
+      plan.archived_bytes += instance.cost(p);
+    }
+  }
+  plan.score = plan.solver_result.score;
+  plan.max_score = ObjectiveEvaluator::MaxScore(instance);
+  plan.score_fraction = plan.max_score > 0 ? plan.score / plan.max_score : 1.0;
+  if (options.compute_online_bound) {
+    plan.online_bound =
+        ComputeOnlineBound(instance, plan.solver_result.selected);
+  }
+  return plan;
+}
+
+}  // namespace
+
+IncrementalArchiver::IncrementalArchiver(IncrementalOptions options)
+    : options_(std::move(options)) {
+  PHOCUS_CHECK(options_.archive.budget > 0,
+               "incremental archiver needs a positive budget");
+}
+
+const ArchivePlan& IncrementalArchiver::Initialize(Corpus corpus) {
+  PHOCUS_CHECK(!initialized_, "Initialize called twice");
+  corpus_ = std::move(corpus);
+  PhocusSystem system(corpus_);
+  plan_ = system.PlanArchive(options_.archive);
+  initialized_ = true;
+  return plan_;
+}
+
+const ArchivePlan& IncrementalArchiver::AddPhotos(
+    std::vector<CorpusPhoto> photos, std::vector<SubsetSpec> new_subsets,
+    std::vector<PhotoId> new_required, IncrementalUpdateStats* stats) {
+  PHOCUS_CHECK(initialized_, "AddPhotos before Initialize");
+  const std::size_t new_total = corpus_.photos.size() + photos.size();
+  for (const SubsetSpec& spec : new_subsets) {
+    for (PhotoId p : spec.members) {
+      PHOCUS_CHECK(p < new_total, "subset member beyond the appended corpus");
+    }
+  }
+  for (PhotoId p : new_required) {
+    PHOCUS_CHECK(p < new_total, "required id beyond the appended corpus");
+  }
+  IncrementalUpdateStats local_stats;
+  local_stats.photos_added = photos.size();
+  local_stats.subsets_added = new_subsets.size();
+
+  for (CorpusPhoto& photo : photos) corpus_.photos.push_back(std::move(photo));
+  for (SubsetSpec& spec : new_subsets) corpus_.subsets.push_back(std::move(spec));
+  for (PhotoId p : new_required) corpus_.required.push_back(p);
+  std::sort(corpus_.required.begin(), corpus_.required.end());
+  corpus_.required.erase(
+      std::unique(corpus_.required.begin(), corpus_.required.end()),
+      corpus_.required.end());
+
+  Replan(&local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return plan_;
+}
+
+const ArchivePlan& IncrementalArchiver::SetBudget(
+    Cost budget, IncrementalUpdateStats* stats) {
+  PHOCUS_CHECK(initialized_, "SetBudget before Initialize");
+  PHOCUS_CHECK(budget > 0, "budget must be positive");
+  options_.archive.budget = budget;
+  IncrementalUpdateStats local_stats;
+  Replan(&local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return plan_;
+}
+
+void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
+  Stopwatch timer;
+  const ParInstance instance =
+      BuildInstance(corpus_, options_.archive.budget,
+                    options_.archive.representation);
+  instance.Validate();
+
+  // Seed with what we previously retained (dropping nothing silently; the
+  // previous retained ids are stable because appends never renumber).
+  std::vector<PhotoId> seed = plan_.retained;
+  // New S0 members must be present.
+  for (PhotoId p : corpus_.required) {
+    if (std::find(seed.begin(), seed.end(), p) == seed.end()) {
+      seed.push_back(p);
+    }
+  }
+
+  // Feasibility eviction: drop the cheapest-to-lose photos (marginal
+  // contribution per byte) until the seed fits the budget.
+  Cost seed_cost = 0;
+  for (PhotoId p : seed) seed_cost += instance.cost(p);
+  while (seed_cost > instance.budget()) {
+    const double full_score = ObjectiveEvaluator::Evaluate(instance, seed);
+    double best_density = std::numeric_limits<double>::infinity();
+    std::size_t victim_index = seed.size();
+    for (std::size_t i = 0; i < seed.size(); ++i) {
+      if (instance.IsRequired(seed[i])) continue;
+      std::vector<PhotoId> without;
+      without.reserve(seed.size() - 1);
+      for (std::size_t j = 0; j < seed.size(); ++j) {
+        if (j != i) without.push_back(seed[j]);
+      }
+      const double loss =
+          full_score - ObjectiveEvaluator::Evaluate(instance, without);
+      const double density =
+          loss / static_cast<double>(instance.cost(seed[i]));
+      if (density < best_density) {
+        best_density = density;
+        victim_index = i;
+      }
+    }
+    PHOCUS_CHECK(victim_index < seed.size(),
+                 "cannot reach feasibility: required set exceeds budget");
+    if (stats != nullptr) ++stats->evicted_for_feasibility;
+    seed_cost -= instance.cost(seed[victim_index]);
+    seed.erase(seed.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  }
+
+  // Top-up with the arrivals (and anything newly worthwhile).
+  SolverResult result =
+      LazyGreedyFrom(instance, GreedyRule::kCostBenefit, CelfOptions{}, seed);
+  if (options_.rebalance) {
+    LocalSearchOptions ls;
+    ls.max_passes = 1;
+    ImproveByLocalSearch(instance, result, ls);
+  }
+  result.solver_name = "PHOcus-incremental";
+  if (stats != nullptr) stats->gain_evaluations = result.gain_evaluations;
+  plan_ = MakePlan(instance, corpus_, std::move(result), options_.archive);
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+}
+
+}  // namespace phocus

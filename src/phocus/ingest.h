@@ -1,0 +1,58 @@
+#ifndef PHOCUS_PHOCUS_INGEST_H_
+#define PHOCUS_PHOCUS_INGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "embedding/pipeline.h"
+#include "imaging/jpeg_size.h"
+#include "imaging/raster.h"
+
+/// \file ingest.h
+/// §5.1 input mode 1 ("Directly: each photo is tagged with all the subsets
+/// that include it"): build a PHOcus corpus from user-supplied raster
+/// images and album/tag assignments. This is the path a downstream adopter
+/// with real photos uses — embeddings, quality and byte costs are derived
+/// from the pixels; albums become pre-defined subsets.
+
+namespace phocus {
+
+struct IngestOptions {
+  EmbeddingPipelineOptions pipeline;
+  JpegSizeOptions size;
+  /// When > 0 overrides the size estimator with known on-disk byte counts
+  /// supplied per photo (see IngestPhotos overload).
+  bool use_provided_bytes = false;
+};
+
+/// Derives one corpus photo from pixels (embedding, quality, estimated
+/// bytes). `title` is free-form indexable text (file name, caption).
+CorpusPhoto IngestPhoto(const Image& image, const std::string& title,
+                        const ExifMetadata& exif,
+                        const IngestOptions& options = {});
+
+/// Batch ingestion (parallel). `provided_bytes` may be empty, or one entry
+/// per image with the true stored size (set options.use_provided_bytes).
+std::vector<CorpusPhoto> IngestPhotos(const std::vector<Image>& images,
+                                      const std::vector<std::string>& titles,
+                                      const std::vector<ExifMetadata>& exif,
+                                      const std::vector<Cost>& provided_bytes,
+                                      const IngestOptions& options = {});
+
+/// An album: a named, weighted set of photo ids, optionally with per-photo
+/// relevance (empty = uniform; normalized later by the representation
+/// module).
+SubsetSpec MakeAlbum(const std::string& name, double weight,
+                     std::vector<PhotoId> members,
+                     std::vector<double> relevance = {});
+
+/// Assembles a corpus from ingested photos, albums, and must-keep photos.
+Corpus AssembleCorpus(const std::string& name,
+                      std::vector<CorpusPhoto> photos,
+                      std::vector<SubsetSpec> albums,
+                      std::vector<PhotoId> required = {});
+
+}  // namespace phocus
+
+#endif  // PHOCUS_PHOCUS_INGEST_H_

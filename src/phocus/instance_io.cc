@@ -1,0 +1,144 @@
+#include "phocus/instance_io.h"
+
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+const char* SimModeName(Subset::SimMode mode) {
+  switch (mode) {
+    case Subset::SimMode::kDense: return "dense";
+    case Subset::SimMode::kSparse: return "sparse";
+    case Subset::SimMode::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+Subset::SimMode SimModeFromName(const std::string& name) {
+  if (name == "dense") return Subset::SimMode::kDense;
+  if (name == "sparse") return Subset::SimMode::kSparse;
+  if (name == "uniform") return Subset::SimMode::kUniform;
+  PHOCUS_CHECK(false, "unknown sim mode: " + name);
+  return Subset::SimMode::kUniform;
+}
+}  // namespace
+
+Json InstanceToJson(const ParInstance& instance) {
+  Json root = Json::Object();
+  root.Set("format", "phocus-par-instance");
+  root.Set("version", 1);
+  root.Set("budget", instance.budget());
+
+  Json costs = Json::Array();
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    costs.Append(instance.cost(p));
+  }
+  root.Set("costs", std::move(costs));
+
+  Json required = Json::Array();
+  for (PhotoId p : instance.RequiredPhotos()) required.Append(p);
+  root.Set("required", std::move(required));
+
+  Json subsets = Json::Array();
+  for (SubsetId qi = 0; qi < instance.num_subsets(); ++qi) {
+    const Subset& q = instance.subset(qi);
+    Json subset = Json::Object();
+    subset.Set("name", q.name);
+    subset.Set("weight", q.weight);
+    Json members = Json::Array();
+    for (PhotoId p : q.members) members.Append(p);
+    subset.Set("members", std::move(members));
+    Json relevance = Json::Array();
+    for (double r : q.relevance) relevance.Append(r);
+    subset.Set("relevance", std::move(relevance));
+    subset.Set("sim_mode", SimModeName(q.sim_mode));
+    // Store all nonzero off-diagonal sims once per unordered pair.
+    if (q.sim_mode != Subset::SimMode::kUniform) {
+      Json sims = Json::Array();
+      const std::size_t m = q.members.size();
+      for (std::uint32_t i = 0; i < m; ++i) {
+        for (std::uint32_t j = i + 1; j < m; ++j) {
+          const double s = q.Similarity(i, j);
+          if (s > 0.0) {
+            Json entry = Json::Array();
+            entry.Append(i);
+            entry.Append(j);
+            entry.Append(s);
+            sims.Append(std::move(entry));
+          }
+        }
+      }
+      subset.Set("similarities", std::move(sims));
+    }
+    subsets.Append(std::move(subset));
+  }
+  root.Set("subsets", std::move(subsets));
+  return root;
+}
+
+ParInstance InstanceFromJson(const Json& json) {
+  PHOCUS_CHECK(json.is_object(), "instance JSON must be an object");
+  PHOCUS_CHECK(json.GetOr("format", Json("")).AsString() ==
+                   "phocus-par-instance",
+               "not a PHOcus instance file");
+  const Json& costs_json = json.Get("costs");
+  std::vector<Cost> costs;
+  costs.reserve(costs_json.size());
+  for (const Json& c : costs_json.items()) {
+    costs.push_back(static_cast<Cost>(c.AsInt()));
+  }
+  const std::size_t num_photos = costs.size();
+  ParInstance instance(num_photos, std::move(costs),
+                       static_cast<Cost>(json.Get("budget").AsInt()));
+  for (const Json& p : json.Get("required").items()) {
+    instance.MarkRequired(static_cast<PhotoId>(p.AsInt()));
+  }
+  for (const Json& subset_json : json.Get("subsets").items()) {
+    Subset subset;
+    subset.name = subset_json.Get("name").AsString();
+    subset.weight = subset_json.Get("weight").AsDouble();
+    for (const Json& m : subset_json.Get("members").items()) {
+      subset.members.push_back(static_cast<PhotoId>(m.AsInt()));
+    }
+    for (const Json& r : subset_json.Get("relevance").items()) {
+      subset.relevance.push_back(r.AsDouble());
+    }
+    subset.sim_mode = SimModeFromName(subset_json.Get("sim_mode").AsString());
+    const std::size_t m = subset.members.size();
+    if (subset.sim_mode == Subset::SimMode::kDense) {
+      subset.dense_sim.assign(m * m, 0.0f);
+      for (std::size_t i = 0; i < m; ++i) subset.dense_sim[i * m + i] = 1.0f;
+    } else if (subset.sim_mode == Subset::SimMode::kSparse) {
+      subset.sparse_sim.resize(m);
+    }
+    if (subset.sim_mode != Subset::SimMode::kUniform) {
+      for (const Json& entry : subset_json.Get("similarities").items()) {
+        PHOCUS_CHECK(entry.is_array() && entry.size() == 3,
+                     "similarity entry must be [i, j, sim]");
+        const std::uint32_t i = static_cast<std::uint32_t>(entry[0].AsInt());
+        const std::uint32_t j = static_cast<std::uint32_t>(entry[1].AsInt());
+        const float s = static_cast<float>(entry[2].AsDouble());
+        PHOCUS_CHECK(i < m && j < m && i != j, "similarity index out of range");
+        if (subset.sim_mode == Subset::SimMode::kDense) {
+          subset.dense_sim[static_cast<std::size_t>(i) * m + j] = s;
+          subset.dense_sim[static_cast<std::size_t>(j) * m + i] = s;
+        } else {
+          subset.sparse_sim[i].emplace_back(j, s);
+          subset.sparse_sim[j].emplace_back(i, s);
+        }
+      }
+    }
+    instance.AddSubset(std::move(subset));
+  }
+  return instance;
+}
+
+void SaveInstance(const ParInstance& instance, const std::string& path) {
+  WriteFile(path, InstanceToJson(instance).Dump(1));
+}
+
+ParInstance LoadInstance(const std::string& path) {
+  return InstanceFromJson(Json::Parse(ReadFile(path)));
+}
+
+}  // namespace phocus

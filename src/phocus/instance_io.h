@@ -1,0 +1,30 @@
+#ifndef PHOCUS_PHOCUS_INSTANCE_IO_H_
+#define PHOCUS_PHOCUS_INSTANCE_IO_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "util/json.h"
+
+/// \file instance_io.h
+/// JSON (de)serialization of PAR instances, so modeled inputs can be
+/// inspected, shipped to the Solver as in Figure 4's architecture, and
+/// round-tripped by tests. Dense similarity matrices are stored as sparse
+/// entry lists (i < j only) to keep files compact.
+
+namespace phocus {
+
+/// Serializes a PAR instance to a JSON value.
+Json InstanceToJson(const ParInstance& instance);
+
+/// Parses an instance previously produced by InstanceToJson. Throws
+/// CheckFailure on malformed input.
+ParInstance InstanceFromJson(const Json& json);
+
+/// File convenience wrappers.
+void SaveInstance(const ParInstance& instance, const std::string& path);
+ParInstance LoadInstance(const std::string& path);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_PHOCUS_INSTANCE_IO_H_

@@ -1,0 +1,117 @@
+#include "phocus/representation.h"
+
+#include <algorithm>
+
+#include "embedding/context.h"
+#include "lsh/similar_pairs.h"
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+/// Gathers per-subset local embedding/EXIF views so the similarity kernels
+/// operate on compact indices.
+struct SubsetView {
+  std::vector<Embedding> embeddings;
+  std::vector<ExifMetadata> exif;
+  std::vector<std::uint32_t> local_ids;  // 0..m-1
+};
+
+SubsetView GatherView(const Corpus& corpus, const SubsetSpec& spec,
+                      bool with_exif) {
+  SubsetView view;
+  const std::size_t m = spec.members.size();
+  view.embeddings.reserve(m);
+  view.local_ids.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const PhotoId p = spec.members[i];
+    PHOCUS_CHECK(p < corpus.photos.size(), "subset member out of range");
+    view.embeddings.push_back(corpus.photos[p].embedding);
+    view.local_ids.push_back(i);
+  }
+  if (with_exif) {
+    view.exif.reserve(m);
+    for (PhotoId p : spec.members) view.exif.push_back(corpus.photos[p].exif);
+  }
+  return view;
+}
+
+}  // namespace
+
+ParInstance BuildInstance(const Corpus& corpus, Cost budget,
+                          const RepresentationOptions& options) {
+  std::vector<Cost> costs;
+  costs.reserve(corpus.photos.size());
+  for (const CorpusPhoto& photo : corpus.photos) costs.push_back(photo.bytes);
+  ParInstance instance(corpus.photos.size(), std::move(costs), budget);
+  for (PhotoId p : corpus.required) instance.MarkRequired(p);
+
+  ContextSimilarityOptions sim_options;
+  sim_options.context_normalize = options.context_normalize;
+  sim_options.exif_weight = options.exif_weight;
+  const bool with_exif = options.exif_weight > 0.0;
+  const bool sparsify = options.sparsify_tau > 0.0;
+
+  for (const SubsetSpec& spec : corpus.subsets) {
+    Subset subset;
+    subset.name = spec.name;
+    subset.weight = spec.weight;
+    subset.members = spec.members;
+    subset.relevance = spec.relevance;
+    const std::size_t m = spec.members.size();
+
+    if (!sparsify || m <= options.lsh_min_subset_size) {
+      SubsetView view = GatherView(corpus, spec, with_exif);
+      std::vector<float> dense = SubsetSimilarityMatrix(
+          view.embeddings, with_exif ? &view.exif : nullptr, view.local_ids,
+          sim_options);
+      if (!sparsify) {
+        subset.sim_mode = Subset::SimMode::kDense;
+        subset.dense_sim = std::move(dense);
+      } else {
+        // τ-threshold the small-subset dense matrix into neighbor lists.
+        subset.sim_mode = Subset::SimMode::kSparse;
+        subset.sparse_sim.resize(m);
+        const float tau = static_cast<float>(options.sparsify_tau);
+        for (std::uint32_t i = 0; i < m; ++i) {
+          for (std::uint32_t j = 0; j < m; ++j) {
+            if (i == j) continue;
+            const float s = dense[static_cast<std::size_t>(i) * m + j];
+            if (s >= tau && s > 0.0f) subset.sparse_sim[i].emplace_back(j, s);
+          }
+        }
+      }
+    } else {
+      // Large subset: SimHash LSH candidate generation (§4.3). This path
+      // uses raw cosine similarity (context renormalization needs the exact
+      // max pairwise distance, which is what we are avoiding computing).
+      SubsetView view = GatherView(corpus, spec, /*with_exif=*/false);
+      LshPairFinderOptions lsh;
+      lsh.num_bits = options.lsh_num_bits;
+      lsh.bands = SuggestBands(lsh.num_bits, options.sparsify_tau);
+      lsh.seed = options.lsh_seed;
+      const std::vector<SimilarPair> pairs =
+          LshPairsAbove(view.embeddings, options.sparsify_tau, lsh);
+      subset.sim_mode = Subset::SimMode::kSparse;
+      subset.sparse_sim.resize(m);
+      for (const SimilarPair& pair : pairs) {
+        const float s = std::min(1.0f, pair.similarity);
+        subset.sparse_sim[pair.first].emplace_back(pair.second, s);
+        subset.sparse_sim[pair.second].emplace_back(pair.first, s);
+      }
+    }
+    instance.AddSubset(std::move(subset));
+  }
+  instance.NormalizeRelevance();
+  return instance;
+}
+
+ParInstance BuildNonContextualInstance(const Corpus& corpus, Cost budget) {
+  RepresentationOptions options;
+  options.context_normalize = false;
+  options.sparsify_tau = 0.0;
+  return BuildInstance(corpus, budget, options);
+}
+
+}  // namespace phocus

@@ -1,0 +1,47 @@
+#ifndef PHOCUS_PHOCUS_REPRESENTATION_H_
+#define PHOCUS_PHOCUS_REPRESENTATION_H_
+
+#include "core/instance.h"
+#include "datagen/corpus.h"
+
+/// \file representation.h
+/// The Data Representation Module (§5.1, Figure 4): turns a photo corpus —
+/// photos with embeddings/costs plus pre-defined subset specifications —
+/// into a solvable ParInstance. It normalizes relevance scores and
+/// materializes the contextualized similarity function in the storage mode
+/// the solver will consume:
+///   - dense contextual SIM (the PHOcus-NS input),
+///   - τ-sparsified SIM built either by thresholding the dense matrix or by
+///     SimHash LSH candidate generation for large subsets (the PHOcus input),
+///   - a non-contextual surrogate (same cosine for every context) used by
+///     the Greedy-NCS baseline.
+
+namespace phocus {
+
+struct RepresentationOptions {
+  /// Per-subset max-distance renormalization (§5.1); disable to obtain the
+  /// Greedy-NCS non-contextual similarity.
+  bool context_normalize = true;
+  /// Weight of the EXIF metadata distance inside SIM; 0 = visual only.
+  double exif_weight = 0.0;
+  /// τ-sparsification threshold; 0 keeps the dense matrices (PHOcus-NS).
+  double sparsify_tau = 0.0;
+  /// Subsets with more members than this use LSH candidate generation
+  /// instead of the all-pairs matrix when sparsifying. Only reachable when
+  /// sparsify_tau > 0.
+  std::size_t lsh_min_subset_size = 192;
+  /// SimHash signature bits for the LSH path.
+  int lsh_num_bits = 128;
+  std::uint64_t lsh_seed = 0xfeedULL;
+};
+
+/// Builds the PAR instance for `corpus` under storage budget `budget`.
+ParInstance BuildInstance(const Corpus& corpus, Cost budget,
+                          const RepresentationOptions& options = {});
+
+/// Convenience: the Greedy-NCS surrogate (non-contextual SIM, dense).
+ParInstance BuildNonContextualInstance(const Corpus& corpus, Cost budget);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_PHOCUS_REPRESENTATION_H_

@@ -1,0 +1,118 @@
+#include "phocus/system.h"
+
+#include <algorithm>
+
+#include "core/celf.h"
+#include "core/objective.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+RepresentationOptions ArchiveOptions::DefaultPhocusRepresentation() {
+  RepresentationOptions options;
+  options.context_normalize = true;
+  options.sparsify_tau = 0.5;
+  return options;
+}
+
+PhocusSystem::PhocusSystem(Corpus corpus) : corpus_(std::move(corpus)) {}
+
+ArchivePlan PhocusSystem::PlanArchive(const ArchiveOptions& options) const {
+  CelfSolver solver;
+  return PlanArchiveWith(options, solver);
+}
+
+ArchivePlan PhocusSystem::PlanArchiveWith(const ArchiveOptions& options,
+                                          Solver& solver) const {
+  PHOCUS_CHECK(options.budget > 0, "archive budget must be positive");
+  ArchivePlan plan;
+
+  Stopwatch build_timer;
+  const ParInstance instance =
+      BuildInstance(corpus_, options.budget, options.representation);
+  instance.Validate();
+  plan.build_seconds = build_timer.ElapsedSeconds();
+
+  Stopwatch solve_timer;
+  plan.solver_result = solver.Solve(instance);
+  plan.solve_seconds = solve_timer.ElapsedSeconds();
+  CheckFeasible(instance, plan.solver_result);
+
+  plan.retained = plan.solver_result.selected;
+  std::sort(plan.retained.begin(), plan.retained.end());
+  std::vector<bool> kept(instance.num_photos(), false);
+  for (PhotoId p : plan.retained) kept[p] = true;
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (kept[p]) {
+      plan.retained_bytes += instance.cost(p);
+    } else {
+      plan.archived.push_back(p);
+      plan.archived_bytes += instance.cost(p);
+    }
+  }
+  plan.score = plan.solver_result.score;
+  plan.max_score = ObjectiveEvaluator::MaxScore(instance);
+  plan.score_fraction = plan.max_score > 0.0 ? plan.score / plan.max_score : 1.0;
+
+  if (options.compute_online_bound) {
+    plan.online_bound = ComputeOnlineBound(instance, plan.solver_result.selected);
+  }
+
+  // Per-subset coverage report, most important subsets first.
+  ObjectiveEvaluator evaluator(&instance);
+  for (PhotoId p : plan.solver_result.selected) evaluator.Add(p);
+  std::vector<SubsetId> order(instance.num_subsets());
+  for (SubsetId q = 0; q < instance.num_subsets(); ++q) order[q] = q;
+  std::sort(order.begin(), order.end(), [&](SubsetId a, SubsetId b) {
+    return instance.subset(a).weight > instance.subset(b).weight;
+  });
+  const std::size_t rows = options.coverage_rows == 0
+                               ? order.size()
+                               : std::min(order.size(), options.coverage_rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Subset& q = instance.subset(order[i]);
+    SubsetCoverage coverage;
+    coverage.name = q.name;
+    coverage.weight = q.weight;
+    coverage.coverage = evaluator.SubsetScore(order[i]);
+    coverage.total_members = q.size();
+    for (PhotoId p : q.members) {
+      if (kept[p]) ++coverage.retained_members;
+    }
+    plan.subset_coverage.push_back(std::move(coverage));
+  }
+  return plan;
+}
+
+std::string DescribePlan(const ArchivePlan& plan, std::size_t max_rows) {
+  std::string out;
+  out += StrFormat(
+      "PHOcus plan: retain %zu photos (%s), archive %zu photos (%s)\n",
+      plan.retained.size(), HumanBytes(plan.retained_bytes).c_str(),
+      plan.archived.size(), HumanBytes(plan.archived_bytes).c_str());
+  out += StrFormat("  objective G(S) = %.4f  (%.1f%% of the no-budget ceiling)\n",
+                   plan.score, 100.0 * plan.score_fraction);
+  if (plan.online_bound.upper_bound > 0.0) {
+    out += StrFormat(
+        "  certified >= %.1f%% of optimal (online bound %.4f)\n",
+        100.0 * plan.online_bound.certified_ratio, plan.online_bound.upper_bound);
+  }
+  out += StrFormat("  representation %.2fs, solve %.2fs (%s)\n",
+                   plan.build_seconds, plan.solve_seconds,
+                   plan.solver_result.detail.c_str());
+  const std::size_t rows = std::min(max_rows, plan.subset_coverage.size());
+  if (rows > 0) {
+    out += "  top subsets by importance:\n";
+    for (std::size_t i = 0; i < rows; ++i) {
+      const SubsetCoverage& row = plan.subset_coverage[i];
+      out += StrFormat("    %-32s  coverage %.3f  kept %zu/%zu\n",
+                       row.name.c_str(), row.coverage, row.retained_members,
+                       row.total_members);
+    }
+  }
+  return out;
+}
+
+}  // namespace phocus

@@ -1,0 +1,37 @@
+#include "storage/archiver.h"
+
+#include "imaging/ppm_io.h"
+#include "imaging/scene.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+ArchiveToVaultReport ArchivePlanToVault(const Corpus& corpus,
+                                        const ArchivePlan& plan,
+                                        ArchiveVault& vault, int render_size) {
+  ArchiveToVaultReport report;
+  for (PhotoId p : plan.archived) {
+    PHOCUS_CHECK(p < corpus.photos.size(), "archived photo id out of range");
+    const Image image =
+        RenderScene(corpus.photos[p].scene, render_size, render_size);
+    const ArchiveVault::Receipt receipt =
+        vault.Store(StrFormat("photo-%u", p), EncodePpm(image));
+    ++report.photos_archived;
+    if (receipt.deduplicated) ++report.deduplicated;
+    report.original_bytes += receipt.original_bytes;
+    report.stored_bytes += receipt.deduplicated ? 0 : receipt.stored_bytes;
+  }
+  report.compression_ratio =
+      report.stored_bytes > 0
+          ? static_cast<double>(report.original_bytes) /
+                static_cast<double>(report.stored_bytes)
+          : 1.0;
+  return report;
+}
+
+Image RestorePhotoFromVault(const ArchiveVault& vault, PhotoId photo) {
+  return DecodePpm(vault.Fetch(StrFormat("photo-%u", photo)));
+}
+
+}  // namespace phocus

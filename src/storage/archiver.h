@@ -1,0 +1,39 @@
+#ifndef PHOCUS_STORAGE_ARCHIVER_H_
+#define PHOCUS_STORAGE_ARCHIVER_H_
+
+#include <string>
+
+#include "datagen/corpus.h"
+#include "phocus/system.h"
+#include "storage/vault.h"
+
+/// \file archiver.h
+/// Bridges an ArchivePlan to the cold-storage vault: every photo the plan
+/// evicts from fast storage is serialized (rendered PPM payload in this
+/// repository; real deployments would pass original file bytes) and stored,
+/// completing the "move to larger, cheaper, slower storage" loop of §1.
+
+namespace phocus {
+
+struct ArchiveToVaultReport {
+  std::size_t photos_archived = 0;
+  std::size_t deduplicated = 0;   ///< payloads already present
+  Cost original_bytes = 0;
+  Cost stored_bytes = 0;          ///< compressed, after dedup
+  double compression_ratio = 1.0; ///< original / stored (1 if nothing stored)
+};
+
+/// Stores every photo in `plan.archived` into `vault` under keys
+/// "photo-<id>". `render_size` controls the serialized raster resolution.
+ArchiveToVaultReport ArchivePlanToVault(const Corpus& corpus,
+                                        const ArchivePlan& plan,
+                                        ArchiveVault& vault,
+                                        int render_size = 64);
+
+/// Restores one archived photo from the vault as an Image (the inverse
+/// path: a user asks for a cold photo back).
+Image RestorePhotoFromVault(const ArchiveVault& vault, PhotoId photo);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_STORAGE_ARCHIVER_H_

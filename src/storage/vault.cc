@@ -1,0 +1,138 @@
+#include "storage/vault.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/lzss.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+namespace fs = std::filesystem;
+
+std::string ArchiveVault::HashPayload(std::string_view payload) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64
+  for (char c : payload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(hash));
+}
+
+ArchiveVault::ArchiveVault(std::string directory)
+    : directory_(std::move(directory)) {
+  PHOCUS_CHECK(fs::is_directory(directory_),
+               "vault directory does not exist: " + directory_);
+  LoadManifest();
+}
+
+std::string ArchiveVault::ObjectPath(const std::string& hash) const {
+  return directory_ + "/objects/" + hash + ".lzss";
+}
+
+ArchiveVault::Receipt ArchiveVault::Store(const std::string& key,
+                                          const std::string& payload) {
+  PHOCUS_CHECK(!key.empty(), "vault key must not be empty");
+  Receipt receipt;
+  receipt.content_hash = HashPayload(payload);
+  receipt.original_bytes = payload.size();
+
+  auto size_it = object_sizes_.find(receipt.content_hash);
+  if (size_it != object_sizes_.end()) {
+    receipt.deduplicated = true;
+    receipt.stored_bytes = size_it->second;
+  } else {
+    fs::create_directories(directory_ + "/objects");
+    const std::string compressed = LzssCompress(payload);
+    WriteFile(ObjectPath(receipt.content_hash), compressed);
+    receipt.stored_bytes = compressed.size();
+    object_sizes_[receipt.content_hash] = receipt.stored_bytes;
+  }
+  entries_[key] = {receipt.content_hash, receipt.original_bytes};
+  SaveManifest();
+  return receipt;
+}
+
+std::string ArchiveVault::Fetch(const std::string& key) const {
+  auto it = entries_.find(key);
+  PHOCUS_CHECK(it != entries_.end(), "vault key not found: " + key);
+  const std::string payload =
+      LzssDecompress(ReadFile(ObjectPath(it->second.hash)));
+  PHOCUS_CHECK(HashPayload(payload) == it->second.hash,
+               "vault object corrupt for key: " + key);
+  return payload;
+}
+
+bool ArchiveVault::Contains(const std::string& key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::vector<std::string> ArchiveVault::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    (void)entry;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::size_t ArchiveVault::num_objects() const { return object_sizes_.size(); }
+
+Cost ArchiveVault::StoredBytes() const {
+  Cost total = 0;
+  for (const auto& [hash, size] : object_sizes_) {
+    (void)hash;
+    total += size;
+  }
+  return total;
+}
+
+Cost ArchiveVault::OriginalBytes() const {
+  Cost total = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    total += entry.original_bytes;
+  }
+  return total;
+}
+
+void ArchiveVault::SaveManifest() const {
+  Json manifest = Json::Object();
+  manifest.Set("format", "phocus-vault-manifest");
+  manifest.Set("version", 1);
+  Json entries = Json::Object();
+  for (const auto& [key, entry] : entries_) {
+    Json record = Json::Object();
+    record.Set("hash", entry.hash);
+    record.Set("original_bytes", entry.original_bytes);
+    entries.Set(key, std::move(record));
+  }
+  manifest.Set("entries", std::move(entries));
+  Json objects = Json::Object();
+  for (const auto& [hash, size] : object_sizes_) {
+    objects.Set(hash, size);
+  }
+  manifest.Set("objects", std::move(objects));
+  WriteFile(directory_ + "/manifest.json", manifest.Dump(1));
+}
+
+void ArchiveVault::LoadManifest() {
+  const std::string path = directory_ + "/manifest.json";
+  if (!fs::exists(path)) return;  // fresh vault
+  const Json manifest = Json::Parse(ReadFile(path));
+  PHOCUS_CHECK(manifest.GetOr("format", Json("")).AsString() ==
+                   "phocus-vault-manifest",
+               "not a vault manifest: " + path);
+  for (const auto& [key, record] : manifest.Get("entries").entries()) {
+    entries_[key] = {record.Get("hash").AsString(),
+                     static_cast<Cost>(record.Get("original_bytes").AsInt())};
+  }
+  for (const auto& [hash, size] : manifest.Get("objects").entries()) {
+    object_sizes_[hash] = static_cast<Cost>(size.AsInt());
+  }
+}
+
+}  // namespace phocus

@@ -1,0 +1,79 @@
+#ifndef PHOCUS_STORAGE_VAULT_H_
+#define PHOCUS_STORAGE_VAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file vault.h
+/// Cold-storage backend for archived photos. The paper scopes PAR to
+/// *deciding* what to retain ("what is done subsequently with the removed
+/// photos is outside the scope of our model", §2) and points to archival /
+/// compression literature for the rest; this module supplies that rest so
+/// the repository is an end-to-end system: a content-addressed, LZSS-
+/// compressed, deduplicating object store with a JSON manifest.
+///
+/// Keys are caller-chosen (e.g. "photo-172"); payloads are arbitrary bytes
+/// (the examples store rendered PPMs). Identical payloads share one stored
+/// object regardless of key.
+
+namespace phocus {
+
+class ArchiveVault {
+ public:
+  /// Opens (or initializes) a vault rooted at `directory`. The directory
+  /// must already exist; `objects/` below it is created on first store.
+  /// An existing manifest is loaded, so vaults persist across processes.
+  explicit ArchiveVault(std::string directory);
+
+  struct Receipt {
+    std::string content_hash;   ///< 16 hex chars (FNV-1a 64 of the payload)
+    Cost original_bytes = 0;
+    Cost stored_bytes = 0;      ///< compressed object size
+    bool deduplicated = false;  ///< an identical object already existed
+  };
+
+  /// Stores a payload under `key` (overwrites the key's previous mapping).
+  Receipt Store(const std::string& key, const std::string& payload);
+
+  /// Retrieves and decompresses a payload; throws CheckFailure for unknown
+  /// keys or corrupt objects.
+  std::string Fetch(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+  std::size_t num_objects() const;
+
+  /// Compressed bytes on disk across unique objects.
+  Cost StoredBytes() const;
+  /// Uncompressed bytes represented (per key; dedup counted once per key).
+  Cost OriginalBytes() const;
+
+  /// Persists the manifest (also called by Store).
+  void SaveManifest() const;
+
+  const std::string& directory() const { return directory_; }
+
+  /// FNV-1a 64 content hash as 16 lowercase hex chars (exposed for tests).
+  static std::string HashPayload(std::string_view payload);
+
+ private:
+  struct Entry {
+    std::string hash;
+    Cost original_bytes = 0;
+  };
+
+  std::string ObjectPath(const std::string& hash) const;
+  void LoadManifest();
+
+  std::string directory_;
+  std::map<std::string, Entry> entries_;          // key -> object
+  std::map<std::string, Cost> object_sizes_;      // hash -> compressed size
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_STORAGE_VAULT_H_

@@ -1,0 +1,108 @@
+#include "userstudy/analyst.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "embedding/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+
+ManualResult SimulateManualAnalyst(const Corpus& corpus, Cost budget,
+                                   const AnalystOptions& options) {
+  Rng rng(options.seed);
+  ManualResult result;
+  double seconds = 0.0;
+
+  std::vector<bool> selected(corpus.photos.size(), false);
+  Cost spent = 0;
+  auto select = [&](PhotoId p) {
+    selected[p] = true;
+    result.selected.push_back(p);
+    spent += corpus.photos[p].bytes;
+  };
+  // Contractual photos are given; the analyst starts from them.
+  for (PhotoId p : corpus.required) {
+    if (!selected[p] && spent + corpus.photos[p].bytes <= budget) select(p);
+  }
+
+  // Pages in descending importance — analysts do the valuable pages first.
+  std::vector<std::size_t> page_order(corpus.subsets.size());
+  std::iota(page_order.begin(), page_order.end(), 0);
+  std::sort(page_order.begin(), page_order.end(), [&](std::size_t a, std::size_t b) {
+    return corpus.subsets[a].weight > corpus.subsets[b].weight;
+  });
+
+  for (std::size_t page : page_order) {
+    const SubsetSpec& spec = corpus.subsets[page];
+    seconds += options.page_overhead_seconds;
+
+    // Candidates by relevance, bounded attention.
+    std::vector<std::size_t> order(spec.members.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ra = spec.relevance.empty() ? 1.0 : spec.relevance[a];
+      const double rb = spec.relevance.empty() ? 1.0 : spec.relevance[b];
+      return ra > rb;
+    });
+    if (order.size() > options.attention_per_page) {
+      order.resize(options.attention_per_page);
+    }
+
+    // Already-selected members count toward the page quota (re-use, which is
+    // exactly what the study says analysts hunt for but find hard to spot).
+    std::size_t placed = 0;
+    for (std::size_t i : order) {
+      if (selected[spec.members[i]]) ++placed;
+    }
+
+    // Judge candidates: perceived value = relevance × quality with noise.
+    struct Judged {
+      PhotoId photo;
+      double perceived;
+    };
+    std::vector<Judged> judged;
+    for (std::size_t i : order) {
+      const PhotoId p = spec.members[i];
+      if (selected[p]) continue;
+      ++result.photos_inspected;
+      seconds += options.inspect_seconds;
+      const double relevance = spec.relevance.empty() ? 1.0 : spec.relevance[i];
+      const double value = relevance * (0.5 + 0.5 * corpus.photos[p].quality);
+      judged.push_back({p, value * (1.0 + rng.Normal(0.0, options.value_noise))});
+    }
+    std::sort(judged.begin(), judged.end(), [](const Judged& a, const Judged& b) {
+      return a.perceived > b.perceived;
+    });
+
+    for (const Judged& candidate : judged) {
+      if (placed >= options.photos_per_page) break;
+      if (spent + corpus.photos[candidate.photo].bytes > budget) continue;
+      // Duplicate check against what is already chosen for this page.
+      bool looks_duplicate = false;
+      for (PhotoId other : spec.members) {
+        if (!selected[other]) continue;
+        ++result.duplicate_checks;
+        seconds += options.compare_seconds;
+        const double sim =
+            std::max(0.0, CosineSimilarity(corpus.photos[candidate.photo].embedding,
+                                           corpus.photos[other].embedding));
+        if (sim >= options.duplicate_threshold &&
+            rng.Bernoulli(options.duplicate_detect_prob)) {
+          looks_duplicate = true;
+          break;
+        }
+      }
+      if (looks_duplicate) continue;
+      select(candidate.photo);
+      ++placed;
+    }
+    if (spent >= budget) break;
+  }
+
+  result.simulated_hours = seconds / 3600.0;
+  return result;
+}
+
+}  // namespace phocus

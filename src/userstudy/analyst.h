@@ -1,0 +1,62 @@
+#ifndef PHOCUS_USERSTUDY_ANALYST_H_
+#define PHOCUS_USERSTUDY_ANALYST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "datagen/corpus.h"
+
+/// \file analyst.h
+/// A behavioural simulator of the manual landing-page workflow the paper's
+/// user study measured (§5.4). The paper had three in-house analysts pick
+/// photos page by page; we model that process explicitly so the study's
+/// *measured quantities* — solution quality relative to PHOcus, and wall
+/// time in hours versus minutes — can be regenerated.
+///
+/// The model (documented in DESIGN.md as a substitution): the analyst works
+/// through landing pages in descending importance; for each page they
+/// inspect the top-relevance photos (bounded attention), judge each photo by
+/// noisy perceived value (relevance × quality + noise), skip photos that
+/// look like duplicates of something already chosen *for pages they
+/// remember* (imperfect duplicate detection), and stop when the budget is
+/// exhausted. Every inspected photo and every pairwise duplicate check
+/// charges simulated seconds — which is where the 6-14 hours come from.
+
+namespace phocus {
+
+struct AnalystOptions {
+  std::uint64_t seed = 42;
+  /// Seconds to open and judge one photo.
+  double inspect_seconds = 4.0;
+  /// Seconds per similar-photo comparison during duplicate checking.
+  double compare_seconds = 1.5;
+  /// Seconds of per-page overhead (loading the page draft, context switch).
+  double page_overhead_seconds = 90.0;
+  /// How many candidate photos the analyst actually examines per page.
+  std::size_t attention_per_page = 40;
+  /// Probability that a true near-duplicate is recognized as one.
+  double duplicate_detect_prob = 0.65;
+  /// Similarity above which two photos read as duplicates to a human.
+  double duplicate_threshold = 0.82;
+  /// Relative noise on the analyst's perceived photo value.
+  double value_noise = 0.2;
+  /// Photos the analyst aims to place per page before moving on.
+  std::size_t photos_per_page = 3;
+};
+
+struct ManualResult {
+  std::vector<PhotoId> selected;
+  double simulated_hours = 0.0;
+  std::size_t photos_inspected = 0;
+  std::size_t duplicate_checks = 0;
+};
+
+/// Runs the simulated analyst over a corpus with a storage budget.
+/// The returned selection always satisfies the budget and includes S0.
+ManualResult SimulateManualAnalyst(const Corpus& corpus, Cost budget,
+                                   const AnalystOptions& options = {});
+
+}  // namespace phocus
+
+#endif  // PHOCUS_USERSTUDY_ANALYST_H_

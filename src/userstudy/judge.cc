@@ -1,0 +1,28 @@
+#include "userstudy/judge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.h"
+#include "util/rng.h"
+
+namespace phocus {
+
+Preference GoldStandardJudge::Compare(const ParInstance& instance,
+                                      const std::vector<PhotoId>& first,
+                                      const std::vector<PhotoId>& second) {
+  Rng rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * ++invocation_));
+  const double true_first = ObjectiveEvaluator::Evaluate(instance, first);
+  const double true_second = ObjectiveEvaluator::Evaluate(instance, second);
+  const double seen_first =
+      true_first * (1.0 + rng.Normal(0.0, options_.perception_noise));
+  const double seen_second =
+      true_second * (1.0 + rng.Normal(0.0, options_.perception_noise));
+  const double scale = std::max({std::abs(seen_first), std::abs(seen_second), 1e-12});
+  if (std::abs(seen_first - seen_second) / scale < options_.indifference) {
+    return Preference::kCannotDecide;
+  }
+  return seen_first > seen_second ? Preference::kFirst : Preference::kSecond;
+}
+
+}  // namespace phocus

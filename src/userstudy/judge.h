@@ -1,0 +1,52 @@
+#ifndef PHOCUS_USERSTUDY_JUDGE_H_
+#define PHOCUS_USERSTUDY_JUDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+/// \file judge.h
+/// The gold-standard expert judge of §5.4's second study: given two
+/// candidate solutions over a small photo set, the expert picks the better
+/// one or presses "cannot decide" when they look similar. We model the
+/// expert's judgement as the true objective G(S) observed through noise,
+/// with an indifference band.
+
+namespace phocus {
+
+struct JudgeOptions {
+  std::uint64_t seed = 7;
+  /// Relative score gap below which the expert cannot decide.
+  double indifference = 0.04;
+  /// Stddev of the multiplicative perception noise on each side's score.
+  double perception_noise = 0.03;
+};
+
+/// Outcome of one comparison.
+enum class Preference { kFirst, kSecond, kCannotDecide };
+
+class GoldStandardJudge {
+ public:
+  explicit GoldStandardJudge(JudgeOptions options = {}) : options_(options) {}
+
+  /// Compares two solutions under the given instance.
+  Preference Compare(const ParInstance& instance,
+                     const std::vector<PhotoId>& first,
+                     const std::vector<PhotoId>& second);
+
+ private:
+  JudgeOptions options_;
+  std::uint64_t invocation_ = 0;
+};
+
+/// Tally over repeated comparisons (the paper reports e.g. 35 / 3 / 12).
+struct PreferenceCounts {
+  int prefer_first = 0;
+  int prefer_second = 0;
+  int cannot_decide = 0;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_USERSTUDY_JUDGE_H_

@@ -1,0 +1,134 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+template <typename T>
+void AppendRaw(std::string& buffer, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer.append(bytes, sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::WriteU8(std::uint8_t value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteU32(std::uint32_t value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteU64(std::uint64_t value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteI64(std::int64_t value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteF32(float value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteF64(double value) { AppendRaw(buffer_, value); }
+
+void BinaryWriter::WriteString(std::string_view value) {
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+}
+
+void BinaryWriter::WriteF32Vector(const std::vector<float>& values) {
+  WriteU32(static_cast<std::uint32_t>(values.size()));
+  if (!values.empty()) {
+    buffer_.append(reinterpret_cast<const char*>(values.data()),
+                   values.size() * sizeof(float));
+  }
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<std::uint32_t>& values) {
+  WriteU32(static_cast<std::uint32_t>(values.size()));
+  if (!values.empty()) {
+    buffer_.append(reinterpret_cast<const char*>(values.data()),
+                   values.size() * sizeof(std::uint32_t));
+  }
+}
+
+void BinaryWriter::WriteF64Vector(const std::vector<double>& values) {
+  WriteU32(static_cast<std::uint32_t>(values.size()));
+  if (!values.empty()) {
+    buffer_.append(reinterpret_cast<const char*>(values.data()),
+                   values.size() * sizeof(double));
+  }
+}
+
+const void* BinaryReader::Take(std::size_t bytes) {
+  PHOCUS_CHECK(position_ + bytes <= data_.size(),
+               "binary input truncated");
+  const void* at = data_.data() + position_;
+  position_ += bytes;
+  return at;
+}
+
+namespace {
+template <typename T>
+T ReadRaw(BinaryReader& reader, const void* at) {
+  (void)reader;
+  T value;
+  std::memcpy(&value, at, sizeof(T));
+  return value;
+}
+}  // namespace
+
+std::uint8_t BinaryReader::ReadU8() {
+  return ReadRaw<std::uint8_t>(*this, Take(1));
+}
+std::uint32_t BinaryReader::ReadU32() {
+  return ReadRaw<std::uint32_t>(*this, Take(4));
+}
+std::uint64_t BinaryReader::ReadU64() {
+  return ReadRaw<std::uint64_t>(*this, Take(8));
+}
+std::int64_t BinaryReader::ReadI64() {
+  return ReadRaw<std::int64_t>(*this, Take(8));
+}
+float BinaryReader::ReadF32() { return ReadRaw<float>(*this, Take(4)); }
+double BinaryReader::ReadF64() { return ReadRaw<double>(*this, Take(8)); }
+
+std::string BinaryReader::ReadString() {
+  const std::uint32_t length = ReadU32();
+  PHOCUS_CHECK(length <= data_.size() - position_,
+               "binary input truncated (string)");
+  const char* bytes = static_cast<const char*>(Take(length));
+  return std::string(bytes, length);
+}
+
+std::vector<float> BinaryReader::ReadF32Vector() {
+  const std::uint32_t count = ReadU32();
+  PHOCUS_CHECK(static_cast<std::size_t>(count) * sizeof(float) <=
+                   data_.size() - position_,
+               "binary input truncated (vector)");
+  std::vector<float> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(), Take(count * sizeof(float)),
+                count * sizeof(float));
+  }
+  return values;
+}
+
+std::vector<std::uint32_t> BinaryReader::ReadU32Vector() {
+  const std::uint32_t count = ReadU32();
+  PHOCUS_CHECK(static_cast<std::size_t>(count) * sizeof(std::uint32_t) <=
+                   data_.size() - position_,
+               "binary input truncated (vector)");
+  std::vector<std::uint32_t> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(), Take(count * sizeof(std::uint32_t)),
+                count * sizeof(std::uint32_t));
+  }
+  return values;
+}
+
+std::vector<double> BinaryReader::ReadF64Vector() {
+  const std::uint32_t count = ReadU32();
+  PHOCUS_CHECK(static_cast<std::size_t>(count) * sizeof(double) <=
+                   data_.size() - position_,
+               "binary input truncated (vector)");
+  std::vector<double> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(), Take(count * sizeof(double)),
+                count * sizeof(double));
+  }
+  return values;
+}
+
+}  // namespace phocus

@@ -1,0 +1,64 @@
+#ifndef PHOCUS_UTIL_BINARY_IO_H_
+#define PHOCUS_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file binary_io.h
+/// Little bounds-checked binary (de)serialization primitives used by the
+/// corpus cache format. Fixed little-endian layout, explicit sizes, length
+/// prefixes on strings/vectors; readers throw CheckFailure on truncation.
+
+namespace phocus {
+
+class BinaryWriter {
+ public:
+  void WriteU8(std::uint8_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteI64(std::int64_t value);
+  void WriteF32(float value);
+  void WriteF64(double value);
+  void WriteString(std::string_view value);     ///< u32 length + bytes
+  void WriteF32Vector(const std::vector<float>& values);
+  void WriteU32Vector(const std::vector<std::uint32_t>& values);
+  void WriteF64Vector(const std::vector<double>& values);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t ReadU8();
+  std::uint32_t ReadU32();
+  std::uint64_t ReadU64();
+  std::int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadF32Vector();
+  std::vector<std::uint32_t> ReadU32Vector();
+  std::vector<double> ReadF64Vector();
+
+  /// True when every byte has been consumed.
+  bool AtEnd() const { return position_ == data_.size(); }
+  std::size_t position() const { return position_; }
+
+ private:
+  const void* Take(std::size_t bytes);
+
+  std::string_view data_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_BINARY_IO_H_

@@ -1,0 +1,382 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  PHOCUS_CHECK(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  PHOCUS_CHECK(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t Json::AsInt() const {
+  PHOCUS_CHECK(is_number(), "JSON value is not a number");
+  return static_cast<std::int64_t>(std::llround(number_));
+}
+
+const std::string& Json::AsString() const {
+  PHOCUS_CHECK(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  PHOCUS_CHECK(false, "size() on non-container JSON value");
+  return 0;
+}
+
+const Json& Json::operator[](std::size_t index) const {
+  PHOCUS_CHECK(is_array(), "operator[] on non-array JSON value");
+  PHOCUS_CHECK(index < array_.size(), "JSON array index out of range");
+  return array_[index];
+}
+
+void Json::Append(Json value) {
+  PHOCUS_CHECK(is_array(), "Append on non-array JSON value");
+  array_.push_back(std::move(value));
+}
+
+const std::vector<Json>& Json::items() const {
+  PHOCUS_CHECK(is_array(), "items() on non-array JSON value");
+  return array_;
+}
+
+void Json::Set(const std::string& key, Json value) {
+  PHOCUS_CHECK(is_object(), "Set on non-object JSON value");
+  for (auto& entry : object_) {
+    if (entry.first == key) {
+      entry.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+bool Json::Has(const std::string& key) const {
+  PHOCUS_CHECK(is_object(), "Has on non-object JSON value");
+  for (const auto& entry : object_) {
+    if (entry.first == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  PHOCUS_CHECK(is_object(), "Get on non-object JSON value");
+  for (const auto& entry : object_) {
+    if (entry.first == key) return entry.second;
+  }
+  PHOCUS_CHECK(false, "missing JSON key: " + key);
+  static Json null_value;
+  return null_value;
+}
+
+Json Json::GetOr(const std::string& key, Json fallback) const {
+  PHOCUS_CHECK(is_object(), "GetOr on non-object JSON value");
+  for (const auto& entry : object_) {
+    if (entry.first == key) return entry.second;
+  }
+  return fallback;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::entries() const {
+  PHOCUS_CHECK(is_object(), "entries() on non-object JSON value");
+  return object_;
+}
+
+namespace {
+
+void EscapeInto(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void NumberInto(std::string& out, double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    out += StrFormat("%lld", static_cast<long long>(value));
+  } else {
+    out += StrFormat("%.17g", value);
+  }
+}
+
+void Indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: NumberInto(out, number_); break;
+    case Type::kString: EscapeInto(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        Indent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        Indent(out, indent, depth + 1);
+        EscapeInto(out, object_[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json ParseDocument() {
+    Json value = ParseValue();
+    SkipWhitespace();
+    PHOCUS_CHECK(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    PHOCUS_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    PHOCUS_CHECK(pos_ < text_.size() && text_[pos_] == c,
+                 StrFormat("expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json ParseValue() {
+    SkipWhitespace();
+    char c = Peek();
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return Json(ParseString());
+      case 't': ExpectLiteral("true"); return Json(true);
+      case 'f': ExpectLiteral("false"); return Json(false);
+      case 'n': ExpectLiteral("null"); return Json(nullptr);
+      default: return ParseNumber();
+    }
+  }
+
+  void ExpectLiteral(std::string_view literal) {
+    PHOCUS_CHECK(text_.substr(pos_, literal.size()) == literal,
+                 "malformed JSON literal");
+    pos_ += literal.size();
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      PHOCUS_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        PHOCUS_CHECK(pos_ < text_.size(), "unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            PHOCUS_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else PHOCUS_CHECK(false, "bad hex digit in \\u escape");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: PHOCUS_CHECK(false, "unknown escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json ParseNumber() {
+    std::size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    PHOCUS_CHECK(pos_ > start, "malformed JSON number");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    PHOCUS_CHECK(end != nullptr && *end == '\0',
+                 "malformed JSON number: " + token);
+    return Json(value);
+  }
+
+  Json ParseArray() {
+    Expect('[');
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    for (;;) {
+      array.Append(ParseValue());
+      SkipWhitespace();
+      if (Consume(']')) return array;
+      Expect(',');
+    }
+  }
+
+  Json ParseObject() {
+    Expect('{');
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    for (;;) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      object.Set(key, ParseValue());
+      SkipWhitespace();
+      if (Consume('}')) return object;
+      Expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PHOCUS_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary);
+  PHOCUS_CHECK(out.good(), "cannot open file for writing: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  PHOCUS_CHECK(out.good(), "failed writing file: " + path);
+}
+
+}  // namespace phocus

@@ -1,0 +1,92 @@
+#ifndef PHOCUS_UTIL_JSON_H_
+#define PHOCUS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file json.h
+/// A small self-contained JSON value / parser / serializer.
+///
+/// Used for PAR instance (de)serialization and bench result exports. Objects
+/// preserve insertion order (the serialized instances stay diffable).
+
+namespace phocus {
+
+/// A JSON value: null, bool, number (double), string, array or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(unsigned value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(std::int64_t value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(std::uint64_t value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT
+
+  /// Creates an empty array / object.
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw CheckFailure on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const Json& operator[](std::size_t index) const;
+  void Append(Json value);
+  const std::vector<Json>& items() const;
+
+  /// Object access. `Set` inserts or overwrites; `Get` throws if missing;
+  /// `GetOr` returns a fallback.
+  void Set(const std::string& key, Json value);
+  bool Has(const std::string& key) const;
+  const Json& Get(const std::string& key) const;
+  Json GetOr(const std::string& key, Json fallback) const;
+  const std::vector<std::pair<std::string, Json>>& entries() const;
+
+  /// Serializes. `indent` < 0 means compact single-line output.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a JSON document; throws CheckFailure on malformed input.
+  static Json Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Reads a whole file into a string; throws CheckFailure if unreadable.
+std::string ReadFile(const std::string& path);
+
+/// Writes a string to a file; throws CheckFailure on failure.
+void WriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_JSON_H_

@@ -1,0 +1,64 @@
+#ifndef PHOCUS_UTIL_LOGGING_H_
+#define PHOCUS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging and invariant-checking macros.
+///
+/// `PHOCUS_CHECK(cond, msg)` throws `phocus::CheckFailure` (rather than
+/// aborting) so that tests can assert on violated invariants, and callers
+/// embedding the library can recover.
+
+namespace phocus {
+
+/// Exception thrown when a PHOCUS_CHECK fails.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted log line to stderr (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by the PHOCUS_LOG macro.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace phocus
+
+#define PHOCUS_LOG(level) ::phocus::internal::LogStream(::phocus::LogLevel::level)
+
+#define PHOCUS_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::phocus::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
+  } while (false)
+
+#endif  // PHOCUS_UTIL_LOGGING_H_

@@ -1,0 +1,163 @@
+#include "util/lzss.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0x5A;  // 'Z'
+constexpr std::size_t kWindow = 4096;       // 12-bit distances
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;       // kMinMatch + 15
+
+inline std::uint32_t HashTriple(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 16 ^
+          static_cast<std::uint32_t>(p[1]) << 8 ^ p[2]) *
+             2654435761u >>
+         (32 - 13);  // 13-bit hash table
+}
+
+}  // namespace
+
+std::string LzssCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() + input.size() / 8 + 16);
+  out.push_back(static_cast<char>(kMagic));
+  // 64-bit little-endian decoded length.
+  std::uint64_t length = input.size();
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(length & 0xFF));
+    length >>= 8;
+  }
+  if (input.empty()) return out;
+
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t n = input.size();
+
+  // Hash-chain match finder: head[h] = most recent position with hash h;
+  // previous[i] = previous position with the same hash.
+  std::vector<std::int32_t> head(1u << 13, -1);
+  std::vector<std::int32_t> previous(n, -1);
+
+  std::size_t pos = 0;
+  std::size_t control_at = 0;
+  int control_bits = 8;  // force a new control byte immediately
+  auto begin_item = [&] {
+    if (control_bits == 8) {
+      control_at = out.size();
+      out.push_back(0);
+      control_bits = 0;
+    }
+  };
+  auto mark_literal_bit = [&] { out[control_at] |= static_cast<char>(1 << control_bits++); };
+
+  auto insert = [&](std::size_t at) {
+    if (at + kMinMatch > n) return;
+    const std::uint32_t h = HashTriple(data + at);
+    previous[at] = head[h];
+    head[h] = static_cast<std::int32_t>(at);
+  };
+
+  while (pos < n) {
+    std::size_t best_length = 0;
+    std::size_t best_distance = 0;
+    if (pos + kMinMatch <= n) {
+      int chain = 64;  // bounded effort per position
+      for (std::int32_t candidate = head[HashTriple(data + pos)];
+           candidate >= 0 && chain-- > 0;
+           candidate = previous[candidate]) {
+        const std::size_t distance = pos - static_cast<std::size_t>(candidate);
+        if (distance > kWindow) break;  // chain only gets older
+        const std::size_t limit = std::min(kMaxMatch, n - pos);
+        std::size_t match = 0;
+        while (match < limit &&
+               data[candidate + match] == data[pos + match]) {
+          ++match;
+        }
+        if (match > best_length) {
+          best_length = match;
+          best_distance = distance;
+          if (match == kMaxMatch) break;
+        }
+      }
+    }
+
+    begin_item();
+    if (best_length >= kMinMatch) {
+      // Match item: control bit 0.
+      ++control_bits;
+      const std::uint16_t distance_field =
+          static_cast<std::uint16_t>(best_distance - 1);
+      const std::uint8_t length_field =
+          static_cast<std::uint8_t>(best_length - kMinMatch);
+      out.push_back(static_cast<char>(distance_field & 0xFF));
+      out.push_back(static_cast<char>(((distance_field >> 8) & 0x0F) |
+                                      (length_field << 4)));
+      for (std::size_t i = 0; i < best_length; ++i) insert(pos + i);
+      pos += best_length;
+    } else {
+      mark_literal_bit();
+      out.push_back(static_cast<char>(data[pos]));
+      insert(pos);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::string LzssDecompress(std::string_view compressed) {
+  PHOCUS_CHECK(compressed.size() >= 9, "LZSS input too short");
+  PHOCUS_CHECK(static_cast<std::uint8_t>(compressed[0]) == kMagic,
+               "not an LZSS buffer");
+  std::uint64_t length = 0;
+  for (int i = 8; i >= 1; --i) {
+    length = (length << 8) | static_cast<std::uint8_t>(compressed[i]);
+  }
+  // Bound the declared length by the format's maximum expansion (each
+  // 2-byte match token yields at most 18 bytes) before allocating anything:
+  // a mutated header must not drive a multi-gigabyte reserve.
+  PHOCUS_CHECK(length <= (compressed.size() - 9) * 9,
+               "LZSS declared length is implausible for the input size");
+  std::string out;
+  out.reserve(length);
+
+  std::size_t pos = 9;
+  std::uint8_t control = 0;
+  int control_bits = 0;
+  while (out.size() < length) {
+    if (control_bits == 0) {
+      PHOCUS_CHECK(pos < compressed.size(), "LZSS truncated (control byte)");
+      control = static_cast<std::uint8_t>(compressed[pos++]);
+      control_bits = 8;
+    }
+    const bool literal = control & 1;
+    control >>= 1;
+    --control_bits;
+    if (literal) {
+      PHOCUS_CHECK(pos < compressed.size(), "LZSS truncated (literal)");
+      out.push_back(compressed[pos++]);
+    } else {
+      PHOCUS_CHECK(pos + 2 <= compressed.size(), "LZSS truncated (match)");
+      const std::uint8_t low = static_cast<std::uint8_t>(compressed[pos]);
+      const std::uint8_t high = static_cast<std::uint8_t>(compressed[pos + 1]);
+      pos += 2;
+      const std::size_t distance = (static_cast<std::size_t>(high & 0x0F) << 8 | low) + 1;
+      const std::size_t match = (high >> 4) + kMinMatch;
+      PHOCUS_CHECK(distance <= out.size(), "LZSS match before start");
+      PHOCUS_CHECK(out.size() + match <= length, "LZSS output overrun");
+      // Byte-by-byte copy: matches may overlap themselves.
+      const std::size_t start = out.size() - distance;
+      for (std::size_t i = 0; i < match; ++i) out.push_back(out[start + i]);
+    }
+  }
+  PHOCUS_CHECK(out.size() == length, "LZSS length mismatch");
+  return out;
+}
+
+}  // namespace phocus

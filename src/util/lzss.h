@@ -1,0 +1,31 @@
+#ifndef PHOCUS_UTIL_LZSS_H_
+#define PHOCUS_UTIL_LZSS_H_
+
+#include <string>
+#include <string_view>
+
+/// \file lzss.h
+/// A small self-contained LZSS codec (4 KiB window, 3–18 byte matches,
+/// hash-chain match finder). Used by the cold-storage vault to compress
+/// archived photo payloads — the "compression schemes for cold storage"
+/// role §2 points at — without any external dependency.
+///
+/// Format: repeating groups of one control byte followed by 8 items; each
+/// control bit (LSB first) selects literal (1 byte) or match (2 bytes:
+/// 12-bit backward distance−1, 4-bit length−3). A header carries a magic
+/// byte and the decoded length, so decompression can pre-allocate and
+/// validate.
+
+namespace phocus {
+
+/// Compresses `input`. Never fails; incompressible data grows by at most
+/// ~12.5% plus the 9-byte header.
+std::string LzssCompress(std::string_view input);
+
+/// Decompresses a buffer produced by LzssCompress. Throws CheckFailure on
+/// malformed or truncated input.
+std::string LzssDecompress(std::string_view compressed);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_LZSS_H_

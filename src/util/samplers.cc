@@ -1,0 +1,77 @@
+#include "util/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  PHOCUS_CHECK(n > 0, "ZipfSampler requires n > 0");
+  PHOCUS_CHECK(exponent >= 0.0, "Zipf exponent must be nonnegative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::size_t k) const {
+  PHOCUS_CHECK(k < cdf_.size(), "Zipf rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  PHOCUS_CHECK(n > 0, "AliasSampler requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    PHOCUS_CHECK(w >= 0.0, "AliasSampler weights must be nonnegative");
+    total += w;
+  }
+  PHOCUS_CHECK(total > 0.0, "AliasSampler weights must not all be zero");
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) probability_[i] = 1.0;
+  for (std::size_t i : small) probability_[i] = 1.0;
+}
+
+std::size_t AliasSampler::Sample(Rng& rng) const {
+  const std::size_t column = static_cast<std::size_t>(
+      rng.NextBelow(probability_.size()));
+  return rng.UniformDouble() < probability_[column] ? column : alias_[column];
+}
+
+}  // namespace phocus

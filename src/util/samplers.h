@@ -1,0 +1,52 @@
+#ifndef PHOCUS_UTIL_SAMPLERS_H_
+#define PHOCUS_UTIL_SAMPLERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file samplers.h
+/// Discrete distribution samplers used by the dataset generators.
+
+namespace phocus {
+
+/// Zipf(s) distribution over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+///
+/// Query-log frequencies and label popularities are famously Zipfian, which
+/// is what gives the paper's predefined-subset weights their skew.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (> 0)
+  /// \param exponent the skew parameter s (>= 0; 0 gives uniform)
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double Probability(std::size_t k) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+/// Walker alias method for O(1) sampling from an arbitrary discrete
+/// distribution (weights need not be normalized).
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_SAMPLERS_H_

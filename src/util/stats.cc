@@ -1,0 +1,36 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phocus {
+
+void StatsAccumulator::Add(double value) {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double StatsAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatsAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(values.size() - 1);
+  const std::size_t lower = static_cast<std::size_t>(position);
+  const std::size_t upper = std::min(lower + 1, values.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return values[lower] + fraction * (values[upper] - values[lower]);
+}
+
+}  // namespace phocus

@@ -1,0 +1,41 @@
+#ifndef PHOCUS_UTIL_STATS_H_
+#define PHOCUS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file stats.h
+/// Streaming statistics accumulator and percentile helpers for benches.
+
+namespace phocus {
+
+/// Welford-style streaming accumulator for mean/variance/min/max.
+class StatsAccumulator {
+ public:
+  void Add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) by linear interpolation. The input is
+/// copied and sorted. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_STATS_H_

@@ -1,0 +1,34 @@
+#ifndef PHOCUS_UTIL_STOPWATCH_H_
+#define PHOCUS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file stopwatch.h
+/// Wall-clock stopwatch used by benches and the solver's time reports.
+
+namespace phocus {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_STOPWATCH_H_

@@ -1,0 +1,121 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace phocus {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) fields.emplace_back(text.substr(start, i - start));
+  }
+  return fields;
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+std::string Trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string HumanBytes(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1000ULL * 1000 * 1000) return StrFormat("%.1fGB", b / 1e9);
+  if (bytes >= 1000ULL * 1000) return StrFormat("%.1fMB", b / 1e6);
+  if (bytes >= 1000ULL) return StrFormat("%.1fKB", b / 1e3);
+  return StrFormat("%lluB", static_cast<unsigned long long>(bytes));
+}
+
+std::uint64_t ParseBytes(std::string_view text) {
+  std::string trimmed = Trim(text);
+  PHOCUS_CHECK(!trimmed.empty(), "empty byte-size string");
+  std::size_t pos = 0;
+  while (pos < trimmed.size() &&
+         (std::isdigit(static_cast<unsigned char>(trimmed[pos])) ||
+          trimmed[pos] == '.')) {
+    ++pos;
+  }
+  PHOCUS_CHECK(pos > 0, "byte-size string must start with a number: " + trimmed);
+  double value = std::strtod(trimmed.substr(0, pos).c_str(), nullptr);
+  std::string unit = ToLower(Trim(trimmed.substr(pos)));
+  double scale = 1.0;
+  if (unit.empty() || unit == "b") {
+    scale = 1.0;
+  } else if (unit == "kb" || unit == "k") {
+    scale = 1e3;
+  } else if (unit == "mb" || unit == "m") {
+    scale = 1e6;
+  } else if (unit == "gb" || unit == "g") {
+    scale = 1e9;
+  } else {
+    PHOCUS_CHECK(false, "unknown byte unit: " + unit);
+  }
+  return static_cast<std::uint64_t>(value * scale);
+}
+
+}  // namespace phocus

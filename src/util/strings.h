@@ -1,0 +1,47 @@
+#ifndef PHOCUS_UTIL_STRINGS_H_
+#define PHOCUS_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.h
+/// Small string helpers (the toolchain lacks `<format>`, so formatting is
+/// snprintf-based via `StrFormat`).
+
+namespace phocus {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter. Empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits on any whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// ASCII lowercase.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Renders a byte count like "2.0MB" / "512KB" (decimal MB as in the paper).
+std::string HumanBytes(std::uint64_t bytes);
+
+/// Parses strings like "5MB", "1GB", "250KB", "1024" into bytes.
+/// Throws CheckFailure on malformed input.
+std::uint64_t ParseBytes(std::string_view text);
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_STRINGS_H_

@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  PHOCUS_CHECK(header_.empty() || row.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRow(const std::string& label,
+                       const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(StrFormat("%.*f", precision, v));
+  }
+  AddRow(std::move(row));
+}
+
+std::string TextTable::Render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Strip trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  if (!header_.empty()) {
+    out += render_row(header_);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      rule += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out += std::string(rule, '-') + "\n";
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted += "\"";
+    return quoted;
+  };
+  std::string out;
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += escape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) render_row(header_);
+  for (const auto& row : rows_) render_row(row);
+  return out;
+}
+
+}  // namespace phocus

@@ -1,0 +1,42 @@
+#ifndef PHOCUS_UTIL_TABLE_H_
+#define PHOCUS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// ASCII table renderer used by the bench harness to print the paper's
+/// tables/figure series in a uniform format, plus a CSV exporter.
+
+namespace phocus {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Adds a data row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders with column alignment, a header separator, and an optional
+  /// title line.
+  std::string Render(const std::string& title = "") const;
+
+  /// Renders as CSV (no title).
+  std::string RenderCsv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_TABLE_H_

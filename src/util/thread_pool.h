@@ -1,0 +1,61 @@
+#ifndef PHOCUS_UTIL_THREAD_POOL_H_
+#define PHOCUS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A fixed-size worker pool plus a blocking ParallelFor helper.
+///
+/// Embedding extraction and marginal-gain evaluation over large candidate
+/// sets are embarrassingly parallel; the pool keeps those paths simple.
+
+namespace phocus {
+
+/// Fixed-size thread pool. Tasks are `std::function<void()>`.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `body(i)` for i in [0, count) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit queue churn. If the
+  /// pool has a single worker (or `count` is small) the loop runs inline.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace phocus
+
+#endif  // PHOCUS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "bench/bench_support.h"
+#include "datagen/openimages.h"
+
+namespace phocus {
+namespace bench {
+namespace {
+
+Corpus SmallCorpus() {
+  OpenImagesOptions options;
+  options.num_photos = 150;
+  options.seed = 12;
+  options.render_size = 32;
+  return GenerateOpenImagesCorpus(options);
+}
+
+TEST(BenchSupportTest, QualityComparisonCoversAllSeries) {
+  const Corpus corpus = SmallCorpus();
+  const std::vector<Cost> budgets = {corpus.TotalBytes() / 10,
+                                     corpus.TotalBytes() / 4};
+  const auto points = RunQualityComparison(corpus, budgets);
+  // 4 algorithms × 2 budgets.
+  EXPECT_EQ(points.size(), 8u);
+  for (const QualityPoint& point : points) {
+    EXPECT_GT(point.quality, 0.0);
+    EXPECT_GE(point.seconds, 0.0);
+  }
+}
+
+TEST(BenchSupportTest, PhocusDominatesTheBaselines) {
+  // The invariant every §5.3 figure rests on, checked end to end through
+  // the same code path the benches use.
+  const Corpus corpus = SmallCorpus();
+  const std::vector<Cost> budgets = {corpus.TotalBytes() / 8};
+  const auto points = RunQualityComparison(corpus, budgets);
+  double rand_q = 0, nr = 0, ncs = 0, phocus = 0;
+  for (const QualityPoint& point : points) {
+    if (point.algorithm == "RAND") rand_q = point.quality;
+    if (point.algorithm == "G-NR") nr = point.quality;
+    if (point.algorithm == "G-NCS") ncs = point.quality;
+    if (point.algorithm == "PHOcus") phocus = point.quality;
+  }
+  EXPECT_GT(phocus, ncs);
+  EXPECT_GT(ncs, rand_q);
+  EXPECT_GT(phocus, nr);
+}
+
+TEST(BenchSupportTest, LargerBudgetNeverReducesAnySeries) {
+  const Corpus corpus = SmallCorpus();
+  const std::vector<Cost> budgets = {corpus.TotalBytes() / 10,
+                                     corpus.TotalBytes() / 3};
+  QualityComparisonOptions options;
+  options.include_rand = false;  // RAND is not monotone in expectation only
+  const auto points = RunQualityComparison(corpus, budgets, options);
+  for (const QualityPoint& a : points) {
+    for (const QualityPoint& b : points) {
+      if (a.algorithm == b.algorithm && a.budget < b.budget) {
+        EXPECT_LE(a.quality, b.quality + 1e-9) << a.algorithm;
+      }
+    }
+  }
+}
+
+TEST(BenchSupportTest, SeriesFormatterProducesOneRowPerAlgorithm) {
+  const Corpus corpus = SmallCorpus();
+  const std::vector<Cost> budgets = {corpus.TotalBytes() / 6};
+  const auto points = RunQualityComparison(corpus, budgets);
+  const std::string table = FormatQualitySeries(points, budgets, "T");
+  EXPECT_NE(table.find("PHOcus"), std::string::npos);
+  EXPECT_NE(table.find("G-NCS"), std::string::npos);
+  EXPECT_NE(table.find("G-NR"), std::string::npos);
+  EXPECT_NE(table.find("RAND"), std::string::npos);
+  EXPECT_NE(table.find("T"), std::string::npos);
+}
+
+TEST(BenchSupportTest, ScaleDefaultsToOne) {
+  unsetenv("PHOCUS_BENCH_SCALE");
+  EXPECT_EQ(GetScale(), 1u);
+  setenv("PHOCUS_BENCH_SCALE", "5", 1);
+  EXPECT_EQ(GetScale(), 5u);
+  setenv("PHOCUS_BENCH_SCALE", "garbage", 1);
+  EXPECT_EQ(GetScale(), 1u);
+  unsetenv("PHOCUS_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace phocus

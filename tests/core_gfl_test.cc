@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/celf.h"
+#include "core/exact.h"
+#include "core/gfl.h"
+#include "core/objective.h"
+#include "core/sparsify.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+using testing::EnumerateOptimum;
+using testing::MakeFigure1Instance;
+using testing::MakeRandomInstance;
+using testing::RandomInstanceOptions;
+
+// ---------------------------------------------------------- sparsify -----
+
+TEST(SparsifyTest, DropsOnlyEntriesBelowTau) {
+  const ParInstance dense = MakeFigure1Instance();
+  SparsifyStats stats;
+  const ParInstance sparse = SparsifyInstance(dense, 0.65, &stats);
+  sparse.Validate();
+  EXPECT_EQ(stats.entries_before, dense.CountSimEntries());
+  EXPECT_EQ(stats.entries_after, sparse.CountSimEntries());
+  EXPECT_LT(stats.entries_after, stats.entries_before);
+  // Entry-level check: q1 keeps (p1,p2)=0.7 and (p1,p3)=0.8, drops
+  // (p2,p3)=0.5.
+  const Subset& q1 = sparse.subset(0);
+  EXPECT_EQ(q1.sim_mode, Subset::SimMode::kSparse);
+  EXPECT_NEAR(q1.Similarity(0, 1), 0.7, 1e-6);
+  EXPECT_NEAR(q1.Similarity(0, 2), 0.8, 1e-6);
+  EXPECT_DOUBLE_EQ(q1.Similarity(1, 2), 0.0);
+}
+
+TEST(SparsifyTest, TauZeroKeepsEverything) {
+  const ParInstance dense = MakeFigure1Instance();
+  SparsifyStats stats;
+  SparsifyInstance(dense, 0.0, &stats);
+  EXPECT_EQ(stats.entries_after, stats.entries_before);
+}
+
+TEST(SparsifyTest, PreservesCostsWeightsAndRequired) {
+  ParInstance dense = MakeFigure1Instance();
+  dense.MarkRequired(3);
+  const ParInstance sparse = SparsifyInstance(dense, 0.5);
+  EXPECT_EQ(sparse.budget(), dense.budget());
+  EXPECT_TRUE(sparse.IsRequired(3));
+  for (PhotoId p = 0; p < dense.num_photos(); ++p) {
+    EXPECT_EQ(sparse.cost(p), dense.cost(p));
+  }
+  for (SubsetId q = 0; q < dense.num_subsets(); ++q) {
+    EXPECT_DOUBLE_EQ(sparse.subset(q).weight, dense.subset(q).weight);
+    EXPECT_EQ(sparse.subset(q).members, dense.subset(q).members);
+  }
+}
+
+TEST(SparsifyTest, SparsifiedScoreNeverExceedsDenseScore) {
+  const ParInstance dense = MakeRandomInstance(42);
+  const ParInstance sparse = SparsifyInstance(dense, 0.6);
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PhotoId> selection;
+    for (PhotoId p = 0; p < dense.num_photos(); ++p) {
+      if (rng.Bernoulli(0.4)) selection.push_back(p);
+    }
+    EXPECT_LE(ObjectiveEvaluator::Evaluate(sparse, selection),
+              ObjectiveEvaluator::Evaluate(dense, selection) + 1e-9);
+  }
+}
+
+TEST(SparsifyTest, RejectsBadTau) {
+  const ParInstance instance = MakeFigure1Instance();
+  EXPECT_THROW(SparsifyInstance(instance, -0.1), CheckFailure);
+  EXPECT_THROW(SparsifyInstance(instance, 1.5), CheckFailure);
+}
+
+// --------------------------------------------------------------- GFL -----
+
+TEST(GflTest, GraphShapeMatchesTheInstance) {
+  const ParInstance instance = MakeFigure1Instance();
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  EXPECT_EQ(graph.num_left(), instance.num_photos());
+  // Right nodes: one per (q, member): 3 + 3 + 1 + 2 = 9.
+  EXPECT_EQ(graph.num_right(), 9u);
+  // W_R = Σ W(q)·R(q,p) = Σ W(q) = 14 (relevance normalized).
+  EXPECT_NEAR(graph.TotalRightWeight(), 14.0, 1e-9);
+}
+
+TEST(GflTest, Figure2NodeAndEdgeWeightsMatchThePaper) {
+  // Figure 2 annotates the bipartite graph explicitly; spot-check it.
+  const ParInstance instance = MakeFigure1Instance();
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  // Left weights are the photo sizes: w_L(p1) = 1.2MB, w_L(p3) = 2.1MB.
+  EXPECT_DOUBLE_EQ(graph.left_weight(0), 1'200'000.0);
+  EXPECT_DOUBLE_EQ(graph.left_weight(2), 2'100'000.0);
+  // Right node (q1, p1) has w_R = 9 · 0.5; (q3, p6) has w_R = 3 · 1.
+  double w_q1_p1 = -1, w_q3_p6 = -1;
+  for (std::size_t r = 0; r < graph.num_right(); ++r) {
+    const GflGraph::RightNode& node = graph.right_nodes()[r];
+    if (node.subset == 0 && node.local_index == 0) w_q1_p1 = node.weight;
+    if (node.subset == 2 && node.local_index == 0) w_q3_p6 = node.weight;
+  }
+  EXPECT_NEAR(w_q1_p1, 9 * 0.5, 1e-9);
+  EXPECT_NEAR(w_q3_p6, 3 * 1.0, 1e-9);
+  // Edge p2 → (q1, p1) carries SIM(q1, p1, p2) = 0.7, and the self edge
+  // p1 → (q1, p1) carries 1 (drawn implicitly in the paper's figure).
+  for (std::size_t r = 0; r < graph.num_right(); ++r) {
+    const GflGraph::RightNode& node = graph.right_nodes()[r];
+    if (node.subset == 0 && node.local_index == 0) {
+      double p2_edge = -1, self_edge = -1;
+      for (const auto& [photo, weight] : graph.edges()[r]) {
+        if (photo == 1) p2_edge = weight;
+        if (photo == 0) self_edge = weight;
+      }
+      EXPECT_NEAR(p2_edge, 0.7, 1e-6);
+      EXPECT_NEAR(self_edge, 1.0, 1e-9);
+    }
+  }
+}
+
+class GflEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GflEquivalenceTest, GflObjectiveEqualsParObjective) {
+  // §4.3 claims the GFL formulation is equivalent to PAR; verify F(S) = G(S)
+  // on random instances and random selections.
+  const ParInstance instance = MakeRandomInstance(GetParam());
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<PhotoId> selection;
+    for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+      if (rng.Bernoulli(0.35)) selection.push_back(p);
+    }
+    EXPECT_NEAR(graph.Evaluate(selection),
+                ObjectiveEvaluator::Evaluate(instance, selection), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GflEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(500, 510));
+
+TEST(GflTest, EvaluateEmptySelectionIsZero) {
+  const GflGraph graph = GflGraph::FromInstance(MakeFigure1Instance());
+  EXPECT_DOUBLE_EQ(graph.Evaluate({}), 0.0);
+}
+
+// --------------------------------------------- budgeted max coverage -----
+
+TEST(CoverageTest, FullBudgetCoversEverything) {
+  const ParInstance instance = MakeFigure1Instance();
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  const CoverageResult result =
+      BudgetedMaxCoverage(graph, /*tau=*/0.3, instance.TotalCost());
+  EXPECT_NEAR(result.alpha, 1.0, 1e-9);
+  EXPECT_NEAR(result.covered_weight, graph.TotalRightWeight(), 1e-9);
+}
+
+TEST(CoverageTest, RespectsBudget) {
+  const ParInstance instance = MakeFigure1Instance();
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  const Cost budget = 2'000'000;
+  const CoverageResult result = BudgetedMaxCoverage(graph, 0.5, budget);
+  Cost total = 0;
+  for (PhotoId p : result.selected) total += instance.cost(p);
+  EXPECT_LE(total, budget);
+  EXPECT_GE(result.alpha, 0.0);
+  EXPECT_LE(result.alpha, 1.0);
+}
+
+TEST(CoverageTest, HigherTauCoversNoMore) {
+  const ParInstance instance = MakeRandomInstance(808);
+  const GflGraph graph = GflGraph::FromInstance(instance);
+  const CoverageResult low = BudgetedMaxCoverage(graph, 0.2, instance.budget());
+  const CoverageResult high = BudgetedMaxCoverage(graph, 0.9, instance.budget());
+  EXPECT_GE(low.alpha + 1e-9, high.alpha);
+}
+
+// ---------------------------------------------------- Theorem 4.8 --------
+
+TEST(SparsificationGuaranteeTest, FormulaAndEdgeCases) {
+  EXPECT_DOUBLE_EQ(SparsificationGuarantee(1.0), 0.5);
+  EXPECT_NEAR(SparsificationGuarantee(4.0), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(SparsificationGuarantee(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SparsificationGuarantee(-1.0), 0.0);
+}
+
+class Theorem48Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem48Test, SparsifiedOptimumRespectsTheBound) {
+  // Build a random instance, sparsify at τ, compute α via budgeted max
+  // coverage, and verify OPT_τ >= guarantee · OPT on the *exact* optima.
+  RandomInstanceOptions options;
+  options.num_photos = 10;
+  options.num_subsets = 6;
+  options.budget_fraction = 0.45;
+  const ParInstance dense = MakeRandomInstance(GetParam(), options);
+  const double tau = 0.5;
+  const ParInstance sparse = SparsifyInstance(dense, tau);
+
+  const GflGraph graph = GflGraph::FromInstance(dense);
+  const CoverageResult coverage =
+      BudgetedMaxCoverage(graph, tau, dense.budget());
+  const double guarantee = SparsificationGuarantee(coverage.alpha);
+
+  const double dense_opt = EnumerateOptimum(dense);
+  const double sparse_opt = EnumerateOptimum(sparse);
+  EXPECT_GE(sparse_opt + 1e-9, guarantee * dense_opt)
+      << "alpha=" << coverage.alpha << " seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem48Test,
+                         ::testing::Range<std::uint64_t>(600, 610));
+
+TEST(SparsifiedSolveTest, CelfOnSparseInstanceIsFeasibleAndClose) {
+  RandomInstanceOptions options;
+  options.num_photos = 40;
+  options.num_subsets = 20;
+  const ParInstance dense = MakeRandomInstance(909, options);
+  const ParInstance sparse = SparsifyInstance(dense, 0.4);
+  CelfSolver solver;
+  const SolverResult dense_result = solver.Solve(dense);
+  const SolverResult sparse_result = solver.Solve(sparse);
+  CheckFeasible(sparse, sparse_result);
+  // The sparsified selection, evaluated under the TRUE similarities, stays
+  // within a modest factor of the dense run (the paper reports <= 5% loss).
+  const double true_score =
+      ObjectiveEvaluator::Evaluate(dense, sparse_result.selected);
+  EXPECT_GE(true_score, 0.7 * dense_result.score);
+}
+
+}  // namespace
+}  // namespace phocus

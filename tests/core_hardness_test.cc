@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/celf.h"
+#include "core/hardness.h"
+#include "core/objective.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+MaxCoverageInstance RandomMc(std::uint64_t seed, std::size_t num_sets = 8,
+                             std::size_t num_elements = 12, std::size_t k = 3) {
+  Rng rng(seed);
+  MaxCoverageInstance mc;
+  mc.num_elements = num_elements;
+  mc.k = k;
+  mc.sets.resize(num_sets);
+  for (auto& set : mc.sets) {
+    const std::size_t size = 1 + rng.NextBelow(num_elements / 2);
+    for (std::size_t idx : rng.SampleWithoutReplacement(num_elements, size)) {
+      set.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+  return mc;
+}
+
+TEST(HardnessTest, ReductionShapeMatchesTheConstruction) {
+  MaxCoverageInstance mc;
+  mc.num_elements = 3;
+  mc.sets = {{0, 1}, {1, 2}, {2}};
+  mc.k = 2;
+  const ParInstance par = ReduceMaxCoverageToPar(mc);
+  EXPECT_EQ(par.num_photos(), 3u);
+  EXPECT_EQ(par.budget(), 2u);
+  EXPECT_EQ(par.num_subsets(), 3u);  // one per element
+  for (PhotoId p = 0; p < 3; ++p) EXPECT_EQ(par.cost(p), 1u);
+  // Element 1 is covered by sets {0, 1}.
+  EXPECT_EQ(par.subset(1).members, (std::vector<PhotoId>{0, 1}));
+  EXPECT_EQ(par.subset(1).sim_mode, Subset::SimMode::kUniform);
+}
+
+TEST(HardnessTest, ParScoreEqualsCoverageCount) {
+  // The reduction's core invariant: for ANY selection, G(S) equals the
+  // number of elements covered by the corresponding sets.
+  const MaxCoverageInstance mc = RandomMc(1);
+  const ParInstance par = ReduceMaxCoverageToPar(mc);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<PhotoId> chosen;
+    for (PhotoId s = 0; s < mc.sets.size(); ++s) {
+      if (rng.Bernoulli(0.3)) chosen.push_back(s);
+    }
+    EXPECT_NEAR(ObjectiveEvaluator::Evaluate(par, chosen),
+                static_cast<double>(CoverageOf(mc, chosen)), 1e-9);
+  }
+}
+
+class HardnessEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HardnessEquivalenceTest, OptimaCoincide) {
+  const MaxCoverageInstance mc = RandomMc(GetParam());
+  const ParInstance par = ReduceMaxCoverageToPar(mc);
+  const double par_opt = testing::EnumerateOptimum(par);
+  const std::size_t mc_opt = EnumerateMaxCoverage(mc);
+  EXPECT_NEAR(par_opt, static_cast<double>(mc_opt), 1e-9)
+      << "seed=" << GetParam();
+}
+
+TEST_P(HardnessEquivalenceTest, GreedyTransfersTheApproximationRatio) {
+  // Any α-approximate PAR solution yields an α-approximate MC solution by
+  // picking the corresponding sets (Theorem 3.4's direction of use).
+  const MaxCoverageInstance mc = RandomMc(GetParam() ^ 0x99);
+  const ParInstance par = ReduceMaxCoverageToPar(mc);
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(par);
+  const std::size_t covered = CoverageOf(mc, result.selected);
+  EXPECT_NEAR(static_cast<double>(covered), result.score, 1e-9);
+  // Unit costs: Algorithm 1 contains the classic greedy, so (1 − 1/e) holds.
+  const std::size_t optimum = EnumerateMaxCoverage(mc);
+  EXPECT_GE(static_cast<double>(covered) + 1e-9,
+            (1.0 - std::exp(-1.0)) * static_cast<double>(optimum));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HardnessEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(700, 710));
+
+TEST(HardnessTest, UncoverableElementsAreDropped) {
+  MaxCoverageInstance mc;
+  mc.num_elements = 4;
+  mc.sets = {{0}, {1}};
+  mc.k = 1;
+  const ParInstance par = ReduceMaxCoverageToPar(mc);
+  EXPECT_EQ(par.num_subsets(), 2u);  // elements 2 and 3 dropped
+}
+
+TEST(HardnessTest, RejectsMalformedInstances) {
+  MaxCoverageInstance empty;
+  empty.k = 1;
+  EXPECT_THROW(ReduceMaxCoverageToPar(empty), CheckFailure);
+  MaxCoverageInstance zero_k;
+  zero_k.num_elements = 1;
+  zero_k.sets = {{0}};
+  zero_k.k = 0;
+  EXPECT_THROW(ReduceMaxCoverageToPar(zero_k), CheckFailure);
+  MaxCoverageInstance bad_element;
+  bad_element.num_elements = 1;
+  bad_element.sets = {{5}};
+  bad_element.k = 1;
+  EXPECT_THROW(ReduceMaxCoverageToPar(bad_element), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

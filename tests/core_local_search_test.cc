@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/celf.h"
+#include "core/exact.h"
+#include "core/local_search.h"
+#include "core/objective.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+using testing::EnumerateOptimum;
+using testing::MakeRandomInstance;
+using testing::RandomInstanceOptions;
+
+class LocalSearchTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchTest, NeverDegradesAndStaysFeasible) {
+  RandomInstanceOptions options;
+  options.num_photos = 25;
+  options.required_fraction = 0.1;
+  const ParInstance instance = MakeRandomInstance(GetParam(), options);
+  RandomAddSolver random_solver(GetParam());
+  SolverResult solution = random_solver.Solve(instance);
+  const double before = solution.score;
+  const LocalSearchStats stats = ImproveByLocalSearch(instance, solution);
+  EXPECT_GE(stats.final_score + 1e-9, before);
+  EXPECT_GE(stats.final_score + 1e-9, stats.initial_score);
+  CheckFeasible(instance, solution);
+}
+
+TEST_P(LocalSearchTest, SubstantiallyImprovesRandomSolutions) {
+  RandomInstanceOptions options;
+  options.num_photos = 30;
+  options.budget_fraction = 0.3;
+  const ParInstance instance = MakeRandomInstance(GetParam() ^ 0x5, options);
+  RandomAddSolver random_solver(1);
+  SolverResult solution = random_solver.Solve(instance);
+  const double before = solution.score;
+  ImproveByLocalSearch(instance, solution);
+  EXPECT_GT(solution.score, before * 1.01)
+      << "local search should lift a random solution noticeably";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchTest,
+                         ::testing::Range<std::uint64_t>(800, 808));
+
+TEST(LocalSearchTest, BarelyMovesAnAlreadyStrongSolution) {
+  RandomInstanceOptions options;
+  options.num_photos = 20;
+  const ParInstance instance = MakeRandomInstance(900, options);
+  CelfSolver celf;
+  SolverResult solution = celf.Solve(instance);
+  const double greedy_score = solution.score;
+  const LocalSearchStats stats = ImproveByLocalSearch(instance, solution);
+  // Improvement over CELF exists but is small; and never negative.
+  EXPECT_GE(solution.score + 1e-9, greedy_score);
+  EXPECT_LE(solution.score, greedy_score * 1.2);
+  EXPECT_LE(stats.passes, 3);
+}
+
+TEST(LocalSearchTest, CanReachTheOptimumGreedyMisses) {
+  // Classic greedy trap: one medium item beats per-step gains but blocks
+  // the two items that together are optimal.
+  ParInstance instance(3, {2, 1, 1}, 2);
+  auto add_singleton = [&](PhotoId p, double weight) {
+    Subset q;
+    q.name = std::string("q") + std::to_string(p);
+    q.weight = weight;
+    q.members = {p};
+    q.relevance = {1.0};
+    instance.AddSubset(std::move(q));
+  };
+  add_singleton(0, 1.0);    // cost 2, value 1.0
+  add_singleton(1, 0.55);   // cost 1, value 0.55
+  add_singleton(2, 0.55);   // cost 1, value 0.55
+  instance.Validate();
+  // UC greedy takes photo 0 (gain 1.0 > 0.55) and fills the budget: G = 1.
+  SolverResult greedy = LazyGreedy(instance, GreedyRule::kUnitCost);
+  EXPECT_NEAR(greedy.score, 1.0, 1e-12);
+  // Local search evicts 0 and refills with {1, 2}: G = 1.1 (the optimum).
+  ImproveByLocalSearch(instance, greedy);
+  EXPECT_NEAR(greedy.score, 1.1, 1e-12);
+  EXPECT_NEAR(greedy.score, testing::EnumerateOptimum(instance), 1e-12);
+}
+
+TEST(LocalSearchTest, SolverWrapperComposes) {
+  const ParInstance instance = MakeRandomInstance(901);
+  RandomAddSolver inner(7);
+  LocalSearchSolver wrapped(&inner);
+  const SolverResult plain = inner.Solve(instance);
+  const SolverResult improved = wrapped.Solve(instance);
+  CheckFeasible(instance, improved);
+  EXPECT_GE(improved.score + 1e-9, plain.score);
+  EXPECT_EQ(improved.solver_name, "RAND-A+LS");
+  EXPECT_NE(improved.detail.find("ls_moves="), std::string::npos);
+}
+
+TEST(LocalSearchTest, RequiredPhotosAreNeverEvicted) {
+  RandomInstanceOptions options;
+  options.num_photos = 15;
+  options.required_fraction = 0.3;
+  const ParInstance instance = MakeRandomInstance(902, options);
+  RandomAddSolver inner(3);
+  SolverResult solution = inner.Solve(instance);
+  ImproveByLocalSearch(instance, solution);
+  CheckFeasible(instance, solution);  // verifies S0 ⊆ S among other things
+}
+
+}  // namespace
+}  // namespace phocus

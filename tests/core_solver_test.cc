@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/baselines.h"
+#include "core/celf.h"
+#include "core/exact.h"
+#include "core/objective.h"
+#include "core/online_bound.h"
+#include "core/solver.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+using testing::EnumerateOptimum;
+using testing::MakeFigure1Instance;
+using testing::MakeRandomInstance;
+using testing::RandomInstanceOptions;
+
+/// Reference implementation: plain (non-lazy) greedy, recomputing every gain
+/// each round. CELF must match it exactly.
+SolverResult NaiveGreedy(const ParInstance& instance, GreedyRule rule) {
+  SolverResult result;
+  ObjectiveEvaluator evaluator(&instance);
+  for (PhotoId p : instance.RequiredPhotos()) {
+    evaluator.Add(p);
+    result.selected.push_back(p);
+  }
+  Cost remaining = instance.budget() - evaluator.selected_cost();
+  for (;;) {
+    double best_key = 1e-12;
+    PhotoId best = instance.num_photos();
+    for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+      if (evaluator.IsSelected(p) || instance.cost(p) > remaining) continue;
+      const double gain = evaluator.GainOf(p);
+      const double key = rule == GreedyRule::kUnitCost
+                             ? gain
+                             : gain / static_cast<double>(instance.cost(p));
+      if (key > best_key) {
+        best_key = key;
+        best = p;
+      }
+    }
+    if (best == instance.num_photos()) break;
+    evaluator.Add(best);
+    result.selected.push_back(best);
+    remaining -= instance.cost(best);
+  }
+  result.score = evaluator.score();
+  result.cost = evaluator.selected_cost();
+  return result;
+}
+
+// --------------------------------------------------------------- CELF ----
+
+TEST(CelfTest, Figure1SelectionOrderMatchesThePaperDemo) {
+  // Figure 3 walks LazyGreedy(UC): p1, then p6, then p2.
+  ParInstance instance = MakeFigure1Instance(/*budget=*/8'100'000);
+  const SolverResult result = LazyGreedy(instance, GreedyRule::kUnitCost);
+  ASSERT_GE(result.selected.size(), 3u);
+  EXPECT_EQ(result.selected[0], 0u);  // p1
+  EXPECT_EQ(result.selected[1], 5u);  // p6
+  EXPECT_EQ(result.selected[2], 1u);  // p2
+}
+
+TEST(CelfTest, LazyEvaluationSavesGainComputations) {
+  RandomInstanceOptions options;
+  options.num_photos = 60;
+  options.num_subsets = 25;
+  options.max_subset_size = 10;
+  const ParInstance instance = MakeRandomInstance(777, options);
+  const SolverResult lazy = LazyGreedy(instance, GreedyRule::kCostBenefit);
+  const std::size_t picks = lazy.selected.size();
+  // Naive greedy evaluates ~n gains per pick; CELF should do far fewer.
+  EXPECT_LT(lazy.gain_evaluations, picks * instance.num_photos());
+}
+
+class CelfMatchesNaiveTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CelfMatchesNaiveTest, UcAndCbMatchNaiveGreedy) {
+  RandomInstanceOptions options;
+  options.num_photos = 20;
+  options.num_subsets = 10;
+  options.budget_fraction = 0.35;
+  const ParInstance instance = MakeRandomInstance(GetParam(), options);
+  for (GreedyRule rule : {GreedyRule::kUnitCost, GreedyRule::kCostBenefit}) {
+    const SolverResult lazy = LazyGreedy(instance, rule);
+    const SolverResult naive = NaiveGreedy(instance, rule);
+    EXPECT_NEAR(lazy.score, naive.score, 1e-9)
+        << "rule=" << static_cast<int>(rule) << " seed=" << GetParam();
+    EXPECT_EQ(lazy.selected.size(), naive.selected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CelfMatchesNaiveTest,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+TEST(CelfTest, RespectsBudgetAndRequiredSet) {
+  RandomInstanceOptions options;
+  options.num_photos = 25;
+  options.required_fraction = 0.2;
+  const ParInstance instance = MakeRandomInstance(31337, options);
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  CheckFeasible(instance, result);  // budget + S0 + score re-check
+}
+
+TEST(CelfTest, SeedExceedingBudgetThrows) {
+  ParInstance instance(2, {10, 10}, 5);
+  EXPECT_THROW(
+      LazyGreedyFrom(instance, GreedyRule::kUnitCost, CelfOptions{}, {0}),
+      CheckFailure);
+}
+
+TEST(CelfTest, MainAlgorithmTakesTheBetterOfUcAndCb) {
+  RandomInstanceOptions options;
+  options.num_photos = 30;
+  options.cost_lo = 1;
+  options.cost_hi = 200;  // strong cost heterogeneity
+  const ParInstance instance = MakeRandomInstance(999, options);
+  CelfSolver solver;
+  const SolverResult best = solver.Solve(instance);
+  EXPECT_NEAR(best.score, std::max(solver.uc_score(), solver.cb_score()), 1e-12);
+  EXPECT_TRUE(best.detail == "UC" || best.detail == "CB");
+}
+
+TEST(CelfTest, CbBeatsUcWhenGainsHideInCheapPhotos) {
+  // One expensive photo with gain 1.0 vs many cheap photos with gain 0.9
+  // each: UC grabs the expensive one and exhausts the budget; CB packs the
+  // cheap ones.
+  ParInstance instance(5, {100, 10, 10, 10, 10}, 100);
+  auto add_singleton = [&](PhotoId p, double weight) {
+    Subset q;
+    q.name = "q" + std::to_string(p);
+    q.weight = weight;
+    q.members = {p};
+    q.relevance = {1.0};
+    instance.AddSubset(std::move(q));
+  };
+  add_singleton(0, 1.0);
+  for (PhotoId p = 1; p < 5; ++p) add_singleton(p, 0.9);
+  instance.Validate();
+  const SolverResult uc = LazyGreedy(instance, GreedyRule::kUnitCost);
+  const SolverResult cb = LazyGreedy(instance, GreedyRule::kCostBenefit);
+  EXPECT_NEAR(uc.score, 1.0, 1e-12);
+  EXPECT_NEAR(cb.score, 3.6, 1e-12);
+  CelfSolver solver;
+  EXPECT_NEAR(solver.Solve(instance).score, 3.6, 1e-12);
+}
+
+TEST(CelfTest, ZeroBudgetSelectsNothing) {
+  ParInstance instance(3, {5, 5, 5}, 1);  // nothing fits
+  Subset q;
+  q.members = {0, 1, 2};
+  instance.AddSubset(std::move(q));
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_DOUBLE_EQ(result.score, 0.0);
+}
+
+// ---------------------------------------------------------- baselines ----
+
+TEST(BaselineTest, RandomAddFillsBudget) {
+  RandomInstanceOptions options;
+  options.num_photos = 30;
+  const ParInstance instance = MakeRandomInstance(555, options);
+  RandomAddSolver solver(1);
+  const SolverResult result = solver.Solve(instance);
+  CheckFeasible(instance, result);
+  // After RAND-A stops, no unselected photo fits.
+  std::set<PhotoId> chosen(result.selected.begin(), result.selected.end());
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (!chosen.count(p)) {
+      EXPECT_GT(result.cost + instance.cost(p), instance.budget());
+    }
+  }
+}
+
+TEST(BaselineTest, RandomDeleteReachesFeasibility) {
+  RandomInstanceOptions options;
+  options.num_photos = 30;
+  options.required_fraction = 0.1;
+  const ParInstance instance = MakeRandomInstance(556, options);
+  RandomDeleteSolver solver(2);
+  const SolverResult result = solver.Solve(instance);
+  CheckFeasible(instance, result);
+}
+
+TEST(BaselineTest, RandomBaselinesAreSeedDeterministic) {
+  const ParInstance instance = MakeRandomInstance(557);
+  RandomAddSolver a(9), b(9), c(10);
+  EXPECT_EQ(a.Solve(instance).selected, b.Solve(instance).selected);
+  EXPECT_NE(a.Solve(instance).selected, c.Solve(instance).selected);
+}
+
+TEST(BaselineTest, GreedyNrMistakesPartialCoverageForFull) {
+  // q1 holds two photos that are in truth barely similar (sim 0.1). To
+  // Greedy-NR's SIM≡1 surrogate the subset looks fully covered after one
+  // pick, so it spends the remaining budget on the low-weight singleton q2;
+  // the real objective says the second q1 photo was worth much more.
+  ParInstance instance(3, {10, 10, 10}, 20);
+  {
+    Subset q;
+    q.name = "barely-similar pair";
+    q.weight = 10.0;
+    q.members = {0, 1};
+    q.relevance = {0.5, 0.5};
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim = {1.0f, 0.1f, 0.1f, 1.0f};
+    instance.AddSubset(std::move(q));
+  }
+  {
+    Subset q;
+    q.name = "solo";
+    q.weight = 3.0;
+    q.members = {2};
+    q.relevance = {1.0};
+    instance.AddSubset(std::move(q));
+  }
+  instance.Validate();
+  GreedyNoRedundancySolver nr;
+  const SolverResult nr_result = nr.Solve(instance);
+  CheckFeasible(instance, nr_result);
+  CelfSolver celf;
+  const SolverResult celf_result = celf.Solve(instance);
+  // NR takes one q1 photo + the solo: true score 10·0.55 + 3 = 8.5.
+  EXPECT_NEAR(nr_result.score, 8.5, 1e-6);
+  // CELF sees the low similarity and keeps both q1 photos: score 10.
+  EXPECT_NEAR(celf_result.score, 10.0, 1e-6);
+}
+
+TEST(BaselineTest, GreedyNrIsFeasible) {
+  RandomInstanceOptions options;
+  options.num_photos = 30;
+  options.required_fraction = 0.1;
+  const ParInstance instance = MakeRandomInstance(558, options);
+  GreedyNoRedundancySolver solver;
+  CheckFeasible(instance, solver.Solve(instance));
+}
+
+// -------------------------------------------------------------- exact ----
+
+class BruteForceMatchesEnumerationTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceMatchesEnumerationTest, ExactOnSmallInstances) {
+  RandomInstanceOptions options;
+  options.num_photos = 11;
+  options.num_subsets = 6;
+  options.budget_fraction = 0.45;
+  const ParInstance instance = MakeRandomInstance(GetParam(), options);
+  BruteForceSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  EXPECT_TRUE(result.exact);
+  CheckFeasible(instance, result);
+  EXPECT_NEAR(result.score, EnumerateOptimum(instance), 1e-9)
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceMatchesEnumerationTest,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+TEST(BruteForceTest, HonorsRequiredPhotos) {
+  RandomInstanceOptions options;
+  options.num_photos = 10;
+  options.required_fraction = 0.3;
+  const ParInstance instance = MakeRandomInstance(404, options);
+  BruteForceSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  CheckFeasible(instance, result);
+  EXPECT_NEAR(result.score, EnumerateOptimum(instance), 1e-9);
+}
+
+TEST(BruteForceTest, NodeCapDegradesGracefully) {
+  RandomInstanceOptions options;
+  options.num_photos = 18;
+  options.num_subsets = 10;
+  const ParInstance instance = MakeRandomInstance(405, options);
+  BruteForceSolver capped(/*max_nodes=*/50);
+  const SolverResult result = capped.Solve(instance);
+  EXPECT_FALSE(result.exact);
+  CheckFeasible(instance, result);  // still feasible, just not proven optimal
+}
+
+class ApproximationGuaranteeTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproximationGuaranteeTest, CelfMeetsItsWorstCaseBound) {
+  RandomInstanceOptions options;
+  options.num_photos = 12;
+  options.num_subsets = 7;
+  options.budget_fraction = 0.4;
+  const ParInstance instance = MakeRandomInstance(GetParam(), options);
+  const double optimum = EnumerateOptimum(instance);
+  CelfSolver solver;
+  const double score = solver.Solve(instance).score;
+  // Worst-case guarantee (1 − 1/e)/2 ≈ 0.316 (§4.2).
+  EXPECT_GE(score + 1e-9, 0.5 * (1.0 - std::exp(-1.0)) * optimum);
+}
+
+TEST_P(ApproximationGuaranteeTest, SviridenkoMeetsItsGuarantee) {
+  RandomInstanceOptions options;
+  options.num_photos = 10;
+  options.num_subsets = 6;
+  options.budget_fraction = 0.4;
+  const ParInstance instance = MakeRandomInstance(GetParam() ^ 0x77, options);
+  const double optimum = EnumerateOptimum(instance);
+  SviridenkoSolver solver(/*enumeration_size=*/3);
+  const SolverResult result = solver.Solve(instance);
+  CheckFeasible(instance, result);
+  // (1 − 1/e) ≈ 0.632 (Theorem 4.6).
+  EXPECT_GE(result.score + 1e-9, (1.0 - std::exp(-1.0)) * optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproximationGuaranteeTest,
+                         ::testing::Range<std::uint64_t>(300, 310));
+
+TEST(SviridenkoTest, AtLeastAsGoodAsPlainGreedyCompletion) {
+  RandomInstanceOptions options;
+  options.num_photos = 12;
+  const ParInstance instance = MakeRandomInstance(606, options);
+  SviridenkoSolver sviridenko(2);
+  const SolverResult greedy = LazyGreedy(instance, GreedyRule::kCostBenefit);
+  EXPECT_GE(sviridenko.Solve(instance).score + 1e-9, greedy.score);
+}
+
+TEST(SviridenkoTest, RejectsBadEnumerationSize) {
+  const ParInstance instance = MakeRandomInstance(607);
+  SviridenkoSolver bad(5);
+  EXPECT_THROW(bad.Solve(instance), CheckFailure);
+}
+
+// ------------------------------------------------------- online bound ----
+
+class OnlineBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineBoundTest, UpperBoundDominatesTheTrueOptimum) {
+  RandomInstanceOptions options;
+  options.num_photos = 12;
+  options.num_subsets = 7;
+  const ParInstance instance = MakeRandomInstance(GetParam(), options);
+  const double optimum = EnumerateOptimum(instance);
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  const OnlineBound bound = ComputeOnlineBound(instance, result.selected);
+  EXPECT_GE(bound.upper_bound + 1e-9, optimum) << "bound is not valid!";
+  EXPECT_GE(bound.upper_bound + 1e-12, bound.solution_score);
+  EXPECT_GT(bound.certified_ratio, 0.0);
+  EXPECT_LE(bound.certified_ratio, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineBoundTest,
+                         ::testing::Range<std::uint64_t>(400, 410));
+
+TEST(OnlineBoundTest, SaturatedSolutionCertifiesOptimality) {
+  // Budget covers everything -> no residual gains -> ratio exactly 1.
+  const ParInstance instance = MakeFigure1Instance(/*budget=*/10'000'000);
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  const OnlineBound bound = ComputeOnlineBound(instance, result.selected);
+  EXPECT_NEAR(bound.certified_ratio, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------ feasibility ------
+
+TEST(CheckFeasibleTest, DetectsViolations) {
+  const ParInstance instance = MakeFigure1Instance(/*budget=*/2'000'000);
+  SolverResult result;
+  result.selected = {0, 2};  // 1.2MB + 2.1MB > 2MB
+  result.cost = 3'300'000;
+  result.score = ObjectiveEvaluator::Evaluate(instance, result.selected);
+  EXPECT_THROW(CheckFeasible(instance, result), CheckFailure);
+
+  result.selected = {0};
+  result.cost = 1'200'000;
+  result.score = 123.0;  // wrong score
+  EXPECT_THROW(CheckFeasible(instance, result), CheckFailure);
+
+  result.score = ObjectiveEvaluator::Evaluate(instance, result.selected);
+  EXPECT_NO_THROW(CheckFeasible(instance, result));
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/celf.h"
+#include "core/exact.h"
+#include "core/objective.h"
+#include "core/sparsify.h"
+#include "core/variants.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+using testing::MakeFigure1Instance;
+using testing::MakeRandomInstance;
+using testing::RandomInstanceOptions;
+
+std::vector<CompressionLevel> TwoLevels() {
+  return {{0.35, 0.9}, {0.12, 0.7}};
+}
+
+TEST(VariantsTest, ExpandedInstanceValidates) {
+  const ParInstance base = MakeFigure1Instance();
+  VariantMap map;
+  const ParInstance expanded =
+      ExpandWithCompressionVariants(base, TwoLevels(), &map);
+  expanded.Validate();
+  EXPECT_EQ(expanded.num_photos(), base.num_photos() * 3);
+  EXPECT_EQ(map.original_count, base.num_photos());
+  EXPECT_EQ(map.num_levels, 2u);
+}
+
+TEST(VariantsTest, VariantMapDecodesIds) {
+  VariantMap map;
+  map.original_count = 7;
+  map.num_levels = 2;
+  EXPECT_TRUE(map.IsOriginal(3));
+  EXPECT_FALSE(map.IsOriginal(7));
+  EXPECT_EQ(map.OriginalOf(7 + 3), 3u);
+  EXPECT_EQ(map.OriginalOf(14 + 5), 5u);
+  EXPECT_EQ(map.LevelOf(3), -1);
+  EXPECT_EQ(map.LevelOf(7 + 3), 0);
+  EXPECT_EQ(map.LevelOf(14 + 3), 1);
+}
+
+TEST(VariantsTest, VariantCostsAreScaled) {
+  const ParInstance base = MakeFigure1Instance();
+  const ParInstance expanded =
+      ExpandWithCompressionVariants(base, {{0.5, 0.9}});
+  for (PhotoId p = 0; p < base.num_photos(); ++p) {
+    const Cost variant_cost = expanded.cost(
+        static_cast<PhotoId>(base.num_photos() + p));
+    EXPECT_EQ(variant_cost,
+              static_cast<Cost>(std::ceil(0.5 * static_cast<double>(base.cost(p)))));
+  }
+}
+
+TEST(VariantsTest, SelectingOriginalsGivesTheOriginalObjective) {
+  // Restricted to original photos, the expanded objective must equal the
+  // base objective exactly (variants add supply only when selected).
+  const ParInstance base = MakeRandomInstance(11);
+  const ParInstance expanded = ExpandWithCompressionVariants(base, TwoLevels());
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PhotoId> selection;
+    for (PhotoId p = 0; p < base.num_photos(); ++p) {
+      if (rng.Bernoulli(0.4)) selection.push_back(p);
+    }
+    EXPECT_NEAR(ObjectiveEvaluator::Evaluate(expanded, selection),
+                ObjectiveEvaluator::Evaluate(base, selection), 1e-9);
+  }
+}
+
+TEST(VariantsTest, VariantCoversItsOriginalAtValueFactor) {
+  const ParInstance base = MakeFigure1Instance();
+  const ParInstance expanded =
+      ExpandWithCompressionVariants(base, {{0.35, 0.9}});
+  // Selecting only the variant of p1 (id 7) covers q1's member p1 at 0.9.
+  ObjectiveEvaluator evaluator(&expanded);
+  evaluator.Add(7);
+  // Base gain of p1 alone is 7.83; at value factor 0.9 every similarity
+  // (including the self edge) scales by 0.9.
+  EXPECT_NEAR(evaluator.score(), 0.9 * 7.83, 1e-5);
+}
+
+TEST(VariantsTest, ObjectiveStaysMonotoneSubmodularAfterExpansion) {
+  const ParInstance base = MakeRandomInstance(21);
+  const ParInstance expanded = ExpandWithCompressionVariants(base, TwoLevels());
+  Rng rng(22);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<PhotoId> order(expanded.num_photos());
+    for (PhotoId p = 0; p < expanded.num_photos(); ++p) order[p] = p;
+    rng.Shuffle(order);
+    const std::size_t t_size = 1 + rng.NextBelow(expanded.num_photos() - 1);
+    const std::size_t s_size = rng.NextBelow(t_size);
+    const PhotoId v = order[t_size];
+    ObjectiveEvaluator small(&expanded), large(&expanded);
+    for (std::size_t i = 0; i < s_size; ++i) small.Add(order[i]);
+    for (std::size_t i = 0; i < t_size; ++i) large.Add(order[i]);
+    EXPECT_GE(small.GainOf(v) + 1e-9, large.GainOf(v));
+    EXPECT_GE(large.GainOf(v), -1e-12);
+  }
+}
+
+TEST(VariantsTest, CompressionHelpsUnderTightBudgets) {
+  // With a budget too small for the originals, the solver should reach a
+  // strictly better objective by keeping compressed renditions.
+  RandomInstanceOptions options;
+  options.num_photos = 14;
+  options.num_subsets = 8;
+  options.budget_fraction = 0.25;
+  const ParInstance base = MakeRandomInstance(31, options);
+  const ParInstance expanded = ExpandWithCompressionVariants(base, TwoLevels());
+  CelfSolver solver;
+  const SolverResult without = solver.Solve(base);
+  const SolverResult with = solver.Solve(expanded);
+  CheckFeasible(expanded, with);
+  EXPECT_GT(with.score, without.score);
+}
+
+TEST(VariantsTest, NeverWorseAcrossBudgets) {
+  // The original selection is always available in the expanded instance, so
+  // the expanded optimum dominates; the greedy solver should track that.
+  const ParInstance base = MakeRandomInstance(41);
+  for (double fraction : {0.15, 0.3, 0.6}) {
+    ParInstance base_b = base;
+    base_b.set_budget(static_cast<Cost>(
+        fraction * static_cast<double>(base.TotalCost())));
+    const ParInstance expanded =
+        ExpandWithCompressionVariants(base_b, TwoLevels());
+    CelfSolver solver;
+    EXPECT_GE(solver.Solve(expanded).score + 1e-6,
+              solver.Solve(base_b).score * 0.99);
+  }
+}
+
+TEST(VariantsTest, SparseSubsetsExpandToSparse) {
+  const ParInstance base = SparsifyInstance(MakeFigure1Instance(), 0.6);
+  const ParInstance expanded =
+      ExpandWithCompressionVariants(base, {{0.4, 0.85}});
+  expanded.Validate();
+  EXPECT_EQ(expanded.subset(0).sim_mode, Subset::SimMode::kSparse);
+  // q1: sparsified keeps (p1,p2)=0.7 and (p1,p3)=0.8. In the expansion,
+  // variant-of-p1 (local index 3 in the 6-member subset) connects to p2 with
+  // 0.85 * 0.7.
+  EXPECT_NEAR(expanded.subset(0).Similarity(3, 1), 0.85 * 0.7, 1e-5);
+  // And to its own original at the bare value factor.
+  EXPECT_NEAR(expanded.subset(0).Similarity(3, 0), 0.85, 1e-5);
+}
+
+TEST(VariantsTest, RequiredPhotosStayFullQualityOnly) {
+  ParInstance base = MakeFigure1Instance();
+  base.MarkRequired(2);
+  const ParInstance expanded = ExpandWithCompressionVariants(base, TwoLevels());
+  EXPECT_TRUE(expanded.IsRequired(2));
+  EXPECT_FALSE(expanded.IsRequired(static_cast<PhotoId>(7 + 2)));
+  EXPECT_FALSE(expanded.IsRequired(static_cast<PhotoId>(14 + 2)));
+}
+
+TEST(VariantsTest, RejectsBadLevels) {
+  const ParInstance base = MakeFigure1Instance();
+  EXPECT_THROW(ExpandWithCompressionVariants(base, {}), CheckFailure);
+  EXPECT_THROW(ExpandWithCompressionVariants(base, {{0.0, 0.9}}), CheckFailure);
+  EXPECT_THROW(ExpandWithCompressionVariants(base, {{0.5, 1.5}}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

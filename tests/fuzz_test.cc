@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/corpus_io.h"
+#include "datagen/openimages.h"
+#include "imaging/ppm_io.h"
+#include "phocus/instance_io.h"
+#include "tests/test_support.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/lzss.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+/// Seeded random byte-level mutations: flip, insert, delete, truncate.
+std::string Mutate(const std::string& input, Rng& rng, int mutations) {
+  std::string out = input;
+  for (int m = 0; m < mutations && !out.empty(); ++m) {
+    switch (rng.NextBelow(4)) {
+      case 0: {  // flip a byte
+        out[rng.NextBelow(out.size())] =
+            static_cast<char>(rng.NextBelow(256));
+        break;
+      }
+      case 1: {  // insert a byte
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.NextBelow(out.size() + 1)),
+                   static_cast<char>(rng.NextBelow(256)));
+        break;
+      }
+      case 2: {  // delete a byte
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(
+                                    rng.NextBelow(out.size())));
+        break;
+      }
+      default: {  // truncate
+        out.resize(rng.NextBelow(out.size() + 1));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Random JSON document generator (bounded depth).
+Json RandomJson(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.3)) {
+    switch (rng.NextBelow(4)) {
+      case 0: return Json(static_cast<double>(rng.Normal(0, 1000)));
+      case 1: return Json(rng.Bernoulli(0.5));
+      case 2: return Json(nullptr);
+      default: {
+        std::string s;
+        const std::size_t length = rng.NextBelow(12);
+        for (std::size_t i = 0; i < length; ++i) {
+          s.push_back(static_cast<char>(32 + rng.NextBelow(95)));
+        }
+        return Json(s);
+      }
+    }
+  }
+  if (rng.Bernoulli(0.5)) {
+    Json array = Json::Array();
+    const std::size_t items = rng.NextBelow(5);
+    for (std::size_t i = 0; i < items; ++i) {
+      array.Append(RandomJson(rng, depth - 1));
+    }
+    return array;
+  }
+  Json object = Json::Object();
+  const std::size_t keys = rng.NextBelow(5);
+  for (std::size_t i = 0; i < keys; ++i) {
+    object.Set(std::string("k") + std::to_string(i), RandomJson(rng, depth - 1));
+  }
+  return object;
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, RandomJsonRoundTripsThroughDumpAndParse) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Json original = RandomJson(rng, 4);
+    const std::string compact = original.Dump();
+    const std::string pretty = original.Dump(2);
+    EXPECT_EQ(Json::Parse(compact).Dump(), compact);
+    EXPECT_EQ(Json::Parse(pretty).Dump(), compact);
+  }
+}
+
+TEST_P(FuzzTest, MutatedJsonNeverCrashesTheParser) {
+  Rng rng(GetParam() ^ 0x11);
+  const std::string base =
+      InstanceToJson(testing::MakeFigure1Instance()).Dump();
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = Mutate(base, rng, 1 + rng.NextBelow(8));
+    try {
+      const Json parsed = Json::Parse(mutated);
+      (void)parsed.Dump();  // whatever parsed must re-serialize
+    } catch (const CheckFailure&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedInstanceJsonIsRejectedOrValidated) {
+  Rng rng(GetParam() ^ 0x22);
+  const std::string base =
+      InstanceToJson(testing::MakeFigure1Instance()).Dump();
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string mutated = Mutate(base, rng, 1 + rng.NextBelow(4));
+    try {
+      const ParInstance instance = InstanceFromJson(Json::Parse(mutated));
+      instance.Validate();  // either throws or the instance is coherent
+    } catch (const CheckFailure&) {
+      // rejected at parse, decode or validation: the contract holds
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedLzssNeverCrashes) {
+  Rng rng(GetParam() ^ 0x33);
+  std::string payload;
+  for (int i = 0; i < 3000; ++i) {
+    payload.push_back(static_cast<char>('a' + rng.NextBelow(6)));
+  }
+  const std::string compressed = LzssCompress(payload);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = Mutate(compressed, rng, 1 + rng.NextBelow(6));
+    try {
+      const std::string decoded = LzssDecompress(mutated);
+      EXPECT_LE(decoded.size(), payload.size() + 16);  // header-bounded
+    } catch (const CheckFailure&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedCorpusNeverCrashesTheDecoder) {
+  Rng rng(GetParam() ^ 0x44);
+  OpenImagesOptions options;
+  options.num_photos = 25;
+  options.seed = 5;
+  options.render_size = 32;
+  const std::string encoded = EncodeCorpus(GenerateOpenImagesCorpus(options));
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string mutated = Mutate(encoded, rng, 1 + rng.NextBelow(6));
+    try {
+      const Corpus corpus = DecodeCorpus(mutated);
+      (void)corpus.TotalBytes();
+    } catch (const CheckFailure&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedPpmNeverCrashesTheDecoder) {
+  Rng rng(GetParam() ^ 0x55);
+  Image image(16, 16, Rgb{10, 20, 30});
+  const std::string encoded = EncodePpm(image);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = Mutate(encoded, rng, 1 + rng.NextBelow(5));
+    try {
+      const Image decoded = DecodePpm(mutated);
+      (void)decoded.width();
+    } catch (const CheckFailure&) {
+      // rejected: fine
+    } catch (const std::exception&) {
+      // header numbers can overflow std::stoi: also an orderly rejection
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<std::uint64_t>(1000, 1008));
+
+}  // namespace
+}  // namespace phocus

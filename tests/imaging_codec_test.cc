@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/jpeg_size.h"
+#include "imaging/metrics.h"
+#include "imaging/scene.h"
+#include "phocus/compression_calibration.h"
+#include "datagen/openimages.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+Image TestScene(std::uint64_t seed, int size = 64) {
+  Rng rng(seed);
+  SceneParams params = SampleScene(StyleForCategory("codec"), rng);
+  params.noise_sigma = 0.0f;  // noise-free for stable metric expectations
+  return RenderScene(params, size, size);
+}
+
+// ---------------------------------------------------------- DCT pair -----
+
+TEST(InverseDctTest, InvertsForwardDct) {
+  Rng rng(1);
+  float block[64], dct[64], back[64];
+  for (float& v : block) v = static_cast<float>(rng.Uniform(-128, 128));
+  ForwardDct8x8(block, dct);
+  InverseDct8x8(dct, back);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(back[i], block[i], 1e-3f) << "index " << i;
+  }
+}
+
+TEST(InverseDctTest, DcOnlyBlockIsConstant) {
+  float dct[64] = {};
+  dct[0] = 80.0f;  // orthonormal DC of a constant-10 block
+  float back[64];
+  InverseDct8x8(dct, back);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(back[i], 10.0f, 1e-4f);
+}
+
+// ----------------------------------------------------- JPEG round trip ---
+
+TEST(JpegRoundTripTest, PreservesDimensionsAndBounds) {
+  const Image original = TestScene(2);
+  const Image degraded = SimulateJpegRoundTrip(original, 50);
+  EXPECT_EQ(degraded.width(), original.width());
+  EXPECT_EQ(degraded.height(), original.height());
+}
+
+TEST(JpegRoundTripTest, HighQualityIsNearlyLossless) {
+  const Image original = TestScene(3);
+  const Image degraded = SimulateJpegRoundTrip(original, 95);
+  EXPECT_GT(Psnr(original, degraded), 28.0);
+  EXPECT_GT(Ssim(original, degraded), 0.9);
+}
+
+TEST(JpegRoundTripTest, QualityLadderIsMonotoneInPsnr) {
+  const Image original = TestScene(4);
+  const double psnr_q90 = Psnr(original, SimulateJpegRoundTrip(original, 90));
+  const double psnr_q50 = Psnr(original, SimulateJpegRoundTrip(original, 50));
+  const double psnr_q10 = Psnr(original, SimulateJpegRoundTrip(original, 10));
+  EXPECT_GT(psnr_q90, psnr_q50);
+  EXPECT_GT(psnr_q50, psnr_q10);
+}
+
+TEST(JpegRoundTripTest, LowQualityVisiblyDegrades) {
+  const Image original = TestScene(5);
+  const Image degraded = SimulateJpegRoundTrip(original, 5);
+  EXPECT_LT(Ssim(original, degraded), 0.98);
+  EXPECT_NE(original.pixels(), degraded.pixels());
+}
+
+TEST(JpegRoundTripTest, RejectsBadQuality) {
+  const Image original = TestScene(6, 32);
+  EXPECT_THROW(SimulateJpegRoundTrip(original, 0), CheckFailure);
+  EXPECT_THROW(SimulateJpegRoundTrip(original, 101), CheckFailure);
+}
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(MetricsTest, IdenticalImagesAreBestPossible) {
+  const Image image = TestScene(7);
+  EXPECT_TRUE(std::isinf(Psnr(image, image)));
+  EXPECT_NEAR(Ssim(image, image), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, MoreNoiseMeansLowerScores) {
+  const Image image = TestScene(8);
+  Rng rng(9);
+  auto perturb = [&](double sigma) {
+    Image noisy = image;
+    Rng noise(42);
+    for (Rgb& p : noisy.pixels()) {
+      auto bump = [&](std::uint8_t v) {
+        return static_cast<std::uint8_t>(std::clamp(
+            v + noise.Normal(0.0, sigma), 0.0, 255.0));
+      };
+      p = Rgb{bump(p.r), bump(p.g), bump(p.b)};
+    }
+    return noisy;
+  };
+  (void)rng;
+  const Image slightly = perturb(3.0);
+  const Image heavily = perturb(25.0);
+  EXPECT_GT(Psnr(image, slightly), Psnr(image, heavily));
+  EXPECT_GT(Ssim(image, slightly), Ssim(image, heavily));
+}
+
+TEST(MetricsTest, RejectsMismatchedDimensions) {
+  const Image a = TestScene(10, 32);
+  const Image b = TestScene(10, 48);
+  EXPECT_THROW(Psnr(a, b), CheckFailure);
+  EXPECT_THROW(Ssim(a, b), CheckFailure);
+}
+
+// -------------------------------------------------------- calibration ----
+
+TEST(CalibrationTest, MeasuredLevelsAreOrderedAndSane) {
+  OpenImagesOptions options;
+  options.num_photos = 30;
+  options.seed = 11;
+  options.render_size = 32;
+  const Corpus corpus = GenerateOpenImagesCorpus(options);
+
+  CalibrationOptions calibration;
+  calibration.qualities = {50, 15};
+  calibration.sample_size = 8;
+  calibration.render_size = 32;
+  const auto levels = MeasureCompressionLevels(corpus, calibration);
+  ASSERT_EQ(levels.size(), 2u);
+  for (const MeasuredCompressionLevel& level : levels) {
+    EXPECT_GT(level.level.cost_factor, 0.0);
+    EXPECT_LE(level.level.cost_factor, 1.0);
+    EXPECT_GT(level.level.value_factor, 0.0);
+    EXPECT_LE(level.level.value_factor, 1.0);
+    EXPECT_GT(level.mean_psnr_db, 10.0);
+  }
+  // Lower quality: cheaper and less valuable.
+  EXPECT_LT(levels[1].level.cost_factor, levels[0].level.cost_factor);
+  EXPECT_LE(levels[1].level.value_factor, levels[0].level.value_factor + 1e-6);
+  EXPECT_LT(levels[1].mean_psnr_db, levels[0].mean_psnr_db);
+}
+
+TEST(CalibrationTest, RejectsBadOptions) {
+  OpenImagesOptions options;
+  options.num_photos = 5;
+  options.seed = 12;
+  options.render_size = 32;
+  const Corpus corpus = GenerateOpenImagesCorpus(options);
+  CalibrationOptions calibration;
+  calibration.qualities = {};
+  EXPECT_THROW(MeasureCompressionLevels(corpus, calibration), CheckFailure);
+  calibration.qualities = {500};
+  EXPECT_THROW(MeasureCompressionLevels(corpus, calibration), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/exif.h"
+#include "imaging/jpeg_size.h"
+#include "imaging/ops.h"
+#include "imaging/ppm_io.h"
+#include "imaging/quality.h"
+#include "imaging/raster.h"
+#include "imaging/scene.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+Image MakeGradientImage(int w, int h) {
+  Image image(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const auto v = static_cast<std::uint8_t>(255 * x / std::max(1, w - 1));
+      image.At(x, y) = Rgb{v, v, v};
+    }
+  }
+  return image;
+}
+
+Image MakeNoiseImage(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  Image image(w, h);
+  for (Rgb& p : image.pixels()) {
+    p = Rgb{static_cast<std::uint8_t>(rng.NextBelow(256)),
+            static_cast<std::uint8_t>(rng.NextBelow(256)),
+            static_cast<std::uint8_t>(rng.NextBelow(256))};
+  }
+  return image;
+}
+
+// ----------------------------------------------------------- raster ------
+
+TEST(RasterTest, ConstructionAndAccess) {
+  Image image(4, 3, Rgb{1, 2, 3});
+  EXPECT_EQ(image.width(), 4);
+  EXPECT_EQ(image.height(), 3);
+  EXPECT_EQ(image.At(2, 1), (Rgb{1, 2, 3}));
+  image.At(0, 0) = Rgb{9, 9, 9};
+  EXPECT_EQ(image.At(0, 0).r, 9);
+}
+
+TEST(RasterTest, RejectsBadDimensions) {
+  EXPECT_THROW(Image(0, 4), CheckFailure);
+  EXPECT_THROW(Plane(4, -1), CheckFailure);
+}
+
+TEST(RasterTest, ClampedAccessReplicatesBorder) {
+  Image image = MakeGradientImage(4, 4);
+  EXPECT_EQ(image.AtClamped(-3, 0), image.At(0, 0));
+  EXPECT_EQ(image.AtClamped(10, 2), image.At(3, 2));
+  Plane plane = ToLuma(image);
+  EXPECT_FLOAT_EQ(plane.AtClamped(-1, -1), plane.At(0, 0));
+}
+
+TEST(RasterTest, LumaWeightsSumToOne) {
+  EXPECT_NEAR(Luma(Rgb{255, 255, 255}), 255.0f, 0.01f);
+  EXPECT_FLOAT_EQ(Luma(Rgb{0, 0, 0}), 0.0f);
+  EXPECT_GT(Luma(Rgb{0, 255, 0}), Luma(Rgb{255, 0, 0}));  // green dominates
+}
+
+// ----------------------------------------------------------- ppm io ------
+
+TEST(PpmIoTest, EncodeDecodeRoundTrip) {
+  Image image = MakeNoiseImage(7, 5, 3);
+  const Image decoded = DecodePpm(EncodePpm(image));
+  ASSERT_EQ(decoded.width(), 7);
+  ASSERT_EQ(decoded.height(), 5);
+  EXPECT_EQ(decoded.pixels(), image.pixels());
+}
+
+TEST(PpmIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/phocus_ppm_test.ppm";
+  Image image = MakeGradientImage(8, 8);
+  WritePpm(path, image);
+  EXPECT_EQ(ReadPpm(path).pixels(), image.pixels());
+}
+
+TEST(PpmIoTest, DecodeRejectsGarbage) {
+  EXPECT_THROW(DecodePpm("not a ppm"), CheckFailure);
+  EXPECT_THROW(DecodePpm("P6\n4 4\n255\nxx"), CheckFailure);  // truncated
+  EXPECT_THROW(DecodePpm("P5\n1 1\n255\nx"), CheckFailure);   // wrong magic
+}
+
+TEST(PpmIoTest, HeaderCommentsAreSkipped) {
+  std::string bytes = "P6\n# a comment\n1 1\n255\nabc";
+  const Image image = DecodePpm(bytes);
+  EXPECT_EQ(image.At(0, 0), (Rgb{'a', 'b', 'c'}));
+}
+
+// -------------------------------------------------------------- ops ------
+
+TEST(OpsTest, ResizeToSameSizeIsNearIdentity) {
+  Image image = MakeGradientImage(16, 16);
+  const Image resized = ResizeBilinear(image, 16, 16);
+  for (std::size_t i = 0; i < image.pixels().size(); ++i) {
+    EXPECT_NEAR(resized.pixels()[i].r, image.pixels()[i].r, 1);
+  }
+}
+
+TEST(OpsTest, ResizeChangesDimensions) {
+  Image image = MakeGradientImage(16, 8);
+  const Image resized = ResizeBilinear(image, 4, 12);
+  EXPECT_EQ(resized.width(), 4);
+  EXPECT_EQ(resized.height(), 12);
+}
+
+TEST(OpsTest, ResizePreservesConstantImages) {
+  Image image(10, 10, Rgb{40, 80, 120});
+  const Image resized = ResizeBilinear(image, 23, 7);
+  for (const Rgb& p : resized.pixels()) EXPECT_EQ(p, (Rgb{40, 80, 120}));
+}
+
+TEST(OpsTest, GaussianBlurPreservesMeanAndReducesVariance) {
+  Plane plane = ToLuma(MakeNoiseImage(32, 32, 5));
+  const Plane blurred = GaussianBlur(plane, 1.5);
+  double mean0 = 0, mean1 = 0;
+  for (float v : plane.values()) mean0 += v;
+  for (float v : blurred.values()) mean1 += v;
+  mean0 /= plane.values().size();
+  mean1 /= blurred.values().size();
+  EXPECT_NEAR(mean0, mean1, 2.0);
+  double var0 = 0, var1 = 0;
+  for (float v : plane.values()) var0 += (v - mean0) * (v - mean0);
+  for (float v : blurred.values()) var1 += (v - mean1) * (v - mean1);
+  EXPECT_LT(var1, var0 * 0.5);
+}
+
+TEST(OpsTest, SobelDetectsHorizontalGradient) {
+  Plane plane = ToLuma(MakeGradientImage(16, 16));
+  Plane dx, dy;
+  SobelGradients(plane, &dx, &dy);
+  // Interior: strong positive x-gradient, zero y-gradient.
+  EXPECT_GT(dx.At(8, 8), 10.0f);
+  EXPECT_NEAR(dy.At(8, 8), 0.0f, 1e-3f);
+}
+
+TEST(OpsTest, LaplacianOfFlatImageIsZero) {
+  Plane plane(8, 8, 77.0f);
+  const Plane lap = Laplacian(plane);
+  for (float v : lap.values()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(OpsTest, GradientMagnitudeNonnegative) {
+  Plane plane = ToLuma(MakeNoiseImage(16, 16, 9));
+  const Plane mag = GradientMagnitude(plane);
+  for (float v : mag.values()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(OpsTest, RgbToHsvKnownColors) {
+  float h, s, v;
+  RgbToHsv(Rgb{255, 0, 0}, &h, &s, &v);
+  EXPECT_NEAR(h, 0.0f, 0.5f);
+  EXPECT_NEAR(s, 1.0f, 1e-3f);
+  EXPECT_NEAR(v, 1.0f, 1e-3f);
+  RgbToHsv(Rgb{0, 255, 0}, &h, &s, &v);
+  EXPECT_NEAR(h, 120.0f, 0.5f);
+  RgbToHsv(Rgb{0, 0, 255}, &h, &s, &v);
+  EXPECT_NEAR(h, 240.0f, 0.5f);
+  RgbToHsv(Rgb{128, 128, 128}, &h, &s, &v);
+  EXPECT_NEAR(s, 0.0f, 1e-3f);
+}
+
+TEST(OpsTest, HsvToRgbInvertsRgbToHsv) {
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    const Rgb original{static_cast<std::uint8_t>(rng.NextBelow(256)),
+                       static_cast<std::uint8_t>(rng.NextBelow(256)),
+                       static_cast<std::uint8_t>(rng.NextBelow(256))};
+    float h, s, v;
+    RgbToHsv(original, &h, &s, &v);
+    const Rgb round = HsvToRgb(h, s, v);
+    EXPECT_NEAR(round.r, original.r, 2);
+    EXPECT_NEAR(round.g, original.g, 2);
+    EXPECT_NEAR(round.b, original.b, 2);
+  }
+}
+
+// ---------------------------------------------------------- quality ------
+
+TEST(QualityTest, BlurReducesSharpness) {
+  Rng rng(41);
+  const SceneStyle style = StyleForCategory("sharpness test");
+  SceneParams params = SampleScene(style, rng);
+  params.blur_sigma = 0.0f;
+  params.noise_sigma = 0.0f;
+  const Image sharp = RenderScene(params, 64, 64);
+  params.blur_sigma = 2.0f;
+  const Image blurry = RenderScene(params, 64, 64);
+  EXPECT_GT(AssessQuality(sharp).sharpness, AssessQuality(blurry).sharpness);
+  EXPECT_GT(LaplacianVariance(sharp), LaplacianVariance(blurry));
+}
+
+TEST(QualityTest, NoiseIncreasesResidual) {
+  Rng rng(43);
+  SceneParams params = SampleScene(StyleForCategory("noise test"), rng);
+  params.noise_sigma = 0.0f;
+  params.blur_sigma = 0.0f;
+  const Image clean = RenderScene(params, 64, 64);
+  params.noise_sigma = 20.0f;
+  const Image noisy = RenderScene(params, 64, 64);
+  EXPECT_GT(NoiseResidual(noisy), NoiseResidual(clean));
+  EXPECT_GT(AssessQuality(clean).noise, AssessQuality(noisy).noise);
+}
+
+TEST(QualityTest, ScoresAreInUnitInterval) {
+  Rng rng(47);
+  for (int i = 0; i < 10; ++i) {
+    const QualityReport report = AssessQuality(
+        RenderScene(SampleScene(StyleForCategory("range"), rng), 48, 48));
+    for (double v : {report.sharpness, report.contrast, report.exposure,
+                     report.noise, report.resolution, report.overall}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(QualityTest, FlatGrayImageScoresLowContrastAndSharpness) {
+  Image flat(64, 64, Rgb{128, 128, 128});
+  const QualityReport report = AssessQuality(flat);
+  EXPECT_LT(report.sharpness, 0.05);
+  EXPECT_LT(report.contrast, 0.05);
+  EXPECT_GT(report.exposure, 0.95);  // perfectly exposed
+}
+
+// --------------------------------------------------------- jpeg size -----
+
+TEST(JpegSizeTest, DctOfConstantBlockIsDcOnly) {
+  float block[64];
+  for (float& v : block) v = 10.0f;
+  float dct[64];
+  ForwardDct8x8(block, dct);
+  EXPECT_NEAR(dct[0], 80.0f, 0.01f);  // 8 * 10 for orthonormal DCT
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(dct[i], 0.0f, 1e-3f);
+}
+
+TEST(JpegSizeTest, DctPreservesEnergy) {
+  Rng rng(51);
+  float block[64], dct[64];
+  for (float& v : block) v = static_cast<float>(rng.Uniform(-128, 128));
+  ForwardDct8x8(block, dct);
+  double in = 0, out = 0;
+  for (int i = 0; i < 64; ++i) {
+    in += block[i] * block[i];
+    out += dct[i] * dct[i];
+  }
+  EXPECT_NEAR(out / in, 1.0, 1e-4);  // Parseval for orthonormal transform
+}
+
+TEST(JpegSizeTest, BusyImagesCostMoreThanFlatOnes) {
+  Image flat(64, 64, Rgb{100, 100, 100});
+  const Image noisy = MakeNoiseImage(64, 64, 53);
+  EXPECT_GT(EstimateJpegBytes(noisy), 2 * EstimateJpegBytes(flat));
+}
+
+TEST(JpegSizeTest, QualityFactorIsMonotone) {
+  const Image image = MakeNoiseImage(64, 64, 55);
+  JpegSizeOptions low, high;
+  low.quality = 40;
+  high.quality = 95;
+  EXPECT_LT(EstimateJpegBytes(image, low), EstimateJpegBytes(image, high));
+}
+
+TEST(JpegSizeTest, ResolutionScaleIsQuadratic) {
+  const Image image = MakeNoiseImage(64, 64, 57);
+  JpegSizeOptions one, three;
+  one.resolution_scale = 1.0;
+  three.resolution_scale = 3.0;
+  const double b1 = static_cast<double>(EstimateJpegBytes(image, one)) - 640.0;
+  const double b3 = static_cast<double>(EstimateJpegBytes(image, three)) - 640.0;
+  EXPECT_NEAR(b3 / b1, 9.0, 0.1);
+}
+
+TEST(JpegSizeTest, RejectsBadOptions) {
+  Image image(8, 8);
+  JpegSizeOptions bad;
+  bad.quality = 0;
+  EXPECT_THROW(EstimateJpegBytes(image, bad), CheckFailure);
+  bad.quality = 101;
+  EXPECT_THROW(EstimateJpegBytes(image, bad), CheckFailure);
+  bad.quality = 50;
+  bad.resolution_scale = 0.0;
+  EXPECT_THROW(EstimateJpegBytes(image, bad), CheckFailure);
+}
+
+// ------------------------------------------------------------- exif ------
+
+TEST(ExifTest, DistanceIsZeroForIdenticalAndBoundedByOne) {
+  Rng rng(61);
+  const ExifMetadata a = SampleExif(rng, 1'600'000'000, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(ExifMetadata::Distance(a, a), 0.0);
+  const ExifMetadata b = SampleExif(rng, 1'900'000'000, -60.0, 150.0);
+  const double d = ExifMetadata::Distance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(ExifTest, SameEventIsCloserThanDifferentEvent) {
+  Rng rng(63);
+  const ExifMetadata a = SampleExif(rng, 1'600'000'000, 10.0, 20.0);
+  const ExifMetadata same = SampleExif(rng, 1'600'000'000, 10.0, 20.0);
+  const ExifMetadata far = SampleExif(rng, 1'700'000'000, -40.0, -120.0);
+  EXPECT_LT(ExifMetadata::Distance(a, same) + 0.2,
+            ExifMetadata::Distance(a, far));
+}
+
+// ------------------------------------------------------------ scene ------
+
+TEST(SceneTest, RenderIsDeterministic) {
+  Rng rng(71);
+  const SceneParams params = SampleScene(StyleForCategory("determinism"), rng);
+  const Image a = RenderScene(params, 48, 48);
+  const Image b = RenderScene(params, 48, 48);
+  EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(SceneTest, StyleIsDeterministicPerCategory) {
+  const SceneStyle a = StyleForCategory("bicycle");
+  const SceneStyle b = StyleForCategory("bicycle");
+  EXPECT_EQ(a.base_hue, b.base_hue);
+  EXPECT_EQ(a.shape_vocabulary, b.shape_vocabulary);
+  const SceneStyle c = StyleForCategory("cat");
+  EXPECT_NE(a.base_hue, c.base_hue);
+}
+
+TEST(SceneTest, JitterZeroKeepsGeometry) {
+  Rng rng(73);
+  const SceneParams params = SampleScene(StyleForCategory("jitter"), rng);
+  Rng jitter_rng(74);
+  const SceneParams same = JitterScene(params, jitter_rng, 0.0);
+  ASSERT_EQ(same.shapes.size(), params.shapes.size());
+  for (std::size_t i = 0; i < params.shapes.size(); ++i) {
+    EXPECT_FLOAT_EQ(same.shapes[i].center_x, params.shapes[i].center_x);
+    EXPECT_FLOAT_EQ(same.shapes[i].size, params.shapes[i].size);
+  }
+}
+
+TEST(SceneTest, JitteredSceneStaysVisuallyClose) {
+  Rng rng(75);
+  SceneParams params = SampleScene(StyleForCategory("near duplicate"), rng);
+  params.noise_sigma = 0.0f;
+  Rng jitter_rng(76);
+  SceneParams jittered = JitterScene(params, jitter_rng, 0.25);
+  jittered.noise_sigma = 0.0f;
+  const Image a = RenderScene(params, 48, 48);
+  const Image b = RenderScene(jittered, 48, 48);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    diff += std::abs(static_cast<int>(a.pixels()[i].r) - b.pixels()[i].r);
+  }
+  diff /= static_cast<double>(a.pixels().size());
+  EXPECT_LT(diff, 60.0);  // same composition, small perturbation
+}
+
+TEST(SceneTest, JitterRejectsBadAmount) {
+  Rng rng(77);
+  const SceneParams params = SampleScene(StyleForCategory("x"), rng);
+  Rng jitter_rng(78);
+  EXPECT_THROW(JitterScene(params, jitter_rng, 1.5), CheckFailure);
+}
+
+TEST(SceneTest, AllShapeKindsRasterize) {
+  SceneParams params;
+  params.background_top = Rgb{200, 200, 220};
+  params.background_bottom = Rgb{150, 150, 170};
+  params.noise_sigma = 0.0f;
+  const SceneShape::Kind kinds[] = {
+      SceneShape::Kind::kCircle, SceneShape::Kind::kRectangle,
+      SceneShape::Kind::kTriangle, SceneShape::Kind::kRing,
+      SceneShape::Kind::kStripe};
+  for (SceneShape::Kind kind : kinds) {
+    SceneParams with_shape = params;
+    SceneShape shape;
+    shape.kind = kind;
+    shape.center_x = 0.5f;
+    shape.center_y = 0.5f;
+    shape.size = 0.3f;
+    shape.color = Rgb{255, 0, 0};
+    with_shape.shapes.push_back(shape);
+    const Image without = RenderScene(params, 32, 32);
+    const Image with = RenderScene(with_shape, 32, 32);
+    EXPECT_NE(with.pixels(), without.pixels())
+        << "shape kind " << static_cast<int>(kind) << " drew nothing";
+  }
+}
+
+}  // namespace
+}  // namespace phocus

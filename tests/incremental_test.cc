@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/objective.h"
+#include "datagen/corpus_ops.h"
+#include "datagen/openimages.h"
+#include "phocus/incremental.h"
+#include "phocus/representation.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+OpenImagesOptions SmallOptions(std::uint64_t seed, std::size_t photos) {
+  OpenImagesOptions options;
+  options.num_photos = photos;
+  options.seed = seed;
+  options.render_size = 32;
+  return options;
+}
+
+/// Splits a generated corpus into an initial slice plus an update batch
+/// whose subset specs use post-append ids (which equal the original ids,
+/// since RestrictCorpus keeps order for a prefix).
+struct Stream {
+  Corpus initial;
+  std::vector<CorpusPhoto> new_photos;
+  std::vector<SubsetSpec> new_subsets;
+};
+
+Stream SplitCorpus(const Corpus& corpus, std::size_t initial_count) {
+  Stream stream;
+  std::vector<PhotoId> prefix(initial_count);
+  for (PhotoId p = 0; p < initial_count; ++p) prefix[p] = p;
+  stream.initial = RestrictCorpus(corpus, prefix, 2);
+  for (std::size_t p = initial_count; p < corpus.photos.size(); ++p) {
+    stream.new_photos.push_back(corpus.photos[p]);
+  }
+  // Subsets touching any new photo are delivered with the batch (members
+  // keep their global ids, valid post-append).
+  for (const SubsetSpec& spec : corpus.subsets) {
+    const bool touches_new =
+        std::any_of(spec.members.begin(), spec.members.end(),
+                    [&](PhotoId p) { return p >= initial_count; });
+    if (touches_new) stream.new_subsets.push_back(spec);
+  }
+  return stream;
+}
+
+TEST(IncrementalTest, InitializeMatchesSystemPlan) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOptions(1, 120));
+  IncrementalOptions options;
+  options.archive.budget = corpus.TotalBytes() / 5;
+  IncrementalArchiver archiver(options);
+  const ArchivePlan& plan = archiver.Initialize(corpus);
+  EXPECT_LE(plan.retained_bytes, options.archive.budget);
+  EXPECT_GT(plan.score, 0.0);
+}
+
+TEST(IncrementalTest, AddPhotosStaysFeasibleAndImproves) {
+  const Corpus full = GenerateOpenImagesCorpus(SmallOptions(2, 200));
+  Stream stream = SplitCorpus(full, 120);
+  IncrementalOptions options;
+  options.archive.budget = full.TotalBytes() / 5;
+  IncrementalArchiver archiver(options);
+  const double initial_score = archiver.Initialize(stream.initial).score;
+
+  IncrementalUpdateStats stats;
+  const ArchivePlan& updated = archiver.AddPhotos(
+      stream.new_photos, stream.new_subsets, /*new_required=*/{}, &stats);
+  EXPECT_EQ(stats.photos_added, stream.new_photos.size());
+  EXPECT_LE(updated.retained_bytes, options.archive.budget);
+  // New subsets add coverable demand; budget was generous for the slice.
+  EXPECT_GT(updated.score, initial_score);
+  EXPECT_EQ(archiver.corpus().num_photos(), full.num_photos());
+}
+
+TEST(IncrementalTest, TracksAFreshSolveClosely) {
+  const Corpus full = GenerateOpenImagesCorpus(SmallOptions(3, 240));
+  Stream stream = SplitCorpus(full, 140);
+  IncrementalOptions options;
+  options.archive.budget = full.TotalBytes() / 6;
+  IncrementalArchiver archiver(options);
+  archiver.Initialize(stream.initial);
+  const ArchivePlan& incremental =
+      archiver.AddPhotos(stream.new_photos, stream.new_subsets);
+
+  // Fresh from-scratch plan on the merged corpus.
+  PhocusSystem system(archiver.corpus());
+  const ArchivePlan fresh = system.PlanArchive(options.archive);
+  EXPECT_GE(incremental.score, 0.95 * fresh.score)
+      << "incremental drifted too far from the fresh solve";
+}
+
+TEST(IncrementalTest, BudgetShrinkEvictsUntilFeasible) {
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOptions(4, 150));
+  IncrementalOptions options;
+  options.archive.budget = corpus.TotalBytes() / 3;
+  IncrementalArchiver archiver(options);
+  const double generous_score = archiver.Initialize(corpus).score;
+
+  IncrementalUpdateStats stats;
+  const Cost tight = corpus.TotalBytes() / 12;
+  const ArchivePlan& squeezed = archiver.SetBudget(tight, &stats);
+  EXPECT_LE(squeezed.retained_bytes, tight);
+  EXPECT_GT(stats.evicted_for_feasibility, 0u);
+  EXPECT_LT(squeezed.score, generous_score);
+  EXPECT_GT(squeezed.score, 0.0);
+}
+
+TEST(IncrementalTest, NewRequiredPhotosJoinTheRetainedSet) {
+  const Corpus full = GenerateOpenImagesCorpus(SmallOptions(5, 160));
+  Stream stream = SplitCorpus(full, 120);
+  IncrementalOptions options;
+  options.archive.budget = full.TotalBytes() / 5;
+  IncrementalArchiver archiver(options);
+  archiver.Initialize(stream.initial);
+  const PhotoId newcomer = 130;  // a photo from the batch
+  const ArchivePlan& plan = archiver.AddPhotos(
+      stream.new_photos, stream.new_subsets, /*new_required=*/{newcomer});
+  EXPECT_TRUE(std::binary_search(plan.retained.begin(), plan.retained.end(),
+                                 newcomer));
+}
+
+TEST(IncrementalTest, GuardsMisuse) {
+  IncrementalOptions options;
+  options.archive.budget = 1000;
+  IncrementalArchiver archiver(options);
+  EXPECT_THROW(archiver.AddPhotos({}, {}), CheckFailure);
+  EXPECT_THROW(archiver.SetBudget(5000), CheckFailure);
+  const Corpus corpus = GenerateOpenImagesCorpus(SmallOptions(6, 40));
+  IncrementalOptions good;
+  good.archive.budget = corpus.TotalBytes() / 4;
+  IncrementalArchiver working(good);
+  working.Initialize(corpus);
+  EXPECT_THROW(working.Initialize(corpus), CheckFailure);
+  EXPECT_THROW(working.SetBudget(0), CheckFailure);
+  // Subset member beyond the appended range is rejected.
+  SubsetSpec bad;
+  bad.name = "bad";
+  bad.members = {10'000};
+  EXPECT_THROW(working.AddPhotos({}, {bad}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

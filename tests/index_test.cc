@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "index/search_engine.h"
+#include "index/tokenizer.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("Hello, World! 4K-TV"),
+            (std::vector<std::string>{"hello", "world", "4k", "tv"}));
+}
+
+TEST(TokenizerTest, DropsStopwordsByDefault) {
+  EXPECT_EQ(Tokenize("the cat and the hat"),
+            (std::vector<std::string>{"cat", "hat"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions options;
+  options.drop_stopwords = false;
+  EXPECT_EQ(Tokenize("the cat", options),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("?!., --").empty());
+}
+
+TEST(TokenizerTest, IsStopword) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_FALSE(IsStopword("cat"));
+}
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.AddDocument(0, "red nike running shoes");
+    engine_.AddDocument(1, "blue nike polo shirt");
+    engine_.AddDocument(2, "red adidas shirt");
+    engine_.AddDocument(3, "black leather office chair");
+    engine_.AddDocument(4, "red shirt red shirt red shirt");  // tf-heavy
+    engine_.Finalize();
+  }
+  SearchEngine engine_;
+};
+
+TEST_F(SearchEngineTest, ExactishMatchRanksFirst) {
+  const auto hits = engine_.Search("red adidas shirt");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST_F(SearchEngineTest, AllMatchingDocumentsReturned) {
+  const auto hits = engine_.Search("shirt");
+  ASSERT_EQ(hits.size(), 3u);  // docs 1, 2, 4
+  for (const auto& hit : hits) {
+    EXPECT_TRUE(hit.doc == 1 || hit.doc == 2 || hit.doc == 4);
+    EXPECT_GT(hit.score, 0.0);
+  }
+}
+
+TEST_F(SearchEngineTest, TopKTruncates) {
+  EXPECT_EQ(engine_.Search("red", 1).size(), 1u);
+  EXPECT_EQ(engine_.Search("red", 100).size(), 3u);  // docs 0, 2, 4
+}
+
+TEST_F(SearchEngineTest, UnknownTermsYieldNothing) {
+  EXPECT_TRUE(engine_.Search("zzzzz").empty());
+  EXPECT_TRUE(engine_.Search("").empty());
+}
+
+TEST_F(SearchEngineTest, RareTermsOutweighCommonOnes) {
+  // "office" is rarer than "red"; doc 3 must beat red-only matches for a
+  // query containing both.
+  const auto hits = engine_.Search("red office");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 3u);
+}
+
+TEST_F(SearchEngineTest, ScoresAreSortedDescending) {
+  const auto hits = engine_.Search("red shirt");
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST_F(SearchEngineTest, LengthNormalizationCapsTfSpam) {
+  // Doc 4 repeats "red shirt" three times but is long; its advantage over a
+  // concise match must be bounded (BM25 saturation). Doc 2 contains both
+  // terms once plus a distinctive token.
+  const auto hits = engine_.Search("red shirt");
+  double score4 = 0, score2 = 0;
+  for (const auto& hit : hits) {
+    if (hit.doc == 4) score4 = hit.score;
+    if (hit.doc == 2) score2 = hit.score;
+  }
+  ASSERT_GT(score4, 0.0);
+  ASSERT_GT(score2, 0.0);
+  EXPECT_LT(score4 / score2, 2.5);
+}
+
+TEST(SearchEngineLifecycleTest, GuardsMisuse) {
+  SearchEngine engine;
+  engine.AddDocument(1, "a doc");
+  EXPECT_THROW(engine.AddDocument(1, "duplicate id"), CheckFailure);
+  EXPECT_THROW(engine.Search("a"), CheckFailure);  // before Finalize
+  engine.Finalize();
+  EXPECT_THROW(engine.Finalize(), CheckFailure);
+  EXPECT_THROW(engine.AddDocument(2, "late"), CheckFailure);
+}
+
+TEST(SearchEngineLifecycleTest, CountsDocumentsAndVocabulary) {
+  SearchEngine engine;
+  engine.AddDocument(0, "alpha beta");
+  engine.AddDocument(1, "beta gamma");
+  engine.Finalize();
+  EXPECT_EQ(engine.num_documents(), 2u);
+  EXPECT_EQ(engine.vocabulary_size(), 3u);
+}
+
+}  // namespace
+}  // namespace phocus

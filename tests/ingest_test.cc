@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/celf.h"
+#include "imaging/scene.h"
+#include "phocus/ingest.h"
+#include "phocus/representation.h"
+#include "phocus/system.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+std::vector<Image> MakeImages(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Image> images;
+  for (int i = 0; i < count; ++i) {
+    images.push_back(
+        RenderScene(SampleScene(StyleForCategory("ingest"), rng), 48, 48));
+  }
+  return images;
+}
+
+TEST(IngestTest, SinglePhotoCarriesDerivedFields) {
+  const Image image = MakeImages(1, 1)[0];
+  const CorpusPhoto photo = IngestPhoto(image, "IMG_0001.jpg", ExifMetadata{});
+  EXPECT_FALSE(photo.embedding.empty());
+  EXPECT_GT(photo.bytes, 0u);
+  EXPECT_GE(photo.quality, 0.0);
+  EXPECT_LE(photo.quality, 1.0);
+  EXPECT_EQ(photo.title, "IMG_0001.jpg");
+}
+
+TEST(IngestTest, BatchMatchesSingle) {
+  const std::vector<Image> images = MakeImages(4, 2);
+  const std::vector<std::string> titles = {"a", "b", "c", "d"};
+  const std::vector<ExifMetadata> exif(4);
+  const auto batch = IngestPhotos(images, titles, exif, {});
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const CorpusPhoto single = IngestPhoto(images[i], titles[i], exif[i]);
+    EXPECT_EQ(batch[i].embedding, single.embedding);
+    EXPECT_EQ(batch[i].bytes, single.bytes);
+  }
+}
+
+TEST(IngestTest, ProvidedBytesOverrideTheEstimator) {
+  const std::vector<Image> images = MakeImages(2, 3);
+  IngestOptions options;
+  options.use_provided_bytes = true;
+  const auto photos = IngestPhotos(images, {"x", "y"},
+                                   std::vector<ExifMetadata>(2),
+                                   {123456, 654321}, options);
+  EXPECT_EQ(photos[0].bytes, 123456u);
+  EXPECT_EQ(photos[1].bytes, 654321u);
+}
+
+TEST(IngestTest, BatchValidatesAlignment) {
+  const std::vector<Image> images = MakeImages(2, 4);
+  EXPECT_THROW(IngestPhotos(images, {"only one"},
+                            std::vector<ExifMetadata>(2), {}),
+               CheckFailure);
+  IngestOptions options;
+  options.use_provided_bytes = true;
+  EXPECT_THROW(IngestPhotos(images, {"x", "y"}, std::vector<ExifMetadata>(2),
+                            {1}, options),
+               CheckFailure);
+}
+
+TEST(IngestTest, MakeAlbumValidates) {
+  EXPECT_THROW(MakeAlbum("bad", 0.0, {0, 1}), CheckFailure);
+  EXPECT_THROW(MakeAlbum("bad", 1.0, {0, 1}, {0.5}), CheckFailure);
+  const SubsetSpec album = MakeAlbum("trip", 2.0, {0, 2}, {0.7, 0.3});
+  EXPECT_EQ(album.members.size(), 2u);
+  EXPECT_DOUBLE_EQ(album.weight, 2.0);
+}
+
+TEST(IngestTest, AssembleRejectsOutOfRangeIds) {
+  auto photos = IngestPhotos(MakeImages(2, 5), {"x", "y"},
+                             std::vector<ExifMetadata>(2), {});
+  EXPECT_THROW(
+      AssembleCorpus("c", photos, {MakeAlbum("a", 1.0, {0, 9})}),
+      CheckFailure);
+  EXPECT_THROW(AssembleCorpus("c", photos, {}, {5}), CheckFailure);
+}
+
+TEST(IngestTest, EndToEndDirectTaggingFlow) {
+  // The full §5.1 "direct" mode: images in, albums in, archive plan out.
+  const std::vector<Image> images = MakeImages(12, 6);
+  std::vector<std::string> titles;
+  for (int i = 0; i < 12; ++i) titles.push_back("photo" + std::to_string(i));
+  auto photos =
+      IngestPhotos(images, titles, std::vector<ExifMetadata>(12), {});
+  std::vector<SubsetSpec> albums = {
+      MakeAlbum("family", 3.0, {0, 1, 2, 3, 4}),
+      MakeAlbum("vacation", 2.0, {4, 5, 6, 7}),
+      MakeAlbum("documents", 5.0, {8, 9}),
+      MakeAlbum("misc", 1.0, {10, 11})};
+  Corpus corpus = AssembleCorpus("my phone", std::move(photos),
+                                 std::move(albums), /*required=*/{8});
+  const Cost budget = corpus.TotalBytes() / 2;
+  PhocusSystem system(std::move(corpus));
+  ArchiveOptions options;
+  options.budget = budget;
+  const ArchivePlan plan = system.PlanArchive(options);
+  EXPECT_LE(plan.retained_bytes, budget);
+  // Required document stays.
+  EXPECT_TRUE(std::find(plan.retained.begin(), plan.retained.end(), 8u) !=
+              plan.retained.end());
+  EXPECT_GT(plan.score, 0.0);
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/celf.h"
+#include "core/objective.h"
+#include "core/variants.h"
+#include "datagen/corpus_io.h"
+#include "datagen/openimages.h"
+#include "phocus/explain.h"
+#include "phocus/incremental.h"
+#include "phocus/instance_io.h"
+#include "phocus/representation.h"
+#include "phocus/system.h"
+#include "storage/archiver.h"
+#include "storage/vault.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+/// Cross-module end-to-end flows: these tests deliberately chain many
+/// subsystems the way a deployment would, so a contract drift between any
+/// two layers fails loudly here even if each layer's unit tests pass.
+
+OpenImagesOptions PipelineOptions(std::uint64_t seed) {
+  OpenImagesOptions options;
+  options.num_photos = 160;
+  options.seed = seed;
+  options.render_size = 32;
+  options.required_fraction = 0.03;
+  return options;
+}
+
+TEST(IntegrationTest, FullPipelineIsDeterministicEndToEnd) {
+  // generate → serialize → reload → plan, twice; identical everything.
+  auto run = [] {
+    const Corpus generated = GenerateOpenImagesCorpus(PipelineOptions(404));
+    const Corpus corpus = DecodeCorpus(EncodeCorpus(generated));
+    PhocusSystem system(corpus);
+    ArchiveOptions options;
+    options.budget = corpus.TotalBytes() / 6;
+    return system.PlanArchive(options);
+  };
+  const ArchivePlan first = run();
+  const ArchivePlan second = run();
+  EXPECT_EQ(first.retained, second.retained);
+  EXPECT_DOUBLE_EQ(first.score, second.score);
+  EXPECT_EQ(first.retained_bytes, second.retained_bytes);
+}
+
+TEST(IntegrationTest, InstanceJsonPreservesTheSolversChoice) {
+  // Solving a round-tripped instance must give the same score as solving
+  // the original (serialization cannot move the optimum).
+  const Corpus corpus = GenerateOpenImagesCorpus(PipelineOptions(405));
+  RepresentationOptions repr;
+  repr.sparsify_tau = 0.5;
+  const ParInstance original =
+      BuildInstance(corpus, corpus.TotalBytes() / 6, repr);
+  const ParInstance reloaded = InstanceFromJson(InstanceToJson(original));
+  CelfSolver solver;
+  const double score_original = solver.Solve(original).score;
+  const double score_reloaded = solver.Solve(reloaded).score;
+  EXPECT_NEAR(score_original, score_reloaded, 1e-6);
+}
+
+TEST(IntegrationTest, PlanExplainArchiveRestoreLoop) {
+  const Corpus corpus = GenerateOpenImagesCorpus(PipelineOptions(406));
+  PhocusSystem system(corpus);
+  ArchiveOptions options;
+  options.budget = corpus.TotalBytes() / 5;
+  const ArchivePlan plan = system.PlanArchive(options);
+
+  // Explanations agree with the plan's own accounting.
+  const ParInstance instance =
+      BuildInstance(corpus, options.budget, options.representation);
+  double attributed = 0.0;
+  for (PhotoId p : plan.retained) {
+    attributed += ExplainRetained(instance, plan.retained, p).carried_score;
+  }
+  EXPECT_NEAR(attributed, ObjectiveEvaluator::Evaluate(instance, plan.retained),
+              1e-6);
+
+  // Evicted photos survive the vault round trip bit-exact.
+  const std::string dir = ::testing::TempDir() + "/phocus_integration_vault";
+  std::filesystem::create_directories(dir);
+  ArchiveVault vault(dir);
+  const ArchiveToVaultReport report =
+      ArchivePlanToVault(corpus, plan, vault, 32);
+  EXPECT_EQ(report.photos_archived, plan.archived.size());
+  if (!plan.archived.empty()) {
+    const PhotoId p = plan.archived.back();
+    EXPECT_EQ(RestorePhotoFromVault(vault, p).pixels(),
+              RenderScene(corpus.photos[p].scene, 32, 32).pixels());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IntegrationTest, CompressionVariantsComposeWithSparsification) {
+  // τ-sparsified representation → variant expansion → solve: every layer's
+  // invariants must hold simultaneously.
+  const Corpus corpus = GenerateOpenImagesCorpus(PipelineOptions(407));
+  RepresentationOptions repr;
+  repr.sparsify_tau = 0.6;
+  const ParInstance base =
+      BuildInstance(corpus, corpus.TotalBytes() / 12, repr);
+  const ParInstance expanded =
+      ExpandWithCompressionVariants(base, {{0.4, 0.85}});
+  expanded.Validate();
+  CelfSolver solver;
+  const SolverResult with = solver.Solve(expanded);
+  CheckFeasible(expanded, with);
+  const SolverResult without = solver.Solve(base);
+  EXPECT_GE(with.score + 1e-9, without.score * 0.99);
+}
+
+TEST(IntegrationTest, IncrementalPlansStayExplainable) {
+  // The incremental path must produce plans every downstream consumer
+  // (explanations, vault) can use like a fresh plan.
+  const Corpus corpus = GenerateOpenImagesCorpus(PipelineOptions(408));
+  IncrementalOptions options;
+  options.archive.budget = corpus.TotalBytes() / 6;
+  IncrementalArchiver archiver(options);
+  archiver.Initialize(corpus);
+  IncrementalUpdateStats stats;
+  const ArchivePlan& plan = archiver.SetBudget(corpus.TotalBytes() / 10, &stats);
+  ASSERT_FALSE(plan.retained.empty());
+  const ParInstance instance = BuildInstance(
+      archiver.corpus(), corpus.TotalBytes() / 10,
+      options.archive.representation);
+  const RetainedExplanation explanation =
+      ExplainRetained(instance, plan.retained, plan.retained.front());
+  EXPECT_GE(explanation.carried_score, 0.0);
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "embedding/vector_ops.h"
+#include "lsh/similar_pairs.h"
+#include "lsh/simhash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+std::vector<Embedding> MakeClusteredVectors(std::size_t clusters,
+                                            std::size_t per_cluster,
+                                            std::size_t dim,
+                                            double within_noise,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Embedding> vectors;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    Embedding center(dim);
+    for (float& v : center) v = static_cast<float>(rng.Normal());
+    NormalizeInPlace(center);
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      Embedding v = center;
+      for (float& x : v) x += static_cast<float>(rng.Normal(0.0, within_noise));
+      NormalizeInPlace(v);
+      vectors.push_back(std::move(v));
+    }
+  }
+  return vectors;
+}
+
+TEST(SimHashTest, SignatureIsDeterministic) {
+  const SimHasher hasher(32, 64, 5);
+  Rng rng(1);
+  Embedding v(32);
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  EXPECT_EQ(hasher.Signature(v), hasher.Signature(v));
+}
+
+TEST(SimHashTest, IdenticalVectorsCollideOnAllBits) {
+  const SimHasher hasher(16, 128, 7);
+  Rng rng(2);
+  Embedding v(16);
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  EXPECT_EQ(SimHasher::HammingDistance(hasher.Signature(v), hasher.Signature(v)),
+            0);
+}
+
+TEST(SimHashTest, OppositeVectorsDifferOnAllBits) {
+  const SimHasher hasher(16, 128, 7);
+  Rng rng(3);
+  Embedding v(16);
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  Embedding negated = v;
+  for (float& x : negated) x = -x;
+  EXPECT_EQ(
+      SimHasher::HammingDistance(hasher.Signature(v), hasher.Signature(negated)),
+      128);
+}
+
+TEST(SimHashTest, HammingEstimatesCosine) {
+  const int bits = 512;
+  const SimHasher hasher(64, bits, 11);
+  Rng rng(4);
+  double max_error = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Embedding a(64), b(64);
+    for (float& x : a) x = static_cast<float>(rng.Normal());
+    // b = a rotated towards a random direction -> a range of similarities.
+    b = a;
+    for (float& x : b) x += static_cast<float>(rng.Normal(0.0, 0.7));
+    const double true_cosine = CosineSimilarity(a, b);
+    const int hamming =
+        SimHasher::HammingDistance(hasher.Signature(a), hasher.Signature(b));
+    const double estimated = SimHasher::EstimateCosine(hamming, bits);
+    max_error = std::max(max_error, std::abs(true_cosine - estimated));
+  }
+  EXPECT_LT(max_error, 0.15);
+}
+
+TEST(SimHashTest, RejectsBadArguments) {
+  EXPECT_THROW(SimHasher(0, 64, 1), CheckFailure);
+  EXPECT_THROW(SimHasher(8, 0, 1), CheckFailure);
+  const SimHasher hasher(8, 64, 1);
+  EXPECT_THROW(hasher.Signature(Embedding(4)), CheckFailure);
+  EXPECT_THROW(SimHasher::EstimateCosine(65, 64), CheckFailure);
+}
+
+TEST(SuggestBandsTest, BandsDivideBits) {
+  for (double tau : {0.3, 0.5, 0.7, 0.9}) {
+    for (int bits : {64, 128, 256}) {
+      const int bands = SuggestBands(bits, tau);
+      EXPECT_GT(bands, 0);
+      EXPECT_EQ(bits % bands, 0) << "tau=" << tau << " bits=" << bits;
+    }
+  }
+}
+
+TEST(SuggestBandsTest, HigherTauMeansLongerBands) {
+  // Higher similarity threshold -> more rows per band (fewer bands).
+  EXPECT_LE(SuggestBands(128, 0.9), SuggestBands(128, 0.4));
+}
+
+TEST(AllPairsTest, FindsExactlyThePairsAboveTau) {
+  std::vector<Embedding> vectors = {
+      {1.0f, 0.0f}, {0.9f, 0.1f}, {0.0f, 1.0f}};
+  for (auto& v : vectors) NormalizeInPlace(v);
+  PairSearchStats stats;
+  const std::vector<SimilarPair> pairs = AllPairsAbove(vectors, 0.9, &stats);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);
+  EXPECT_EQ(pairs[0].second, 1u);
+  EXPECT_EQ(stats.candidate_pairs, 3u);
+  EXPECT_EQ(stats.output_pairs, 1u);
+}
+
+TEST(LshPairsTest, EmptyAndSingletonInputs) {
+  PairSearchStats stats;
+  EXPECT_TRUE(LshPairsAbove({}, 0.5, {}, &stats).empty());
+  EXPECT_TRUE(LshPairsAbove({Embedding{1.0f, 0.0f}}, 0.5, {}, &stats).empty());
+}
+
+TEST(LshPairsTest, NoFalsePositives) {
+  // Verification is exact, so every returned pair must satisfy the bound.
+  const auto vectors = MakeClusteredVectors(4, 10, 32, 0.3, 21);
+  const double tau = 0.8;
+  for (const SimilarPair& pair : LshPairsAbove(vectors, tau)) {
+    EXPECT_GE(CosineSimilarity(vectors[pair.first], vectors[pair.second]),
+              tau - 1e-6);
+  }
+}
+
+TEST(LshPairsTest, HighRecallOnClusteredData) {
+  const auto vectors = MakeClusteredVectors(6, 12, 48, 0.05, 23);
+  const double tau = 0.85;
+  const std::vector<SimilarPair> truth = AllPairsAbove(vectors, tau);
+  ASSERT_GT(truth.size(), 10u);
+
+  LshPairFinderOptions options;
+  options.num_bits = 256;
+  options.bands = SuggestBands(options.num_bits, tau);
+  const std::vector<SimilarPair> found = LshPairsAbove(vectors, tau, options);
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> found_set;
+  for (const SimilarPair& p : found) found_set.insert({p.first, p.second});
+  std::size_t hits = 0;
+  for (const SimilarPair& p : truth) {
+    hits += found_set.count({p.first, p.second});
+  }
+  const double recall = static_cast<double>(hits) / truth.size();
+  EXPECT_GE(recall, 0.9);
+}
+
+TEST(LshPairsTest, ExaminesFewerCandidatesThanAllPairs) {
+  // With many well-separated clusters, banding prunes most cross-cluster
+  // candidates.
+  const auto vectors = MakeClusteredVectors(20, 10, 48, 0.05, 29);
+  const double tau = 0.9;
+  PairSearchStats lsh_stats;
+  LshPairFinderOptions options;
+  options.num_bits = 256;
+  options.bands = SuggestBands(options.num_bits, tau);
+  LshPairsAbove(vectors, tau, options, &lsh_stats);
+  const std::size_t all_pairs = vectors.size() * (vectors.size() - 1) / 2;
+  EXPECT_LT(lsh_stats.candidate_pairs, all_pairs / 2);
+}
+
+TEST(LshPairsTest, PairsAreCanonicalAndSorted) {
+  const auto vectors = MakeClusteredVectors(3, 8, 32, 0.2, 31);
+  const std::vector<SimilarPair> pairs = LshPairsAbove(vectors, 0.7);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].first, pairs[i].second);
+    if (i > 0) {
+      EXPECT_TRUE(pairs[i - 1].first < pairs[i].first ||
+                  (pairs[i - 1].first == pairs[i].first &&
+                   pairs[i - 1].second < pairs[i].second));
+    }
+  }
+}
+
+TEST(LshPairsTest, RejectsBandsNotDividingBits) {
+  const auto vectors = MakeClusteredVectors(2, 4, 16, 0.2, 33);
+  LshPairFinderOptions options;
+  options.num_bits = 100;
+  options.bands = 7;
+  EXPECT_THROW(LshPairsAbove(vectors, 0.5, options), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

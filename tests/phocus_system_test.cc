@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/celf.h"
+#include "core/objective.h"
+#include "datagen/openimages.h"
+#include "phocus/instance_io.h"
+#include "phocus/representation.h"
+#include "phocus/system.h"
+#include "tests/test_support.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace {
+
+Corpus SmallCorpus(std::uint64_t seed, std::size_t photos = 120) {
+  OpenImagesOptions options;
+  options.num_photos = photos;
+  options.seed = seed;
+  options.render_size = 32;
+  return GenerateOpenImagesCorpus(options);
+}
+
+// ----------------------------------------------------- representation ----
+
+TEST(RepresentationTest, DenseInstanceValidates) {
+  const Corpus corpus = SmallCorpus(1);
+  RepresentationOptions options;
+  options.sparsify_tau = 0.0;
+  const ParInstance instance =
+      BuildInstance(corpus, corpus.TotalBytes() / 4, options);
+  instance.Validate();
+  EXPECT_EQ(instance.num_photos(), corpus.num_photos());
+  EXPECT_EQ(instance.num_subsets(), corpus.subsets.size());
+  for (SubsetId q = 0; q < instance.num_subsets(); ++q) {
+    EXPECT_EQ(instance.subset(q).sim_mode, Subset::SimMode::kDense);
+  }
+}
+
+TEST(RepresentationTest, SparseInstanceDropsWeakPairsOnly) {
+  const Corpus corpus = SmallCorpus(2);
+  RepresentationOptions dense_options;
+  dense_options.sparsify_tau = 0.0;
+  RepresentationOptions sparse_options;
+  sparse_options.sparsify_tau = 0.6;
+  const Cost budget = corpus.TotalBytes() / 4;
+  const ParInstance dense = BuildInstance(corpus, budget, dense_options);
+  const ParInstance sparse = BuildInstance(corpus, budget, sparse_options);
+  sparse.Validate();
+  EXPECT_LE(sparse.CountSimEntries(), dense.CountSimEntries());
+  // Spot-check: every sparse entry matches its dense counterpart and is
+  // >= tau; every dropped dense entry is < tau.
+  for (SubsetId qi = 0; qi < dense.num_subsets(); ++qi) {
+    const Subset& dq = dense.subset(qi);
+    const Subset& sq = sparse.subset(qi);
+    ASSERT_EQ(sq.sim_mode, Subset::SimMode::kSparse);
+    for (std::uint32_t i = 0; i < dq.size(); ++i) {
+      for (std::uint32_t j = 0; j < dq.size(); ++j) {
+        if (i == j) continue;
+        const double ds = dq.Similarity(i, j);
+        const double ss = sq.Similarity(i, j);
+        if (ds >= 0.6) {
+          EXPECT_NEAR(ss, ds, 1e-6);
+        } else {
+          EXPECT_DOUBLE_EQ(ss, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(RepresentationTest, NonContextualDiffersFromContextual) {
+  const Corpus corpus = SmallCorpus(3);
+  const Cost budget = corpus.TotalBytes() / 4;
+  RepresentationOptions contextual;
+  contextual.sparsify_tau = 0.0;
+  const ParInstance ctx = BuildInstance(corpus, budget, contextual);
+  const ParInstance raw = BuildNonContextualInstance(corpus, budget);
+  // Context renormalization must actually change similarities somewhere.
+  bool any_difference = false;
+  for (SubsetId q = 0; q < ctx.num_subsets() && !any_difference; ++q) {
+    const Subset& a = ctx.subset(q);
+    const Subset& b = raw.subset(q);
+    for (std::uint32_t i = 0; i < a.size() && !any_difference; ++i) {
+      for (std::uint32_t j = i + 1; j < a.size(); ++j) {
+        if (std::abs(a.Similarity(i, j) - b.Similarity(i, j)) > 1e-3) {
+          any_difference = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RepresentationTest, LshPathProducesValidSparseInstance) {
+  // Force the LSH path by lowering the size threshold.
+  const Corpus corpus = SmallCorpus(4, 200);
+  RepresentationOptions options;
+  options.sparsify_tau = 0.7;
+  options.lsh_min_subset_size = 4;  // almost every subset goes through LSH
+  const ParInstance instance =
+      BuildInstance(corpus, corpus.TotalBytes() / 4, options);
+  instance.Validate();
+  CelfSolver solver;
+  CheckFeasible(instance, solver.Solve(instance));
+}
+
+TEST(RepresentationTest, RequiredPhotosCarryOver) {
+  Corpus corpus = SmallCorpus(5);
+  corpus.required = {1, 7};
+  const ParInstance instance = BuildInstance(corpus, corpus.TotalBytes());
+  EXPECT_TRUE(instance.IsRequired(1));
+  EXPECT_TRUE(instance.IsRequired(7));
+  EXPECT_FALSE(instance.IsRequired(0));
+}
+
+// -------------------------------------------------------- instance io ----
+
+TEST(InstanceIoTest, RoundTripsAllSimModes) {
+  ParInstance original = testing::MakeFigure1Instance();
+  {  // add a sparse and a uniform subset to cover every mode
+    Subset sparse;
+    sparse.members = {0, 3};
+    sparse.relevance = {0.6, 0.4};
+    sparse.sim_mode = Subset::SimMode::kSparse;
+    sparse.sparse_sim = {{{1, 0.55f}}, {{0, 0.55f}}};
+    original.AddSubset(std::move(sparse));
+    Subset uniform;
+    uniform.members = {2, 4, 6};
+    uniform.relevance = {0.2, 0.3, 0.5};
+    uniform.sim_mode = Subset::SimMode::kUniform;
+    original.AddSubset(std::move(uniform));
+    original.MarkRequired(4);
+  }
+  const ParInstance decoded = InstanceFromJson(InstanceToJson(original));
+  decoded.Validate();
+  EXPECT_EQ(decoded.num_photos(), original.num_photos());
+  EXPECT_EQ(decoded.budget(), original.budget());
+  EXPECT_EQ(decoded.num_subsets(), original.num_subsets());
+  EXPECT_TRUE(decoded.IsRequired(4));
+  // Objective values must be preserved for arbitrary selections.
+  for (const std::vector<PhotoId>& sel :
+       {std::vector<PhotoId>{0, 5}, {1, 2, 3}, {6}, {0, 1, 2, 3, 4, 5, 6}}) {
+    EXPECT_NEAR(ObjectiveEvaluator::Evaluate(decoded, sel),
+                ObjectiveEvaluator::Evaluate(original, sel), 1e-5);
+  }
+}
+
+TEST(InstanceIoTest, FileRoundTrip) {
+  const ParInstance original = testing::MakeFigure1Instance();
+  const std::string path = ::testing::TempDir() + "/phocus_instance.json";
+  SaveInstance(original, path);
+  const ParInstance loaded = LoadInstance(path);
+  EXPECT_EQ(loaded.num_photos(), original.num_photos());
+  EXPECT_NEAR(ObjectiveEvaluator::Evaluate(loaded, {0, 5, 1}),
+              ObjectiveEvaluator::Evaluate(original, {0, 5, 1}), 1e-6);
+}
+
+TEST(InstanceIoTest, RejectsForeignJson) {
+  EXPECT_THROW(InstanceFromJson(Json::Parse("{\"format\":\"other\"}")),
+               CheckFailure);
+  EXPECT_THROW(InstanceFromJson(Json::Parse("[1,2]")), CheckFailure);
+}
+
+// ------------------------------------------------------------- system ----
+
+TEST(SystemTest, EndToEndPlanIsConsistent) {
+  PhocusSystem system(SmallCorpus(6));
+  ArchiveOptions options;
+  options.budget = system.corpus().TotalBytes() / 5;
+  const ArchivePlan plan = system.PlanArchive(options);
+
+  EXPECT_LE(plan.retained_bytes, options.budget);
+  EXPECT_EQ(plan.retained.size() + plan.archived.size(),
+            system.corpus().num_photos());
+  EXPECT_EQ(plan.retained_bytes + plan.archived_bytes,
+            system.corpus().TotalBytes());
+  EXPECT_GT(plan.score, 0.0);
+  EXPECT_GT(plan.max_score, plan.score);
+  EXPECT_GT(plan.score_fraction, 0.0);
+  EXPECT_LT(plan.score_fraction, 1.0);
+  EXPECT_GT(plan.online_bound.certified_ratio, 0.3);  // >= worst case
+  EXPECT_FALSE(plan.subset_coverage.empty());
+  for (const SubsetCoverage& row : plan.subset_coverage) {
+    EXPECT_GE(row.coverage, 0.0);
+    EXPECT_LE(row.coverage, 1.0 + 1e-9);
+    EXPECT_LE(row.retained_members, row.total_members);
+  }
+  // Coverage rows are sorted by importance.
+  for (std::size_t i = 1; i < plan.subset_coverage.size(); ++i) {
+    EXPECT_GE(plan.subset_coverage[i - 1].weight, plan.subset_coverage[i].weight);
+  }
+}
+
+TEST(SystemTest, LargerBudgetNeverHurts) {
+  PhocusSystem system(SmallCorpus(7));
+  ArchiveOptions small, large;
+  small.budget = system.corpus().TotalBytes() / 8;
+  large.budget = system.corpus().TotalBytes() / 2;
+  EXPECT_LE(system.PlanArchive(small).score,
+            system.PlanArchive(large).score + 1e-9);
+}
+
+TEST(SystemTest, PlanWithBaselineSolver) {
+  PhocusSystem system(SmallCorpus(8));
+  ArchiveOptions options;
+  options.budget = system.corpus().TotalBytes() / 5;
+  RandomAddSolver random_solver(3);
+  const ArchivePlan random_plan = system.PlanArchiveWith(options, random_solver);
+  const ArchivePlan phocus_plan = system.PlanArchive(options);
+  EXPECT_GE(phocus_plan.score + 1e-9, random_plan.score);
+}
+
+TEST(SystemTest, DescribePlanMentionsTheKeyNumbers) {
+  PhocusSystem system(SmallCorpus(9));
+  ArchiveOptions options;
+  options.budget = system.corpus().TotalBytes() / 5;
+  const ArchivePlan plan = system.PlanArchive(options);
+  const std::string text = DescribePlan(plan, 3);
+  EXPECT_NE(text.find("retain"), std::string::npos);
+  EXPECT_NE(text.find("certified"), std::string::npos);
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+}
+
+TEST(SystemTest, ZeroBudgetIsRejected) {
+  PhocusSystem system(SmallCorpus(10));
+  ArchiveOptions options;
+  options.budget = 0;
+  EXPECT_THROW(system.PlanArchive(options), CheckFailure);
+}
+
+}  // namespace
+}  // namespace phocus

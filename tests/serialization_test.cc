@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "datagen/corpus_io.h"
+#include "datagen/openimages.h"
+#include "datagen/table2.h"
+#include "util/binary_io.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace {
+
+// ---------------------------------------------------------- binary io ----
+
+TEST(BinaryIoTest, ScalarsRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU8(200);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  writer.WriteI64(-42);
+  writer.WriteF32(1.5f);
+  writer.WriteF64(-2.25);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU8(), 200);
+  EXPECT_EQ(reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.ReadI64(), -42);
+  EXPECT_FLOAT_EQ(reader.ReadF32(), 1.5f);
+  EXPECT_DOUBLE_EQ(reader.ReadF64(), -2.25);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, StringsAndVectorsRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteString("hello \0 world");
+  writer.WriteString("");
+  writer.WriteF32Vector({1.0f, 2.0f, 3.0f});
+  writer.WriteF32Vector({});
+  writer.WriteU32Vector({7, 8});
+  writer.WriteF64Vector({0.5});
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString(), std::string("hello "));  // \0 cut by literal
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_EQ(reader.ReadF32Vector(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(reader.ReadF32Vector().empty());
+  EXPECT_EQ(reader.ReadU32Vector(), (std::vector<std::uint32_t>{7, 8}));
+  EXPECT_EQ(reader.ReadF64Vector(), (std::vector<double>{0.5}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncationThrows) {
+  BinaryWriter writer;
+  writer.WriteU64(1);
+  const std::string bytes = writer.buffer().substr(0, 4);
+  BinaryReader reader(bytes);
+  EXPECT_THROW(reader.ReadU64(), CheckFailure);
+  BinaryReader reader2("\x10\x00\x00\x00only-a-few");  // claims 16 bytes
+  EXPECT_THROW(reader2.ReadString(), CheckFailure);
+}
+
+// ---------------------------------------------------------- corpus io ----
+
+Corpus SmallCorpus() {
+  OpenImagesOptions options;
+  options.num_photos = 60;
+  options.seed = 77;
+  options.render_size = 32;
+  options.required_fraction = 0.05;
+  return GenerateOpenImagesCorpus(options);
+}
+
+TEST(CorpusIoTest, RoundTripPreservesEverything) {
+  const Corpus original = SmallCorpus();
+  const Corpus decoded = DecodeCorpus(EncodeCorpus(original));
+  EXPECT_EQ(decoded.name, original.name);
+  EXPECT_EQ(decoded.seed, original.seed);
+  ASSERT_EQ(decoded.photos.size(), original.photos.size());
+  for (std::size_t i = 0; i < original.photos.size(); ++i) {
+    EXPECT_EQ(decoded.photos[i].embedding, original.photos[i].embedding);
+    EXPECT_EQ(decoded.photos[i].bytes, original.photos[i].bytes);
+    EXPECT_DOUBLE_EQ(decoded.photos[i].quality, original.photos[i].quality);
+    EXPECT_EQ(decoded.photos[i].title, original.photos[i].title);
+    EXPECT_EQ(decoded.photos[i].exif.timestamp_unix,
+              original.photos[i].exif.timestamp_unix);
+    EXPECT_EQ(decoded.photos[i].exif.camera_model,
+              original.photos[i].exif.camera_model);
+    EXPECT_EQ(decoded.photos[i].scene.shapes.size(),
+              original.photos[i].scene.shapes.size());
+    EXPECT_EQ(decoded.photos[i].scene.noise_seed,
+              original.photos[i].scene.noise_seed);
+  }
+  ASSERT_EQ(decoded.subsets.size(), original.subsets.size());
+  for (std::size_t s = 0; s < original.subsets.size(); ++s) {
+    EXPECT_EQ(decoded.subsets[s].name, original.subsets[s].name);
+    EXPECT_DOUBLE_EQ(decoded.subsets[s].weight, original.subsets[s].weight);
+    EXPECT_EQ(decoded.subsets[s].members, original.subsets[s].members);
+    EXPECT_EQ(decoded.subsets[s].relevance, original.subsets[s].relevance);
+  }
+  EXPECT_EQ(decoded.required, original.required);
+}
+
+TEST(CorpusIoTest, RenderedScenesSurviveTheRoundTrip) {
+  const Corpus original = SmallCorpus();
+  const Corpus decoded = DecodeCorpus(EncodeCorpus(original));
+  const Image a = RenderScene(original.photos[0].scene, 32, 32);
+  const Image b = RenderScene(decoded.photos[0].scene, 32, 32);
+  EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(CorpusIoTest, RejectsGarbage) {
+  EXPECT_THROW(DecodeCorpus("not a corpus"), CheckFailure);
+  std::string bytes = EncodeCorpus(SmallCorpus());
+  bytes.resize(bytes.size() / 2);  // truncate
+  EXPECT_THROW(DecodeCorpus(bytes), CheckFailure);
+  std::string padded = EncodeCorpus(SmallCorpus()) + "extra";
+  EXPECT_THROW(DecodeCorpus(padded), CheckFailure);
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/phocus_corpus.phocorp";
+  const Corpus original = SmallCorpus();
+  SaveCorpus(original, path);
+  const Corpus loaded = LoadCorpus(path);
+  EXPECT_EQ(loaded.photos.size(), original.photos.size());
+  EXPECT_EQ(loaded.TotalBytes(), original.TotalBytes());
+}
+
+TEST(CorpusCacheTest, SecondBuildLoadsFromCache) {
+  const std::string dir = ::testing::TempDir();
+  setenv("PHOCUS_CACHE_DIR", dir.c_str(), 1);
+  const Corpus first = CachedTable2Corpus("P-1K", /*scale=*/20);
+  const Corpus second = CachedTable2Corpus("P-1K", /*scale=*/20);
+  unsetenv("PHOCUS_CACHE_DIR");
+  EXPECT_EQ(first.photos.size(), second.photos.size());
+  ASSERT_FALSE(first.photos.empty());
+  EXPECT_EQ(first.photos[0].embedding, second.photos[0].embedding);
+  EXPECT_EQ(first.subsets.size(), second.subsets.size());
+}
+
+TEST(CorpusCacheTest, NoCacheDirStillWorks) {
+  unsetenv("PHOCUS_CACHE_DIR");
+  const Corpus corpus = CachedTable2Corpus("P-1K", /*scale=*/50);
+  EXPECT_EQ(corpus.photos.size(), 20u);
+}
+
+}  // namespace
+}  // namespace phocus

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datagen/openimages.h"
+#include "imaging/ppm_io.h"
+#include "imaging/scene.h"
+#include "phocus/system.h"
+#include "storage/archiver.h"
+#include "storage/vault.h"
+#include "util/logging.h"
+#include "util/lzss.h"
+#include "util/rng.h"
+
+namespace phocus {
+namespace {
+
+// -------------------------------------------------------------- LZSS -----
+
+TEST(LzssTest, EmptyInput) {
+  const std::string compressed = LzssCompress("");
+  EXPECT_EQ(LzssDecompress(compressed), "");
+}
+
+TEST(LzssTest, RoundTripsText) {
+  const std::string text =
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again";
+  EXPECT_EQ(LzssDecompress(LzssCompress(text)), text);
+}
+
+TEST(LzssTest, CompressesRepetitiveData) {
+  std::string repetitive;
+  for (int i = 0; i < 500; ++i) repetitive += "abcabcabc";
+  const std::string compressed = LzssCompress(repetitive);
+  EXPECT_LT(compressed.size(), repetitive.size() / 8);
+  EXPECT_EQ(LzssDecompress(compressed), repetitive);
+}
+
+TEST(LzssTest, HandlesOverlappingMatches) {
+  // Runs of a single byte force distance-1 self-overlapping matches.
+  const std::string run(10'000, 'x');
+  const std::string compressed = LzssCompress(run);
+  EXPECT_LT(compressed.size(), 2000u);
+  EXPECT_EQ(LzssDecompress(compressed), run);
+}
+
+TEST(LzssTest, RoundTripsRandomBinary) {
+  Rng rng(1);
+  for (std::size_t size : {1ul, 2ul, 3ul, 100ul, 4096ul, 70'000ul}) {
+    std::string data(size, '\0');
+    for (char& c : data) c = static_cast<char>(rng.NextBelow(256));
+    EXPECT_EQ(LzssDecompress(LzssCompress(data)), data) << "size " << size;
+  }
+}
+
+TEST(LzssTest, IncompressibleDataGrowsBoundedly) {
+  Rng rng(2);
+  std::string data(50'000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.NextBelow(256));
+  const std::string compressed = LzssCompress(data);
+  EXPECT_LT(compressed.size(), data.size() * 9 / 8 + 16);
+}
+
+TEST(LzssTest, RejectsCorruptInput) {
+  EXPECT_THROW(LzssDecompress(""), CheckFailure);
+  EXPECT_THROW(LzssDecompress("XXXXXXXXXX"), CheckFailure);  // bad magic
+  std::string truncated = LzssCompress(std::string(1000, 'q'));
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(LzssDecompress(truncated), CheckFailure);
+}
+
+TEST(LzssTest, PpmPayloadsCompressWell) {
+  // Rendered scenes have large flat regions -> solid compression.
+  Rng rng(3);
+  SceneParams params = SampleScene(StyleForCategory("vault"), rng);
+  params.noise_sigma = 0.0f;
+  const std::string ppm = EncodePpm(RenderScene(params, 96, 96));
+  const std::string compressed = LzssCompress(ppm);
+  EXPECT_LT(compressed.size(), ppm.size() / 2);
+  EXPECT_EQ(LzssDecompress(compressed), ppm);
+}
+
+// -------------------------------------------------------------- vault ----
+
+class VaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/phocus_vault_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(VaultTest, StoreAndFetchRoundTrip) {
+  ArchiveVault vault(dir_);
+  const std::string payload = "hello cold storage";
+  const ArchiveVault::Receipt receipt = vault.Store("k1", payload);
+  EXPECT_FALSE(receipt.deduplicated);
+  EXPECT_EQ(receipt.original_bytes, payload.size());
+  EXPECT_TRUE(vault.Contains("k1"));
+  EXPECT_EQ(vault.Fetch("k1"), payload);
+  EXPECT_THROW(vault.Fetch("missing"), CheckFailure);
+}
+
+TEST_F(VaultTest, DeduplicatesIdenticalPayloads) {
+  ArchiveVault vault(dir_);
+  std::string payload(5000, 'p');
+  const auto first = vault.Store("a", payload);
+  const auto second = vault.Store("b", payload);
+  EXPECT_FALSE(first.deduplicated);
+  EXPECT_TRUE(second.deduplicated);
+  EXPECT_EQ(first.content_hash, second.content_hash);
+  EXPECT_EQ(vault.num_objects(), 1u);
+  EXPECT_EQ(vault.Fetch("a"), vault.Fetch("b"));
+}
+
+TEST_F(VaultTest, PersistsAcrossReopen) {
+  {
+    ArchiveVault vault(dir_);
+    vault.Store("x", "persisted payload");
+  }
+  ArchiveVault reopened(dir_);
+  EXPECT_TRUE(reopened.Contains("x"));
+  EXPECT_EQ(reopened.Fetch("x"), "persisted payload");
+  EXPECT_EQ(reopened.Keys(), (std::vector<std::string>{"x"}));
+}
+
+TEST_F(VaultTest, TracksByteAccounting) {
+  ArchiveVault vault(dir_);
+  std::string big(20'000, 'z');
+  vault.Store("a", big);
+  vault.Store("b", "tiny");
+  EXPECT_EQ(vault.OriginalBytes(), big.size() + 4);
+  EXPECT_GT(vault.StoredBytes(), 0u);
+  EXPECT_LT(vault.StoredBytes(), big.size());  // the run compresses
+}
+
+TEST_F(VaultTest, RejectsMissingDirectoryAndEmptyKey) {
+  EXPECT_THROW(ArchiveVault(dir_ + "/does-not-exist"), CheckFailure);
+  ArchiveVault vault(dir_);
+  EXPECT_THROW(vault.Store("", "payload"), CheckFailure);
+}
+
+TEST(VaultHashTest, HashIsStableAndContentSensitive) {
+  EXPECT_EQ(ArchiveVault::HashPayload("abc"), ArchiveVault::HashPayload("abc"));
+  EXPECT_NE(ArchiveVault::HashPayload("abc"), ArchiveVault::HashPayload("abd"));
+  EXPECT_EQ(ArchiveVault::HashPayload("x").size(), 16u);
+}
+
+// ----------------------------------------------------------- archiver ----
+
+TEST_F(VaultTest, ArchivePlanRoundTripsPhotos) {
+  OpenImagesOptions options;
+  options.num_photos = 40;
+  options.seed = 9;
+  options.render_size = 32;
+  options.near_duplicate_prob = 0.0;
+  Corpus corpus = GenerateOpenImagesCorpus(options);
+  PhocusSystem system(corpus);
+  ArchiveOptions archive_options;
+  archive_options.budget = corpus.TotalBytes() / 3;
+  const ArchivePlan plan = system.PlanArchive(archive_options);
+  ASSERT_FALSE(plan.archived.empty());
+
+  ArchiveVault vault(dir_);
+  const ArchiveToVaultReport report =
+      ArchivePlanToVault(corpus, plan, vault, /*render_size=*/32);
+  EXPECT_EQ(report.photos_archived, plan.archived.size());
+  // Noisy sensor pixels barely compress losslessly; the ratio just must be
+  // sane (bounded expansion) — flat scenes compress, noisy ones don't.
+  EXPECT_GT(report.compression_ratio, 0.8);
+
+  // A cold photo can be restored bit-exact.
+  const PhotoId victim = plan.archived.front();
+  const Image restored = RestorePhotoFromVault(vault, victim);
+  const Image original = RenderScene(corpus.photos[victim].scene, 32, 32);
+  EXPECT_EQ(restored.pixels(), original.pixels());
+  // Retained photos were never archived.
+  for (PhotoId kept : plan.retained) {
+    EXPECT_FALSE(vault.Contains("photo-" + std::to_string(kept)));
+  }
+}
+
+}  // namespace
+}  // namespace phocus

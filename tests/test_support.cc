@@ -1,0 +1,167 @@
+#include "tests/test_support.h"
+
+#include <algorithm>
+
+#include "core/objective.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace testing {
+
+ParInstance MakeFigure1Instance(Cost budget) {
+  // Photo sizes from Figure 1 (MB → bytes).
+  const std::vector<Cost> costs = {1'200'000, 700'000, 2'100'000, 900'000,
+                                   800'000,   1'100'000, 1'300'000};
+  ParInstance instance(7, costs, budget);
+
+  auto dense = [](std::size_t m) {
+    std::vector<float> sim(m * m, 0.0f);
+    for (std::size_t i = 0; i < m; ++i) sim[i * m + i] = 1.0f;
+    return sim;
+  };
+  auto set = [](std::vector<float>& sim, std::size_t m, std::size_t i,
+                std::size_t j, float value) {
+    sim[i * m + j] = value;
+    sim[j * m + i] = value;
+  };
+
+  {  // q1 = {p1, p2, p3} "Bikes", w = 9.
+    Subset q;
+    q.name = "Bikes";
+    q.weight = 9.0;
+    q.members = {0, 1, 2};
+    q.relevance = {0.5, 0.3, 0.2};
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim = dense(3);
+    set(q.dense_sim, 3, 0, 1, 0.7f);
+    set(q.dense_sim, 3, 0, 2, 0.8f);
+    set(q.dense_sim, 3, 1, 2, 0.5f);
+    instance.AddSubset(std::move(q));
+  }
+  {  // q2 = {p4, p5, p6} "Cats", w = 1.
+    Subset q;
+    q.name = "Cats";
+    q.weight = 1.0;
+    q.members = {3, 4, 5};
+    q.relevance = {0.3, 0.4, 0.3};
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim = dense(3);
+    set(q.dense_sim, 3, 0, 1, 0.7f);
+    set(q.dense_sim, 3, 0, 2, 0.4f);
+    set(q.dense_sim, 3, 1, 2, 0.7f);
+    instance.AddSubset(std::move(q));
+  }
+  {  // q3 = {p6} "Bookshelf", w = 3.
+    Subset q;
+    q.name = "Bookshelf";
+    q.weight = 3.0;
+    q.members = {5};
+    q.relevance = {1.0};
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim = dense(1);
+    instance.AddSubset(std::move(q));
+  }
+  {  // q4 = {p6, p7} "Books", w = 1.
+    Subset q;
+    q.name = "Books";
+    q.weight = 1.0;
+    q.members = {5, 6};
+    q.relevance = {0.7, 0.3};
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim = dense(2);
+    set(q.dense_sim, 2, 0, 1, 0.7f);
+    instance.AddSubset(std::move(q));
+  }
+  instance.Validate();
+  return instance;
+}
+
+ParInstance MakeRandomInstance(std::uint64_t seed,
+                               const RandomInstanceOptions& options) {
+  Rng rng(seed);
+  std::vector<Cost> costs(options.num_photos);
+  for (Cost& c : costs) {
+    c = static_cast<Cost>(rng.UniformInt(static_cast<std::int64_t>(options.cost_lo),
+                                         static_cast<std::int64_t>(options.cost_hi)));
+  }
+  Cost total = 0;
+  for (Cost c : costs) total += c;
+  const Cost budget = std::max<Cost>(
+      1, static_cast<Cost>(options.budget_fraction * static_cast<double>(total)));
+  ParInstance instance(options.num_photos, costs, budget);
+
+  for (std::size_t s = 0; s < options.num_subsets; ++s) {
+    const std::size_t size = 2 + rng.NextBelow(options.max_subset_size - 1);
+    Subset q;
+    q.name = "q" + std::to_string(s);
+    q.weight = rng.Uniform(0.2, 5.0);
+    for (std::size_t idx :
+         rng.SampleWithoutReplacement(options.num_photos,
+                                      std::min(size, options.num_photos))) {
+      q.members.push_back(static_cast<PhotoId>(idx));
+    }
+    const std::size_t m = q.members.size();
+    q.relevance.resize(m);
+    for (double& r : q.relevance) r = rng.Uniform(0.05, 1.0);
+    q.sim_mode = Subset::SimMode::kDense;
+    q.dense_sim.assign(m * m, 0.0f);
+    for (std::size_t i = 0; i < m; ++i) {
+      q.dense_sim[i * m + i] = 1.0f;
+      for (std::size_t j = i + 1; j < m; ++j) {
+        float sim = rng.Bernoulli(options.sim_sparsity)
+                        ? 0.0f
+                        : static_cast<float>(rng.UniformDouble());
+        q.dense_sim[i * m + j] = sim;
+        q.dense_sim[j * m + i] = sim;
+      }
+    }
+    instance.AddSubset(std::move(q));
+  }
+  instance.NormalizeRelevance();
+
+  if (options.required_fraction > 0.0) {
+    // Required photos are drawn cheapest-first so S0 stays within budget.
+    std::vector<PhotoId> by_cost(options.num_photos);
+    for (PhotoId p = 0; p < options.num_photos; ++p) by_cost[p] = p;
+    std::sort(by_cost.begin(), by_cost.end(), [&](PhotoId a, PhotoId b) {
+      return instance.cost(a) < instance.cost(b);
+    });
+    Cost used = 0;
+    const std::size_t want = static_cast<std::size_t>(
+        options.required_fraction * static_cast<double>(options.num_photos));
+    for (std::size_t i = 0; i < want && i < by_cost.size(); ++i) {
+      if (used + instance.cost(by_cost[i]) > budget) break;
+      instance.MarkRequired(by_cost[i]);
+      used += instance.cost(by_cost[i]);
+    }
+  }
+  instance.Validate();
+  return instance;
+}
+
+double EnumerateOptimum(const ParInstance& instance) {
+  const std::size_t n = instance.num_photos();
+  PHOCUS_CHECK(n <= 20, "EnumerateOptimum is exponential; keep n <= 20");
+  std::uint32_t required_mask = 0;
+  for (PhotoId p = 0; p < n; ++p) {
+    if (instance.IsRequired(p)) required_mask |= (1u << p);
+  }
+  double best = -1.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if ((mask & required_mask) != required_mask) continue;
+    Cost cost = 0;
+    for (PhotoId p = 0; p < n; ++p) {
+      if (mask & (1u << p)) cost += instance.cost(p);
+    }
+    if (cost > instance.budget()) continue;
+    std::vector<PhotoId> selection;
+    for (PhotoId p = 0; p < n; ++p) {
+      if (mask & (1u << p)) selection.push_back(p);
+    }
+    best = std::max(best, ObjectiveEvaluator::Evaluate(instance, selection));
+  }
+  return best;
+}
+
+}  // namespace testing
+}  // namespace phocus

@@ -1,0 +1,46 @@
+#ifndef PHOCUS_TESTS_TEST_SUPPORT_H_
+#define PHOCUS_TESTS_TEST_SUPPORT_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+/// \file test_support.h
+/// Shared instance builders for the test suite.
+
+namespace phocus {
+namespace testing {
+
+/// The paper's running example (Figure 1): seven photos p1..p7 (ids 0..6),
+/// four pre-defined subsets ("Bikes" w=9, "Cats" w=1, "Bookshelf" w=3,
+/// "Books" w=1) with the published relevance and similarity values. Costs
+/// are in bytes (1.2 MB = 1'200'000 etc.); `budget` defaults to fitting
+/// everything.
+ParInstance MakeFigure1Instance(Cost budget = 8'100'000);
+
+/// A random dense PAR instance for property tests: `n` photos with costs in
+/// [cost_lo, cost_hi], `m` subsets of size in [2, max_subset], random
+/// relevance, random symmetric similarities, budget = `budget_fraction` of
+/// the total cost. Deterministic in `seed`.
+struct RandomInstanceOptions {
+  std::size_t num_photos = 12;
+  std::size_t num_subsets = 6;
+  std::size_t max_subset_size = 6;
+  Cost cost_lo = 10;
+  Cost cost_hi = 100;
+  double budget_fraction = 0.4;
+  double required_fraction = 0.0;
+  double sim_sparsity = 0.0;  ///< fraction of off-diagonal sims forced to 0
+};
+ParInstance MakeRandomInstance(std::uint64_t seed,
+                               const RandomInstanceOptions& options = {});
+
+/// Exhaustive optimum by bitmask enumeration (only for tiny instances,
+/// n <= 20): independent cross-check for the branch-and-bound solver.
+double EnumerateOptimum(const ParInstance& instance);
+
+}  // namespace testing
+}  // namespace phocus
+
+#endif  // PHOCUS_TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/celf.h"
+#include "core/objective.h"
+#include "datagen/ecommerce.h"
+#include "phocus/representation.h"
+#include "userstudy/analyst.h"
+#include "userstudy/judge.h"
+#include "tests/test_support.h"
+
+namespace phocus {
+namespace {
+
+Corpus StudyCorpus(std::uint64_t seed) {
+  EcommerceOptions options;
+  options.domain = EcDomain::kFashion;
+  options.num_products = 300;
+  options.num_queries = 25;
+  options.seed = seed;
+  options.render_size = 32;
+  options.required_fraction = 0.01;
+  return GenerateEcommerceCorpus(options);
+}
+
+// ------------------------------------------------------------ analyst ----
+
+TEST(AnalystTest, RespectsBudgetAndRequiredPhotos) {
+  const Corpus corpus = StudyCorpus(1);
+  const Cost budget = corpus.TotalBytes() / 10;
+  const ManualResult result = SimulateManualAnalyst(corpus, budget);
+  Cost total = 0;
+  std::set<PhotoId> unique;
+  for (PhotoId p : result.selected) {
+    EXPECT_TRUE(unique.insert(p).second) << "photo selected twice";
+    total += corpus.photos[p].bytes;
+  }
+  EXPECT_LE(total, budget);
+  for (PhotoId p : corpus.required) EXPECT_TRUE(unique.count(p));
+}
+
+TEST(AnalystTest, ChargesTimeForInspectionWork) {
+  const Corpus corpus = StudyCorpus(2);
+  const ManualResult result =
+      SimulateManualAnalyst(corpus, corpus.TotalBytes() / 10);
+  EXPECT_GT(result.photos_inspected, 0u);
+  EXPECT_GT(result.simulated_hours, 0.0);
+  // Sanity: time must at least cover the per-photo inspection charges.
+  AnalystOptions defaults;
+  EXPECT_GE(result.simulated_hours * 3600.0 + 1e-6,
+            result.photos_inspected * defaults.inspect_seconds);
+}
+
+TEST(AnalystTest, MorePagesMeansMoreTime) {
+  const Corpus small = StudyCorpus(3);
+  Corpus fewer_pages = small;
+  fewer_pages.subsets.resize(5);
+  const double t_full =
+      SimulateManualAnalyst(small, small.TotalBytes() / 10).simulated_hours;
+  const double t_small =
+      SimulateManualAnalyst(fewer_pages, small.TotalBytes() / 10).simulated_hours;
+  EXPECT_GT(t_full, t_small);
+}
+
+TEST(AnalystTest, DeterministicInSeed) {
+  const Corpus corpus = StudyCorpus(4);
+  AnalystOptions options;
+  options.seed = 99;
+  const ManualResult a = SimulateManualAnalyst(corpus, corpus.TotalBytes() / 8, options);
+  const ManualResult b = SimulateManualAnalyst(corpus, corpus.TotalBytes() / 8, options);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_DOUBLE_EQ(a.simulated_hours, b.simulated_hours);
+}
+
+TEST(AnalystTest, PhocusBeatsTheManualBaselineOnQuality) {
+  // The headline user-study claim (Fig. 5g): PHOcus quality exceeds manual.
+  const Corpus corpus = StudyCorpus(5);
+  const Cost budget = corpus.TotalBytes() / 10;
+  const ParInstance instance = BuildInstance(corpus, budget);
+  const ManualResult manual = SimulateManualAnalyst(corpus, budget);
+  CelfSolver solver;
+  const SolverResult phocus = solver.Solve(instance);
+  const double manual_score =
+      ObjectiveEvaluator::Evaluate(instance, manual.selected);
+  EXPECT_GT(phocus.score, manual_score);
+}
+
+// -------------------------------------------------------------- judge ----
+
+TEST(JudgeTest, PrefersTheClearlyBetterSolution) {
+  const ParInstance instance = testing::MakeFigure1Instance();
+  GoldStandardJudge judge;
+  // {p1, p6} dominates {p4}: scores ~12.5 vs ~0.3.
+  EXPECT_EQ(judge.Compare(instance, {0, 5}, {3}), Preference::kFirst);
+  EXPECT_EQ(judge.Compare(instance, {3}, {0, 5}), Preference::kSecond);
+}
+
+TEST(JudgeTest, CannotDecideOnIdenticalSolutions) {
+  const ParInstance instance = testing::MakeFigure1Instance();
+  GoldStandardJudge judge;
+  EXPECT_EQ(judge.Compare(instance, {0, 5}, {0, 5}), Preference::kCannotDecide);
+}
+
+TEST(JudgeTest, NoiseCanBlurNearTies) {
+  const ParInstance instance = testing::MakeFigure1Instance();
+  JudgeOptions options;
+  options.indifference = 0.5;  // extremely tolerant expert
+  GoldStandardJudge judge(options);
+  EXPECT_EQ(judge.Compare(instance, {0}, {1}), Preference::kCannotDecide);
+}
+
+TEST(JudgeTest, RepeatedComparisonsAreNotAllIdentical) {
+  // The judge draws fresh perception noise per invocation; over many near-tie
+  // comparisons we expect some variation in outcomes.
+  const ParInstance instance = testing::MakeFigure1Instance();
+  JudgeOptions options;
+  options.indifference = 0.01;
+  options.perception_noise = 0.2;
+  GoldStandardJudge judge(options);
+  std::set<Preference> outcomes;
+  for (int i = 0; i < 40; ++i) {
+    outcomes.insert(judge.Compare(instance, {1}, {2}));  // ~6.75 vs ~6.75
+  }
+  EXPECT_GE(outcomes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace phocus
