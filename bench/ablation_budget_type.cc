@@ -39,7 +39,8 @@ ParInstance UnitCostTwin(const ParInstance& instance, std::size_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_budget_type",
                      "Table 1: byte budget vs photo-count budget");
@@ -93,5 +94,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Byte-budgeted PHOcus vs count-budgeted selection "
                         "(both evaluated under the byte budget)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -18,7 +18,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_compression",
                      "§6 future work: compress instead of remove");
@@ -86,5 +87,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Compression-variant expansion vs remove-only PHOcus")
                         .c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -19,7 +19,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_incremental",
                      "incremental re-planning vs from-scratch solves");
@@ -86,5 +87,6 @@ int main() {
   }
   std::printf("%s", table.Render(
                         "Incremental vs from-scratch re-planning").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -18,7 +18,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_local_search",
                      "post-optimization headroom of each algorithm");
@@ -56,5 +57,6 @@ int main() {
   run(phocus);
   std::printf("%s", table.Render(
                         "Swap local search on top of each algorithm").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

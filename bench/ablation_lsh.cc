@@ -13,7 +13,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_lsh", "§4.3 LSH sparsification front-end");
   const std::size_t scale = bench::GetScale();
@@ -70,5 +71,6 @@ int main() {
   std::printf("%s", table.Render(
                         "LSH vs exhaustive similar-pair search (corpus "
                         "embeddings)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

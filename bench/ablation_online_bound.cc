@@ -15,7 +15,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_online_bound",
                      "§4.2 data-dependent (online) bound");
@@ -56,5 +57,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Online bound: certified performance ratios (paper: "
                         "far above the a-priori worst case)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

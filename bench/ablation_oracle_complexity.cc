@@ -54,7 +54,8 @@ SolverResult NaiveGreedy(const ParInstance& instance) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_oracle_complexity",
                      "§4.2 oracle-evaluation counts: Sviridenko vs greedy vs CELF");
@@ -103,5 +104,6 @@ int main() {
                         .c_str());
   std::printf("\npaper: Sviridenko needs Omega(B n^4) evaluations; the lazy "
               "scheme cut running time by ~700x in [30].\n");
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

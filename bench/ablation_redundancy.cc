@@ -17,7 +17,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("ablation_redundancy",
                      "premise: redundancy drives PAR's advantage (§1)");
@@ -50,5 +51,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Quality vs archive redundancy (budget = 1/12 of "
                         "archive)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -3,12 +3,15 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/baselines.h"
 #include "core/celf.h"
 #include "core/objective.h"
 #include "phocus/representation.h"
+#include "telemetry/export.h"
 #include "util/json.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -41,6 +44,39 @@ void MaybeExportCsv(const std::string& stem, const TextTable& table) {
   std::printf("(csv written to %s)\n", path.c_str());
 }
 
+namespace {
+std::string g_telemetry_out;  // empty = no dump requested
+}  // namespace
+
+void ParseBenchFlags(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+      g_telemetry_out = arg + 16;
+      telemetry::SetEnabled(true);
+    } else if (std::strcmp(arg, "--telemetry") == 0) {
+      telemetry::SetEnabled(true);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+}
+
+void ExportTelemetryIfRequested() {
+  if (g_telemetry_out.empty()) return;
+  try {
+    telemetry::WriteTelemetryJson(g_telemetry_out);
+  } catch (const CheckFailure& e) {
+    // A bad dump path should not abort a bench whose results already printed.
+    std::fprintf(stderr, "telemetry export failed: %s\n", e.what());
+    return;
+  }
+  std::printf("(telemetry written to %s)\n", g_telemetry_out.c_str());
+}
+
 std::vector<QualityPoint> RunQualityComparison(
     const Corpus& corpus, const std::vector<Cost>& budgets,
     const QualityComparisonOptions& options) {
@@ -64,35 +100,42 @@ std::vector<QualityPoint> RunQualityComparison(
 
     if (options.include_rand) {
       RandomAddSolver rand_solver(options.rand_seed);
-      Stopwatch timer;
-      const SolverResult result = rand_solver.Solve(truth);
-      record("RAND", result.selected, timer.ElapsedSeconds());
+      SolverResult result;
+      const double seconds =
+          TimeStage("rand", [&] { result = rand_solver.Solve(truth); });
+      record("RAND", result.selected, seconds);
     }
     if (options.include_greedy_nr) {
       GreedyNoRedundancySolver nr;
-      Stopwatch timer;
-      const SolverResult result = nr.Solve(truth);
-      record("G-NR", result.selected, timer.ElapsedSeconds());
+      SolverResult result;
+      const double seconds =
+          TimeStage("greedy_nr", [&] { result = nr.Solve(truth); });
+      record("G-NR", result.selected, seconds);
     }
     if (options.include_greedy_ncs) {
       // Non-contextual surrogate (same cosine for every context), solved
       // with plain unit-cost greedy — cost-benefit selection is an
       // Algorithm 1 feature the baselines lack.
-      Stopwatch timer;
-      const ParInstance surrogate = BuildNonContextualInstance(corpus, budget);
-      const SolverResult result =
-          LazyGreedy(surrogate, GreedyRule::kUnitCost);
-      record("G-NCS", result.selected, timer.ElapsedSeconds());
+      SolverResult result;
+      const double seconds = TimeStage("greedy_ncs", [&] {
+        const ParInstance surrogate =
+            BuildNonContextualInstance(corpus, budget);
+        result = LazyGreedy(surrogate, GreedyRule::kUnitCost);
+      });
+      record("G-NCS", result.selected, seconds);
     }
     {
       // PHOcus: Algorithm 1 on the τ-sparsified contextual instance.
-      Stopwatch timer;
-      RepresentationOptions sparse_options;
-      sparse_options.sparsify_tau = options.phocus_tau;
-      const ParInstance sparse = BuildInstance(corpus, budget, sparse_options);
-      CelfSolver phocus;
-      const SolverResult result = phocus.Solve(sparse);
-      record("PHOcus", result.selected, timer.ElapsedSeconds());
+      SolverResult result;
+      const double seconds = TimeStage("phocus", [&] {
+        RepresentationOptions sparse_options;
+        sparse_options.sparsify_tau = options.phocus_tau;
+        const ParInstance sparse =
+            BuildInstance(corpus, budget, sparse_options);
+        CelfSolver phocus;
+        result = phocus.Solve(sparse);
+      });
+      record("PHOcus", result.selected, seconds);
     }
   }
   return points;

@@ -7,6 +7,8 @@
 #include "core/instance.h"
 #include "core/solver.h"
 #include "datagen/corpus.h"
+#include "telemetry/metrics.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
 
 /// \file bench_support.h
@@ -64,6 +66,34 @@ std::string FormatQualitySeries(const std::vector<QualityPoint>& points,
 /// rendered table as `<dir>/<stem>.csv` (plot-ready) and reports the path
 /// on stdout; otherwise does nothing. Call once per bench table.
 void MaybeExportCsv(const std::string& stem, const TextTable& table);
+
+/// Consumes the telemetry flags every bench binary understands, leaving the
+/// rest of argv untouched (so google-benchmark flags pass through):
+///   --telemetry-out=PATH   write a telemetry JSON dump at exit
+///                          (also enables span/histogram recording)
+///   --telemetry            enable recording without writing a file
+/// Call first thing in main(), before any other argv consumer.
+void ParseBenchFlags(int* argc, char** argv);
+
+/// Writes the telemetry JSON dump if --telemetry-out was given (and reports
+/// the path on stdout). Call once at the end of main(). No-op otherwise.
+void ExportTelemetryIfRequested();
+
+/// Runs `fn`, records its wall time into the `bench.<stage>_ns` histogram,
+/// and returns the elapsed seconds. The standard way to time a bench stage:
+///
+///   const double seconds = TimeStage("solve", [&] { result = s.Solve(i); });
+template <typename Fn>
+double TimeStage(const std::string& stage, Fn&& fn) {
+  telemetry::Histogram& hist = telemetry::MetricsRegistry::Current()
+                                   .GetHistogram("bench." + stage + "_ns");
+  Stopwatch timer;
+  {
+    ScopedTimer<telemetry::Histogram> scoped(&hist);
+    fn();
+  }
+  return timer.ElapsedSeconds();
+}
 
 }  // namespace bench
 }  // namespace phocus

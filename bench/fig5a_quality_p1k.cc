@@ -11,7 +11,8 @@
 #include "datagen/table2.h"
 #include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5a_quality_p1k", "Figure 5a");
   const Corpus corpus = CachedTable2Corpus("P-1K", bench::GetScale());
@@ -26,5 +27,6 @@ int main() {
   const auto points = bench::RunQualityComparison(corpus, budgets);
   std::printf("%s", bench::FormatQualitySeries(
                         points, budgets, "Figure 5a: quality, P-1K").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

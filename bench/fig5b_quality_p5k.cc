@@ -9,7 +9,8 @@
 #include "datagen/table2.h"
 #include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5b_quality_p5k", "Figure 5b");
   const Corpus corpus = CachedTable2Corpus("P-5K", bench::GetScale());
@@ -23,5 +24,6 @@ int main() {
   const auto points = bench::RunQualityComparison(corpus, budgets);
   std::printf("%s", bench::FormatQualitySeries(
                         points, budgets, "Figure 5b: quality, P-5K").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -8,7 +8,8 @@
 #include "datagen/table2.h"
 #include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5c_quality_ecfashion", "Figure 5c");
   const Corpus corpus = CachedTable2Corpus("EC-Fashion", bench::GetScale());
@@ -25,5 +26,6 @@ int main() {
               bench::FormatQualitySeries(points, budgets,
                                          "Figure 5c: quality, EC-Fashion")
                   .c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

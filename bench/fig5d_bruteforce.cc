@@ -20,7 +20,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5d_bruteforce", "Figure 5d");
 
@@ -68,5 +69,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Figure 5d: PHOcus vs Brute-Force (100-photo subset "
                         "of P-1K); paper: loss always < 15%").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

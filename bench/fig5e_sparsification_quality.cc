@@ -17,7 +17,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5e_sparsification_quality", "Figure 5e");
   const Corpus corpus = CachedTable2Corpus("P-5K", bench::GetScale());
@@ -82,5 +83,6 @@ int main() {
   std::printf("%s", bound_table.Render(
                         "Theorem 4.8 data-dependent sparsification bounds "
                         "(budget 25MB)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -23,7 +23,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5f_sparsification_time", "Figure 5f");
   const Corpus corpus = CachedTable2Corpus("P-5K", bench::GetScale());
@@ -60,5 +61,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Figure 5f: running time, PHOcus vs PHOcus-NS, P-5K")
                         .c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

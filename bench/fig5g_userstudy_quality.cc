@@ -10,7 +10,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5g_userstudy_quality", "Figure 5g");
   TextTable table;
@@ -27,5 +28,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Figure 5g: user study quality (paper: PHOcus "
                         "15-25% higher than manual)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

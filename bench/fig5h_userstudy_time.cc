@@ -12,7 +12,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("fig5h_userstudy_time", "Figure 5h");
   TextTable table;
@@ -29,5 +30,6 @@ int main() {
   std::printf("%s", table.Render(
                         "Figure 5h: user study time (paper: hours manual vs "
                         "~10 min PHOcus; log scale)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

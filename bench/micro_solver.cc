@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_support.h"
 #include "core/celf.h"
 #include "core/gfl.h"
 #include "core/sparsify.h"
@@ -197,4 +198,15 @@ BENCHMARK(BM_JpegRoundTrip)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace phocus
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the --telemetry-out
+// flag before google-benchmark sees argv, and dump the telemetry JSON
+// (registry counters + span tree) after the benchmarks run.
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  phocus::bench::ExportTelemetryIfRequested();
+  return 0;
+}

@@ -13,7 +13,8 @@
 #include "phocus/representation.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("table1_feature_matrix", "Table 1");
 
@@ -49,5 +50,6 @@ int main() {
   table.AddRow({"Image corpus [43]", "x (count)", "x", "x"});
   table.AddRow({"PHOcus (this repo)", "yes (sum of sizes)", "yes", "yes"});
   std::printf("%s", table.Render("Table 1: summarization systems vs PHOcus").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -19,7 +19,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("table2_datasets", "Table 2");
   const std::size_t scale = bench::GetScale();
@@ -47,5 +48,6 @@ int main() {
     ++index;
   }
   std::printf("%s", table.Render("Table 2: datasets").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

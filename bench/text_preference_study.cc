@@ -17,7 +17,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("text_preference_study", "§5.4 gold-standard comparison");
   const std::size_t scale = bench::GetScale();
@@ -78,5 +79,6 @@ int main() {
   std::printf("%s", table.Render(StrFormat(
                         "Gold-standard preference study (%d iterations of "
                         "~100 photos per domain)", iterations).c_str()).c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -14,7 +14,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("text_small_budget", "§5.3 'Budget scenarios in practice'");
 
@@ -56,5 +57,6 @@ int main() {
   }
   std::printf("%s", table.Render(
                         "Small-budget scenario (4% of archive)").c_str());
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -15,7 +15,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  phocus::bench::ParseBenchFlags(&argc, argv);
   using namespace phocus;
   bench::PrintHeader("text_uc_vs_cb", "§5.3 UC-vs-CB sub-algorithm comparison");
   const std::size_t scale = bench::GetScale();
@@ -73,5 +74,6 @@ int main() {
   std::printf("CB strictly better in %d/%d cases (%.0f%%); UC in %d; ties %d.\n",
               cb_wins, total, 100.0 * cb_wins / total, uc_wins, ties);
   std::printf("paper: CB superior in roughly 90%% of the cases.\n");
+  phocus::bench::ExportTelemetryIfRequested();
   return 0;
 }

@@ -26,6 +26,8 @@
 #include "phocus/instance_io.h"
 #include "phocus/representation.h"
 #include "phocus/system.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -138,6 +140,8 @@ class Repl {
       Solve(words.size() > 1 ? words[1] : "phocus");
     } else if (command == "coverage") {
       Coverage(words.size() > 1 ? std::stoul(words[1]) : 15);
+    } else if (command == "stats" || command == "\\stats") {
+      Stats();
     } else if (command == "explain") {
       PHOCUS_CHECK(words.size() == 2, "usage: explain PHOTO-ID");
       Explain(static_cast<PhotoId>(std::stoul(words[1])));
@@ -169,6 +173,7 @@ class Repl {
         "  budget BYTES | tau V | exif-weight V\n"
         "  solve [phocus|nr|rand]        run the solver\n"
         "  coverage [K]                  per-subset coverage of the last plan\n"
+        "  stats                         stage latencies of the last solve\n"
         "  explain PHOTO-ID              why a photo was retained/archived\n"
         "  save-instance FILE            export the modeled PAR instance\n"
         "  quit\n");
@@ -245,6 +250,27 @@ class Repl {
     } else {
       std::printf("%s", DescribeArchived(
           ExplainArchived(instance, plan_->retained, photo)).c_str());
+    }
+  }
+
+  /// Shows where the last solve spent its time: the Figure-4 span tree
+  /// captured on the plan, plus latency percentiles per pipeline stage.
+  void Stats() {
+    PHOCUS_CHECK(plan_.has_value(), "no plan yet; run 'solve' first");
+    if (plan_->trace.duration_ns == 0 && plan_->trace.children.empty()) {
+      std::printf("no trace captured (telemetry compiled out or disabled)\n");
+      return;
+    }
+    std::printf("%s", telemetry::RenderSpanTree({plan_->trace}).c_str());
+    const telemetry::MetricsSnapshot snapshot =
+        telemetry::MetricsRegistry::Current().Snapshot();
+    const TextTable stages = telemetry::LatencyTable(snapshot, "system.stage.");
+    if (stages.num_rows() > 0) {
+      std::printf("%s", stages.Render("per-stage latency").c_str());
+    }
+    const TextTable solver = telemetry::LatencyTable(snapshot, "solver.");
+    if (solver.num_rows() > 0) {
+      std::printf("%s", solver.Render("solver latency").c_str());
     }
   }
 

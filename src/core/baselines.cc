@@ -134,6 +134,7 @@ SolverResult GreedyNoRedundancySolver::Solve(const ParInstance& instance) {
   result.solver_name = name();
   // Report the true objective of the selection under the given instance.
   result.score = ObjectiveEvaluator::Evaluate(instance, result.selected);
+  result.gain_evaluations += result.selected.size();  // the final Evaluate
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

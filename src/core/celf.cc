@@ -3,6 +3,8 @@
 #include <limits>
 #include <queue>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -32,6 +34,12 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
                             const CelfOptions& options,
                             const std::vector<PhotoId>& seed) {
   Stopwatch timer;
+  telemetry::TraceSpan span("solver.celf.pass");
+  span.SetAttribute("rule", rule == GreedyRule::kUnitCost ? "UC" : "CB");
+  // Lazy-evaluation accounting is kept in locals inside the hot loop and
+  // flushed to the registry once at the end — zero atomics per pop.
+  std::uint64_t lazy_hits = 0;
+  std::uint64_t lazy_misses = 0;
   SolverResult result;
   result.solver_name =
       rule == GreedyRule::kUnitCost ? "LazyGreedy(UC)" : "LazyGreedy(CB)";
@@ -89,14 +97,18 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
     queue.pop();
     if (instance.cost(top.photo) > remaining) continue;  // dropped forever
     if (top.epoch == epoch) {
-      // Fresh maximum: select it (lines 13-15).
+      // Fresh maximum: select it (lines 13-15). A fresh top is a lazy-eval
+      // hit — the cached gain was still the true maximum.
+      ++lazy_hits;
       if (top.key <= options.min_gain) break;  // nothing useful remains
       evaluator.Add(top.photo);
       result.selected.push_back(top.photo);
       remaining -= instance.cost(top.photo);
       epoch = evaluator.num_selected();
     } else {
-      // Stale: recompute δ_p and re-queue (lines 17-18).
+      // Stale: recompute δ_p and re-queue (lines 17-18) — a lazy miss, one
+      // heap re-push.
+      ++lazy_misses;
       const double gain = evaluator.GainOf(top.photo);
       queue.push({key_of(top.photo, gain), top.photo, epoch});
     }
@@ -106,11 +118,29 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
   result.cost = evaluator.selected_cost();
   result.gain_evaluations = evaluator.gain_evaluations();
   result.seconds = timer.ElapsedSeconds();
+
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("solver.celf.lazy_hits").Add(lazy_hits);
+  registry.GetCounter("solver.celf.lazy_misses").Add(lazy_misses);
+  registry.GetCounter("solver.celf.heap_repushes").Add(lazy_misses);
+  registry.GetCounter("solver.celf.gain_evals").Add(result.gain_evaluations);
+  registry.GetCounter("solver.celf.selected")
+      .Add(result.selected.size() - seed.size());
+  registry.GetHistogram("solver.celf.pass_ns")
+      .Record(static_cast<double>(timer.ElapsedNanos()));
+  span.SetAttribute("selected",
+                    static_cast<std::uint64_t>(result.selected.size()));
+  span.SetAttribute("gain_evals",
+                    static_cast<std::uint64_t>(result.gain_evaluations));
+  span.SetAttribute("score", result.score);
   return result;
 }
 
 SolverResult CelfSolver::Solve(const ParInstance& instance) {
   Stopwatch timer;
+  telemetry::TraceSpan span("solver.celf.solve");
+  span.SetAttribute("photos",
+                    static_cast<std::uint64_t>(instance.num_photos()));
   SolverResult uc = LazyGreedy(instance, GreedyRule::kUnitCost, options_);
   SolverResult cb = LazyGreedy(instance, GreedyRule::kCostBenefit, options_);
   uc_score_ = uc.score;
@@ -123,6 +153,13 @@ SolverResult CelfSolver::Solve(const ParInstance& instance) {
   best.detail = winning_rule_ == GreedyRule::kCostBenefit ? "CB" : "UC";
   best.gain_evaluations = uc.gain_evaluations + cb.gain_evaluations;
   best.seconds = timer.ElapsedSeconds();
+
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("solver.celf.solves").Increment();
+  registry.GetHistogram("solver.celf.solve_ns")
+      .Record(static_cast<double>(timer.ElapsedNanos()));
+  span.SetAttribute("winner", best.detail);
+  span.SetAttribute("score", best.score);
   return best;
 }
 

@@ -20,7 +20,8 @@ namespace {
 double FractionalGainBound(const ParInstance& instance,
                            const ObjectiveEvaluator& evaluator,
                            const std::vector<PhotoId>& candidates,
-                           std::size_t from, Cost remaining) {
+                           std::size_t from, Cost remaining,
+                           std::uint64_t* gain_evaluations) {
   struct Item {
     double gain;
     Cost cost;
@@ -32,6 +33,7 @@ double FractionalGainBound(const ParInstance& instance,
     if (evaluator.IsSelected(p)) continue;
     if (instance.cost(p) > remaining) continue;
     const double gain = evaluator.GainOf(p);
+    ++*gain_evaluations;
     if (gain > 0.0) items.push_back({gain, instance.cost(p)});
   }
   std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
@@ -60,6 +62,9 @@ struct BnbState {
   std::vector<PhotoId> best_selection;
   std::uint64_t nodes = 0;
   std::uint64_t max_nodes = 0;
+  /// Evaluator copies each carry their own counter, so the search counts its
+  /// gain probes here (audit: the solver used to report 0).
+  std::uint64_t gain_evaluations = 0;
   bool node_budget_exhausted = false;
 };
 
@@ -77,8 +82,9 @@ void BranchAndBound(BnbState& state, ObjectiveEvaluator& evaluator,
   }
   if (index >= state.candidates.size()) return;
 
-  const double bound = FractionalGainBound(*state.instance, evaluator,
-                                           state.candidates, index, remaining);
+  const double bound =
+      FractionalGainBound(*state.instance, evaluator, state.candidates, index,
+                          remaining, &state.gain_evaluations);
   if (evaluator.score() + bound <= state.best_score + 1e-12) return;
 
   const PhotoId p = state.candidates[index];
@@ -86,6 +92,7 @@ void BranchAndBound(BnbState& state, ObjectiveEvaluator& evaluator,
   if (state.instance->cost(p) <= remaining) {
     ObjectiveEvaluator with = evaluator;
     with.Add(p);
+    ++state.gain_evaluations;
     chosen.push_back(p);
     BranchAndBound(state, with, chosen, index + 1,
                    remaining - state.instance->cost(p));
@@ -128,6 +135,7 @@ SolverResult BruteForceSolver::Solve(const ParInstance& instance) {
       density[i] = evaluator.GainOf(state.candidates[i]) /
                    static_cast<double>(instance.cost(state.candidates[i]));
     }
+    state.gain_evaluations += state.candidates.size();
     std::vector<std::size_t> order(state.candidates.size());
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -145,6 +153,7 @@ SolverResult BruteForceSolver::Solve(const ParInstance& instance) {
   {
     auto consider_incumbent = [&](const std::vector<PhotoId>& selection) {
       const double score = ObjectiveEvaluator::Evaluate(instance, selection);
+      state.gain_evaluations += selection.size();
       if (score <= state.best_score) return;
       state.best_score = score;
       state.best_selection.clear();
@@ -153,7 +162,9 @@ SolverResult BruteForceSolver::Solve(const ParInstance& instance) {
       }
     };
     CelfSolver celf;
-    consider_incumbent(celf.Solve(instance).selected);
+    const SolverResult warm = celf.Solve(instance);
+    state.gain_evaluations += warm.gain_evaluations;
+    consider_incumbent(warm.selected);
     if (!warm_start_.empty()) consider_incumbent(warm_start_);
   }
 
@@ -167,6 +178,7 @@ SolverResult BruteForceSolver::Solve(const ParInstance& instance) {
   result.cost = 0;
   for (PhotoId p : result.selected) result.cost += instance.cost(p);
   result.exact = !state.node_budget_exhausted;
+  result.gain_evaluations = state.gain_evaluations + result.selected.size();
   result.detail = StrFormat("nodes=%llu%s",
                             static_cast<unsigned long long>(state.nodes),
                             state.node_budget_exhausted ? " (capped)" : "");

@@ -118,6 +118,10 @@ void ParInstance::NormalizeRelevance() {
 }
 
 void ParInstance::BuildMembershipIndex() const {
+  // Already-valid indexes must not be rebuilt: the thread-safety contract
+  // (see instance.h) is "build once, then share", and evaluators constructed
+  // concurrently after that point all land here.
+  if (membership_index_valid_) return;
   membership_index_.assign(costs_.size(), {});
   for (SubsetId q = 0; q < subsets_.size(); ++q) {
     const Subset& subset = subsets_[q];

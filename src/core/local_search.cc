@@ -4,6 +4,8 @@
 
 #include "core/celf.h"
 #include "core/objective.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -12,8 +14,10 @@ namespace phocus {
 LocalSearchStats ImproveByLocalSearch(const ParInstance& instance,
                                       SolverResult& solution,
                                       const LocalSearchOptions& options) {
+  telemetry::TraceSpan span("solver.local_search");
   LocalSearchStats stats;
   stats.initial_score = ObjectiveEvaluator::Evaluate(instance, solution.selected);
+  stats.gain_evaluations += solution.selected.size();  // the Evaluate pass
   double current_score = stats.initial_score;
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
@@ -35,8 +39,10 @@ LocalSearchStats ImproveByLocalSearch(const ParInstance& instance,
       }
       // Greedy refill of the freed budget (may re-add the victim, in which
       // case the move cannot strictly improve and is rejected).
+      ++stats.moves_tried;
       const SolverResult refilled =
           LazyGreedyFrom(instance, GreedyRule::kCostBenefit, CelfOptions{}, base);
+      stats.gain_evaluations += refilled.gain_evaluations;
       if (refilled.score >
           current_score * (1.0 + options.min_relative_gain)) {
         solution.selected = refilled.selected;
@@ -51,7 +57,24 @@ LocalSearchStats ImproveByLocalSearch(const ParInstance& instance,
   solution.score = current_score;
   solution.cost = 0;
   for (PhotoId p : solution.selected) solution.cost += instance.cost(p);
+  // The refill probes evaluated gains on the solution's behalf; without this
+  // the wrapped result under-reports its oracle complexity (audit: the
+  // wrapper previously dropped them entirely).
+  solution.gain_evaluations += stats.gain_evaluations;
   stats.final_score = current_score;
+
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("solver.local_search.moves_tried")
+      .Add(static_cast<std::uint64_t>(stats.moves_tried));
+  registry.GetCounter("solver.local_search.moves_accepted")
+      .Add(static_cast<std::uint64_t>(stats.moves_accepted));
+  registry.GetCounter("solver.local_search.passes")
+      .Add(static_cast<std::uint64_t>(stats.passes));
+  span.SetAttribute("moves_tried",
+                    static_cast<std::uint64_t>(stats.moves_tried));
+  span.SetAttribute("moves_accepted",
+                    static_cast<std::uint64_t>(stats.moves_accepted));
+  span.SetAttribute("score_delta", stats.final_score - stats.initial_score);
   return stats;
 }
 

@@ -25,7 +25,11 @@ struct LocalSearchOptions {
 
 struct LocalSearchStats {
   int passes = 0;
+  int moves_tried = 0;
   int moves_accepted = 0;
+  /// Marginal-gain evaluations spent by the evict-and-refill probes; also
+  /// added onto the improved solution's SolverResult::gain_evaluations.
+  std::size_t gain_evaluations = 0;
   double initial_score = 0.0;
   double final_score = 0.0;
 };

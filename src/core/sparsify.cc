@@ -1,5 +1,7 @@
 #include "core/sparsify.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace phocus {
@@ -7,6 +9,8 @@ namespace phocus {
 ParInstance SparsifyInstance(const ParInstance& instance, double tau,
                              SparsifyStats* stats) {
   PHOCUS_CHECK(tau >= 0.0 && tau <= 1.0, "tau must be in [0, 1]");
+  telemetry::TraceSpan span("core.sparsify");
+  span.SetAttribute("tau", tau);
   ParInstance out(instance.num_photos(), instance.costs(), instance.budget());
   for (PhotoId p = 0; p < instance.num_photos(); ++p) {
     if (instance.IsRequired(p)) out.MarkRequired(p);
@@ -58,6 +62,11 @@ ParInstance SparsifyInstance(const ParInstance& instance, double tau,
     stats->entries_before = before;
     stats->entries_after = after;
   }
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("sparsify.entries_before").Add(before);
+  registry.GetCounter("sparsify.entries_after").Add(after);
+  span.SetAttribute("entries_before", static_cast<std::uint64_t>(before));
+  span.SetAttribute("entries_after", static_cast<std::uint64_t>(after));
   return out;
 }
 

@@ -2,7 +2,10 @@
 
 #include "embedding/projection.h"
 #include "imaging/ops.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace phocus {
@@ -35,6 +38,9 @@ std::size_t EmbeddingPipeline::dimension() const {
 
 Embedding EmbeddingPipeline::Extract(const Image& image) const {
   PHOCUS_CHECK(!image.empty(), "cannot embed an empty image");
+  ScopedTimer<telemetry::Histogram> timer(
+      &telemetry::MetricsRegistry::Current().GetHistogram(
+          "embedding.extract_ns"));
   Image working = image;
   if (image.width() != options_.working_size ||
       image.height() != options_.working_size) {
@@ -58,6 +64,8 @@ Embedding EmbeddingPipeline::Extract(const Image& image) const {
 
 std::vector<Embedding> EmbeddingPipeline::ExtractBatch(
     const std::vector<Image>& images) const {
+  telemetry::TraceSpan span("embedding.extract_batch");
+  span.SetAttribute("images", static_cast<std::uint64_t>(images.size()));
   std::vector<Embedding> out(images.size());
   ThreadPool::Global().ParallelFor(
       images.size(), [&](std::size_t i) { out[i] = Extract(images[i]); });

@@ -5,14 +5,33 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace phocus {
 
+namespace {
+
+/// Flushes pair-search accounting into the telemetry registry (shared by the
+/// exhaustive and LSH finders; the τ-survival ratio is the §4.3 story).
+void ReportPairSearch(telemetry::TraceSpan& span, std::size_t vectors,
+                      std::size_t candidates, std::size_t outputs) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("lsh.candidate_pairs").Add(candidates);
+  registry.GetCounter("lsh.output_pairs").Add(outputs);
+  span.SetAttribute("vectors", static_cast<std::uint64_t>(vectors));
+  span.SetAttribute("candidate_pairs", static_cast<std::uint64_t>(candidates));
+  span.SetAttribute("output_pairs", static_cast<std::uint64_t>(outputs));
+}
+
+}  // namespace
+
 std::vector<SimilarPair> AllPairsAbove(const std::vector<Embedding>& vectors,
                                        double tau, PairSearchStats* stats) {
   Stopwatch timer;
+  telemetry::TraceSpan span("lsh.all_pairs");
   std::vector<SimilarPair> pairs;
   const std::size_t m = vectors.size();
   for (std::size_t i = 0; i < m; ++i) {
@@ -25,12 +44,14 @@ std::vector<SimilarPair> AllPairsAbove(const std::vector<Embedding>& vectors,
       }
     }
   }
+  const std::size_t candidates = m < 2 ? 0 : m * (m - 1) / 2;
   if (stats != nullptr) {
     stats->vectors = m;
-    stats->candidate_pairs = m * (m - 1) / 2;
+    stats->candidate_pairs = candidates;
     stats->output_pairs = pairs.size();
     stats->seconds = timer.ElapsedSeconds();
   }
+  ReportPairSearch(span, m, candidates, pairs.size());
   return pairs;
 }
 
@@ -61,12 +82,16 @@ std::vector<SimilarPair> LshPairsAbove(const std::vector<Embedding>& vectors,
                                        const LshPairFinderOptions& options,
                                        PairSearchStats* stats) {
   Stopwatch timer;
+  telemetry::TraceSpan span("lsh.pairs_above");
   std::vector<SimilarPair> pairs;
   const std::size_t m = vectors.size();
   if (m < 2) {
     if (stats != nullptr) *stats = {m, 0, 0, timer.ElapsedSeconds()};
     return pairs;
   }
+  span.SetAttribute("bands", static_cast<std::uint64_t>(options.bands));
+  telemetry::Histogram& bucket_hist =
+      telemetry::MetricsRegistry::Current().GetHistogram("lsh.bucket_size");
   PHOCUS_CHECK(options.bands > 0 && options.num_bits % options.bands == 0,
                "bands must divide num_bits");
   const int rows = options.num_bits / options.bands;
@@ -104,6 +129,9 @@ std::vector<SimilarPair> LshPairsAbove(const std::vector<Embedding>& vectors,
     for (const auto& [key, bucket] : buckets) {
       (void)key;
       if (bucket.size() < 2) continue;
+      // Only colliding buckets are recorded: singleton buckets generate no
+      // candidates and would swamp the histogram with noise.
+      bucket_hist.Record(static_cast<double>(bucket.size()));
       for (std::size_t a = 0; a < bucket.size(); ++a) {
         for (std::size_t b = a + 1; b < bucket.size(); ++b) {
           const std::uint64_t pair_id =
@@ -127,6 +155,7 @@ std::vector<SimilarPair> LshPairsAbove(const std::vector<Embedding>& vectors,
     stats->output_pairs = pairs.size();
     stats->seconds = timer.ElapsedSeconds();
   }
+  ReportPairSearch(span, m, candidates, pairs.size());
   return pairs;
 }
 

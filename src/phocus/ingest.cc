@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "imaging/quality.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace phocus {
@@ -34,9 +37,15 @@ std::vector<CorpusPhoto> IngestPhotos(const std::vector<Image>& images,
     PHOCUS_CHECK(provided_bytes.size() == images.size(),
                  "use_provided_bytes requires one byte count per image");
   }
+  telemetry::TraceSpan span("phocus.ingest");
+  span.SetAttribute("photos", static_cast<std::uint64_t>(images.size()));
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("ingest.photos").Add(images.size());
+  telemetry::Histogram& photo_hist = registry.GetHistogram("ingest.photo_ns");
   const EmbeddingPipeline pipeline(options.pipeline);
   std::vector<CorpusPhoto> photos(images.size());
   ThreadPool::Global().ParallelFor(images.size(), [&](std::size_t i) {
+    ScopedTimer<telemetry::Histogram> photo_timer(&photo_hist);
     CorpusPhoto& photo = photos[i];
     photo.embedding = pipeline.Extract(images[i]);
     photo.quality = AssessQuality(images[i]).overall;
@@ -47,6 +56,8 @@ std::vector<CorpusPhoto> IngestPhotos(const std::vector<Image>& images,
     photo.exif = exif[i];
     photo.title = titles[i];
   });
+  PHOCUS_LOG(kDebug) << "ingest: extracted embeddings for " << photos.size()
+                     << " photos";
   return photos;
 }
 

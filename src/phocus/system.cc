@@ -4,6 +4,7 @@
 
 #include "core/celf.h"
 #include "core/objective.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -28,15 +29,32 @@ ArchivePlan PhocusSystem::PlanArchiveWith(const ArchiveOptions& options,
                                           Solver& solver) const {
   PHOCUS_CHECK(options.budget > 0, "archive budget must be positive");
   ArchivePlan plan;
+  auto& registry = telemetry::MetricsRegistry::Current();
+  telemetry::TraceSpan root("system.plan_archive");
+  root.SetAttribute("photos", static_cast<std::uint64_t>(corpus_.photos.size()));
+  root.SetAttribute("budget", static_cast<std::uint64_t>(options.budget));
 
   Stopwatch build_timer;
-  const ParInstance instance =
-      BuildInstance(corpus_, options.budget, options.representation);
-  instance.Validate();
+  const ParInstance instance = [&] {
+    telemetry::TraceSpan stage("system.stage.representation");
+    ScopedTimer<telemetry::Histogram> stage_timer(
+        &registry.GetHistogram("system.stage.representation_ns"));
+    ParInstance built =
+        BuildInstance(corpus_, options.budget, options.representation);
+    built.Validate();
+    stage.SetAttribute("subsets", static_cast<std::uint64_t>(built.num_subsets()));
+    return built;
+  }();
   plan.build_seconds = build_timer.ElapsedSeconds();
 
   Stopwatch solve_timer;
-  plan.solver_result = solver.Solve(instance);
+  {
+    telemetry::TraceSpan stage("system.stage.solve");
+    stage.SetAttribute("solver", solver.name());
+    ScopedTimer<telemetry::Histogram> stage_timer(
+        &registry.GetHistogram("system.stage.solve_ns"));
+    plan.solver_result = solver.Solve(instance);
+  }
   plan.solve_seconds = solve_timer.ElapsedSeconds();
   CheckFeasible(instance, plan.solver_result);
 
@@ -57,32 +75,49 @@ ArchivePlan PhocusSystem::PlanArchiveWith(const ArchiveOptions& options,
   plan.score_fraction = plan.max_score > 0.0 ? plan.score / plan.max_score : 1.0;
 
   if (options.compute_online_bound) {
+    telemetry::TraceSpan stage("system.stage.online_bound");
+    ScopedTimer<telemetry::Histogram> stage_timer(
+        &registry.GetHistogram("system.stage.online_bound_ns"));
     plan.online_bound = ComputeOnlineBound(instance, plan.solver_result.selected);
+    stage.SetAttribute("certified_ratio", plan.online_bound.certified_ratio);
   }
 
   // Per-subset coverage report, most important subsets first.
-  ObjectiveEvaluator evaluator(&instance);
-  for (PhotoId p : plan.solver_result.selected) evaluator.Add(p);
-  std::vector<SubsetId> order(instance.num_subsets());
-  for (SubsetId q = 0; q < instance.num_subsets(); ++q) order[q] = q;
-  std::sort(order.begin(), order.end(), [&](SubsetId a, SubsetId b) {
-    return instance.subset(a).weight > instance.subset(b).weight;
-  });
-  const std::size_t rows = options.coverage_rows == 0
-                               ? order.size()
-                               : std::min(order.size(), options.coverage_rows);
-  for (std::size_t i = 0; i < rows; ++i) {
-    const Subset& q = instance.subset(order[i]);
-    SubsetCoverage coverage;
-    coverage.name = q.name;
-    coverage.weight = q.weight;
-    coverage.coverage = evaluator.SubsetScore(order[i]);
-    coverage.total_members = q.size();
-    for (PhotoId p : q.members) {
-      if (kept[p]) ++coverage.retained_members;
+  {
+    telemetry::TraceSpan coverage_stage("system.stage.coverage");
+    ScopedTimer<telemetry::Histogram> coverage_timer(
+        &registry.GetHistogram("system.stage.coverage_ns"));
+    ObjectiveEvaluator evaluator(&instance);
+    for (PhotoId p : plan.solver_result.selected) evaluator.Add(p);
+    std::vector<SubsetId> order(instance.num_subsets());
+    for (SubsetId q = 0; q < instance.num_subsets(); ++q) order[q] = q;
+    std::sort(order.begin(), order.end(), [&](SubsetId a, SubsetId b) {
+      return instance.subset(a).weight > instance.subset(b).weight;
+    });
+    const std::size_t rows =
+        options.coverage_rows == 0
+            ? order.size()
+            : std::min(order.size(), options.coverage_rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const Subset& q = instance.subset(order[i]);
+      SubsetCoverage coverage;
+      coverage.name = q.name;
+      coverage.weight = q.weight;
+      coverage.coverage = evaluator.SubsetScore(order[i]);
+      coverage.total_members = q.size();
+      for (PhotoId p : q.members) {
+        if (kept[p]) ++coverage.retained_members;
+      }
+      plan.subset_coverage.push_back(std::move(coverage));
     }
-    plan.subset_coverage.push_back(std::move(coverage));
   }
+  root.SetAttribute("score", plan.score);
+  root.SetAttribute("retained", static_cast<std::uint64_t>(plan.retained.size()));
+  plan.trace = root.Close();
+  PHOCUS_LOG(kDebug) << "plan_archive: retained " << plan.retained.size() << "/"
+                     << corpus_.photos.size() << " photos, score "
+                     << plan.score << ", certified "
+                     << plan.online_bound.certified_ratio;
   return plan;
 }
 

@@ -9,6 +9,7 @@
 #include "core/solver.h"
 #include "datagen/corpus.h"
 #include "phocus/representation.h"
+#include "telemetry/trace.h"
 
 /// \file system.h
 /// The end-to-end PHOcus system (Figure 4): corpus in, archive plan out.
@@ -61,6 +62,10 @@ struct ArchivePlan {
   double build_seconds = 0.0;    ///< Data Representation Module time
   double solve_seconds = 0.0;    ///< Solver time
   std::vector<SubsetCoverage> subset_coverage;
+  /// Span tree for this run ("system.plan_archive" with one child per
+  /// Figure-4 stage). Empty (duration 0, no children) when telemetry is
+  /// compiled out or disabled; render with telemetry::RenderSpanTree.
+  telemetry::SpanRecord trace;
 };
 
 /// End-to-end facade owning the corpus.

@@ -2,6 +2,7 @@
 
 #include "imaging/ppm_io.h"
 #include "imaging/scene.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -11,6 +12,8 @@ ArchiveToVaultReport ArchivePlanToVault(const Corpus& corpus,
                                         const ArchivePlan& plan,
                                         ArchiveVault& vault, int render_size) {
   ArchiveToVaultReport report;
+  telemetry::TraceSpan span("storage.archive_to_vault");
+  span.SetAttribute("photos", static_cast<std::uint64_t>(plan.archived.size()));
   for (PhotoId p : plan.archived) {
     PHOCUS_CHECK(p < corpus.photos.size(), "archived photo id out of range");
     const Image image =
@@ -27,6 +30,9 @@ ArchiveToVaultReport ArchivePlanToVault(const Corpus& corpus,
           ? static_cast<double>(report.original_bytes) /
                 static_cast<double>(report.stored_bytes)
           : 1.0;
+  span.SetAttribute("deduplicated",
+                    static_cast<std::uint64_t>(report.deduplicated));
+  span.SetAttribute("compression_ratio", report.compression_ratio);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "telemetry/metrics.h"
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/lzss.h"
@@ -39,17 +40,21 @@ ArchiveVault::Receipt ArchiveVault::Store(const std::string& key,
   receipt.content_hash = HashPayload(payload);
   receipt.original_bytes = payload.size();
 
+  auto& registry = telemetry::MetricsRegistry::Current();
   auto size_it = object_sizes_.find(receipt.content_hash);
   if (size_it != object_sizes_.end()) {
     receipt.deduplicated = true;
     receipt.stored_bytes = size_it->second;
+    registry.GetCounter("storage.vault.dedup_hits").Add(1);
   } else {
     fs::create_directories(directory_ + "/objects");
     const std::string compressed = LzssCompress(payload);
     WriteFile(ObjectPath(receipt.content_hash), compressed);
     receipt.stored_bytes = compressed.size();
     object_sizes_[receipt.content_hash] = receipt.stored_bytes;
+    registry.GetCounter("storage.vault.bytes_written").Add(compressed.size());
   }
+  registry.GetCounter("storage.vault.stores").Add(1);
   entries_[key] = {receipt.content_hash, receipt.original_bytes};
   SaveManifest();
   return receipt;

@@ -1,0 +1,167 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace phocus {
+namespace telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+namespace {
+std::atomic<MetricsRegistry*> g_current{nullptr};
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN and negatives
+  // Smallest i with value <= 2^{(i+1)/4}.
+  const int index = static_cast<int>(
+      std::ceil(kBucketsPerDoubling * std::log2(value))) - 1;
+  if (index < 0) return 0;
+  if (index >= kNumBuckets) return kNumBuckets - 1;
+  return index;
+}
+
+double Histogram::BucketUpperBound(int index) {
+  return std::exp2(static_cast<double>(index + 1) / kBucketsPerDoubling);
+}
+
+void Histogram::RecordImpl(double value) {
+  buckets_[static_cast<std::size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS-add the running sum.
+  std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      bits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(bits) + value),
+      std::memory_order_relaxed)) {
+  }
+  // CAS-max.
+  bits = max_bits_.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(bits) < value &&
+         !max_bits_.compare_exchange_weak(
+             bits, std::bit_cast<std::uint64_t>(value),
+             std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Never report a quantile above the observed maximum.
+      return std::min(BucketUpperBound(i), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramValue value;
+    value.name = name;
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    value.mean = histogram->mean();
+    value.p50 = histogram->Quantile(0.50);
+    value.p90 = histogram->Quantile(0.90);
+    value.p99 = histogram->Quantile(0.99);
+    value.max = histogram->max();
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry& MetricsRegistry::Current() {
+  MetricsRegistry* registry = g_current.load(std::memory_order_acquire);
+  return registry != nullptr ? *registry : Default();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* registry)
+    : previous_(g_current.exchange(registry, std::memory_order_acq_rel)) {}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+}  // namespace telemetry
+}  // namespace phocus

@@ -1,0 +1,124 @@
+#include "telemetry/trace.h"
+
+#include "util/strings.h"
+
+namespace phocus {
+namespace telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Process-wide trace epoch: fixed the first time any span starts, so
+/// start_ns values from different threads share one timeline.
+Clock::time_point Epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::uint64_t SinceEpochNs(Clock::time_point t) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t - Epoch())
+          .count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+/// Open spans on this thread, outermost first. Raw pointers into the owning
+/// TraceSpan objects; LIFO construction/destruction keeps them valid.
+thread_local std::vector<SpanRecord*> t_open_spans;
+
+}  // namespace
+
+std::size_t SpanRecord::TotalSpans() const {
+  std::size_t total = 1;
+  for (const SpanRecord& child : children) total += child.TotalSpans();
+  return total;
+}
+
+TraceSpan::TraceSpan(std::string name) {
+  if (!Enabled()) return;
+  record_ = std::make_unique<SpanRecord>();
+  record_->name = std::move(name);
+  Epoch();  // latch the epoch before reading the clock: start_ >= epoch
+  start_ = Clock::now();
+  record_->start_ns = SinceEpochNs(start_);
+  t_open_spans.push_back(record_.get());
+}
+
+TraceSpan::~TraceSpan() {
+  if (record_ != nullptr) Finish(nullptr);
+}
+
+void TraceSpan::SetAttribute(const std::string& key, std::string value) {
+  if (record_ == nullptr) return;
+  record_->attributes.emplace_back(key, std::move(value));
+}
+
+void TraceSpan::SetAttribute(const std::string& key, const char* value) {
+  SetAttribute(key, std::string(value));
+}
+
+void TraceSpan::SetAttribute(const std::string& key, double value) {
+  SetAttribute(key, StrFormat("%g", value));
+}
+
+void TraceSpan::SetAttribute(const std::string& key, std::uint64_t value) {
+  SetAttribute(key, StrFormat("%llu", static_cast<unsigned long long>(value)));
+}
+
+SpanRecord TraceSpan::Close() {
+  SpanRecord out;
+  if (record_ != nullptr) Finish(&out);
+  return out;
+}
+
+void TraceSpan::Finish(SpanRecord* out) {
+  record_->duration_ns = SinceEpochNs(Clock::now()) - record_->start_ns;
+  // Pop this span off the thread's open stack. Scoped usage makes it the
+  // top; tolerate (skip the pop of) out-of-order teardown rather than UB.
+  if (!t_open_spans.empty() && t_open_spans.back() == record_.get()) {
+    t_open_spans.pop_back();
+  }
+  if (out != nullptr) *out = *record_;
+  if (!t_open_spans.empty()) {
+    t_open_spans.back()->children.push_back(std::move(*record_));
+  } else {
+    TraceCollector::Global().Deposit(std::move(*record_));
+  }
+  record_.reset();
+}
+
+void TraceCollector::Deposit(SpanRecord root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (roots_.size() >= kMaxRoots) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  roots_.push_back(std::move(root));
+}
+
+std::vector<SpanRecord> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return roots_;
+}
+
+std::vector<SpanRecord> TraceCollector::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out = std::move(roots_);
+  roots_.clear();
+  return out;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  roots_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+}  // namespace telemetry
+}  // namespace phocus

@@ -1,0 +1,105 @@
+#ifndef PHOCUS_TELEMETRY_TRACE_H_
+#define PHOCUS_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+/// \file trace.h
+/// RAII tracing spans forming a parent/child tree with wall-clock durations
+/// and key/value attributes.
+///
+/// Spans are collected per thread: a span opened while another span is live
+/// on the same thread becomes its child; a span that finishes with no open
+/// parent is a *root* and is deposited into the process-global
+/// TraceCollector. ThreadPool tasks therefore produce their own roots, and
+/// the collector is the merge point across workers.
+///
+/// When telemetry is compiled out (PHOCUS_TELEMETRY=OFF) or disabled at
+/// runtime, constructing a TraceSpan is a no-op. SpanRecord itself is always
+/// a real type so exporters and ArchivePlan compile unchanged.
+
+namespace phocus {
+namespace telemetry {
+
+/// One finished span. Times are nanoseconds on the steady clock, relative to
+/// a process-wide trace epoch (the first span ever started).
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<SpanRecord> children;
+
+  /// This span plus all descendants (tests, capacity accounting).
+  std::size_t TotalSpans() const;
+};
+
+/// RAII span. Must be closed (destroyed) on the thread that opened it, in
+/// LIFO order — the natural shape of scoped usage.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attributes are formatted to strings at set time.
+  void SetAttribute(const std::string& key, std::string value);
+  void SetAttribute(const std::string& key, const char* value);
+  void SetAttribute(const std::string& key, double value);
+  void SetAttribute(const std::string& key, std::uint64_t value);
+
+  /// Ends the span now and returns the finished record. The record is still
+  /// attached to its parent (or deposited into the global collector when the
+  /// span is a root), so callers get a copy to expose — e.g. on ArchivePlan —
+  /// without removing it from the trace. No-op spans return an empty record.
+  SpanRecord Close();
+
+  /// False when telemetry is compiled out or disabled at runtime.
+  bool active() const { return record_ != nullptr; }
+
+ private:
+  void Finish(SpanRecord* out);
+
+  std::unique_ptr<SpanRecord> record_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-global sink for finished root spans (bounded; excess roots are
+/// counted, not stored).
+class TraceCollector {
+ public:
+  static constexpr std::size_t kMaxRoots = 512;
+
+  void Deposit(SpanRecord root);
+
+  /// Copies the stored roots (does not clear).
+  std::vector<SpanRecord> Snapshot() const;
+  /// Moves the stored roots out and clears.
+  std::vector<SpanRecord> Drain();
+  void Clear();
+
+  /// Roots dropped because the collector was full.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  static TraceCollector& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> roots_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace telemetry
+}  // namespace phocus
+
+#endif  // PHOCUS_TELEMETRY_TRACE_H_

@@ -1,13 +1,23 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <functional>
 #include <mutex>
+#include <thread>
 
 namespace phocus {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// -1 means "not yet initialized": the first read consults the
+/// PHOCUS_LOG_LEVEL environment variable (debug|info|warn|error,
+/// case-insensitive); SetLogLevel overrides it unconditionally.
+std::atomic<int> g_level{-1};
 std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -19,15 +29,63 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+int LevelFromEnvironment() {
+  const char* raw = std::getenv("PHOCUS_LOG_LEVEL");
+  if (raw == nullptr) return static_cast<int>(LogLevel::kInfo);
+  char lowered[16] = {};
+  for (std::size_t i = 0; i < sizeof(lowered) - 1 && raw[i] != '\0'; ++i) {
+    lowered[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(raw[i])));
+  }
+  if (std::strcmp(lowered, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(lowered, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(lowered, "warn") == 0 || std::strcmp(lowered, "warning") == 0) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::strcmp(lowered, "error") == 0) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+int EffectiveLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level >= 0) return level;
+  int expected = -1;
+  g_level.compare_exchange_strong(expected, LevelFromEnvironment(),
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(EffectiveLevel()); }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < EffectiveLevel()) return;
+
+  // ISO-8601 UTC timestamp with milliseconds.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &utc);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+
+  // Short stable per-thread tag (hash of the opaque std::thread::id).
+  const unsigned long tid = static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffffu);
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[%s.%03dZ] [%s] [t:%06lx] %s\n", stamp, millis,
+               LevelName(level), tid, message.c_str());
 }
 
 namespace internal {

@@ -2,9 +2,11 @@
 #define PHOCUS_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 /// \file stopwatch.h
-/// Wall-clock stopwatch used by benches and the solver's time reports.
+/// Wall-clock stopwatch used by benches and the solver's time reports, plus
+/// a scoped timer that reports into a telemetry histogram on destruction.
 
 namespace phocus {
 
@@ -24,9 +26,41 @@ class Stopwatch {
   /// Elapsed milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed nanoseconds (full clock resolution, for latency histograms).
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer: on destruction, records the elapsed nanoseconds into a
+/// histogram-like sink exposing `Record(double)` — in practice a
+/// `telemetry::Histogram`. Templated on the sink so util stays below
+/// phocus_telemetry in the dependency DAG. A null sink disables reporting.
+template <typename SinkT>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(SinkT* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->Record(static_cast<double>(stopwatch_.ElapsedNanos()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Mid-scope reads (e.g. elapsed seconds for a report row).
+  const Stopwatch& stopwatch() const { return stopwatch_; }
+
+ private:
+  SinkT* sink_;
+  Stopwatch stopwatch_;
 };
 
 }  // namespace phocus

@@ -29,6 +29,11 @@ TEST_P(LocalSearchTest, NeverDegradesAndStaysFeasible) {
   EXPECT_GE(stats.final_score + 1e-9, before);
   EXPECT_GE(stats.final_score + 1e-9, stats.initial_score);
   CheckFeasible(instance, solution);
+  // The audit contract: probe costs are accounted on both the stats and the
+  // improved solution (which also keeps the inner solver's own evaluations).
+  EXPECT_GT(stats.gain_evaluations, 0u);
+  EXPECT_GT(stats.moves_tried, 0);
+  EXPECT_GE(solution.gain_evaluations, stats.gain_evaluations);
 }
 
 TEST_P(LocalSearchTest, SubstantiallyImprovesRandomSolutions) {
@@ -93,6 +98,9 @@ TEST(LocalSearchTest, SolverWrapperComposes) {
   const SolverResult plain = inner.Solve(instance);
   const SolverResult improved = wrapped.Solve(instance);
   CheckFeasible(instance, improved);
+  EXPECT_GT(improved.gain_evaluations, plain.gain_evaluations)
+      << "the wrapper must add its probe evaluations on top of the inner "
+         "solver's";
   EXPECT_GE(improved.score + 1e-9, plain.score);
   EXPECT_EQ(improved.solver_name, "RAND-A+LS");
   EXPECT_NE(improved.detail.find("ls_moves="), std::string::npos);

@@ -107,6 +107,7 @@ TEST(CelfTest, RespectsBudgetAndRequiredSet) {
   CelfSolver solver;
   const SolverResult result = solver.Solve(instance);
   CheckFeasible(instance, result);  // budget + S0 + score re-check
+  EXPECT_GT(result.gain_evaluations, 0u);
 }
 
 TEST(CelfTest, SeedExceedingBudgetThrows) {
@@ -172,6 +173,7 @@ TEST(BaselineTest, RandomAddFillsBudget) {
   RandomAddSolver solver(1);
   const SolverResult result = solver.Solve(instance);
   CheckFeasible(instance, result);
+  EXPECT_GT(result.gain_evaluations, 0u);
   // After RAND-A stops, no unselected photo fits.
   std::set<PhotoId> chosen(result.selected.begin(), result.selected.end());
   for (PhotoId p = 0; p < instance.num_photos(); ++p) {
@@ -189,6 +191,7 @@ TEST(BaselineTest, RandomDeleteReachesFeasibility) {
   RandomDeleteSolver solver(2);
   const SolverResult result = solver.Solve(instance);
   CheckFeasible(instance, result);
+  EXPECT_GT(result.gain_evaluations, 0u);
 }
 
 TEST(BaselineTest, RandomBaselinesAreSeedDeterministic) {
@@ -226,6 +229,7 @@ TEST(BaselineTest, GreedyNrMistakesPartialCoverageForFull) {
   GreedyNoRedundancySolver nr;
   const SolverResult nr_result = nr.Solve(instance);
   CheckFeasible(instance, nr_result);
+  EXPECT_GT(nr_result.gain_evaluations, 0u);
   CelfSolver celf;
   const SolverResult celf_result = celf.Solve(instance);
   // NR takes one q1 photo + the solo: true score 10·0.55 + 3 = 8.5.
@@ -240,7 +244,9 @@ TEST(BaselineTest, GreedyNrIsFeasible) {
   options.required_fraction = 0.1;
   const ParInstance instance = MakeRandomInstance(558, options);
   GreedyNoRedundancySolver solver;
-  CheckFeasible(instance, solver.Solve(instance));
+  const SolverResult result = solver.Solve(instance);
+  CheckFeasible(instance, result);
+  EXPECT_GT(result.gain_evaluations, 0u);
 }
 
 // -------------------------------------------------------------- exact ----
@@ -258,6 +264,7 @@ TEST_P(BruteForceMatchesEnumerationTest, ExactOnSmallInstances) {
   const SolverResult result = solver.Solve(instance);
   EXPECT_TRUE(result.exact);
   CheckFeasible(instance, result);
+  EXPECT_GT(result.gain_evaluations, 0u);
   EXPECT_NEAR(result.score, EnumerateOptimum(instance), 1e-9)
       << "seed=" << GetParam();
 }
@@ -273,6 +280,7 @@ TEST(BruteForceTest, HonorsRequiredPhotos) {
   BruteForceSolver solver;
   const SolverResult result = solver.Solve(instance);
   CheckFeasible(instance, result);
+  EXPECT_GT(result.gain_evaluations, 0u);
   EXPECT_NEAR(result.score, EnumerateOptimum(instance), 1e-9);
 }
 
@@ -285,6 +293,7 @@ TEST(BruteForceTest, NodeCapDegradesGracefully) {
   const SolverResult result = capped.Solve(instance);
   EXPECT_FALSE(result.exact);
   CheckFeasible(instance, result);  // still feasible, just not proven optimal
+  EXPECT_GT(result.gain_evaluations, 0u);
 }
 
 class ApproximationGuaranteeTest
@@ -313,6 +322,7 @@ TEST_P(ApproximationGuaranteeTest, SviridenkoMeetsItsGuarantee) {
   SviridenkoSolver solver(/*enumeration_size=*/3);
   const SolverResult result = solver.Solve(instance);
   CheckFeasible(instance, result);
+  EXPECT_GT(result.gain_evaluations, 0u);
   // (1 − 1/e) ≈ 0.632 (Theorem 4.6).
   EXPECT_GE(result.score + 1e-9, (1.0 - std::exp(-1.0)) * optimum);
 }
