@@ -1,0 +1,45 @@
+# Smoke test for the -DPHOCUS_TELEMETRY=OFF configuration: configure a
+# nested build with telemetry recorders compiled out, build just the
+# service test binaries, and run them. Keeps the no-telemetry service path
+# honest without a second full CI tree.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) as
+#   cmake -DSOURCE_DIR=... -DSMOKE_DIR=... -P cmake/notel_smoke.cmake
+
+foreach(var SOURCE_DIR SMOKE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "notel_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+message(STATUS "notel smoke: configuring ${SMOKE_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${SMOKE_DIR}
+          -DPHOCUS_TELEMETRY=OFF
+          -DPHOCUS_BUILD_BENCHMARKS=OFF
+          -DPHOCUS_BUILD_EXAMPLES=OFF
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "notel smoke: configure failed")
+endif()
+
+message(STATUS "notel smoke: building service tests")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${SMOKE_DIR} -j4
+          --target service_protocol_test service_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "notel smoke: build failed")
+endif()
+
+foreach(test_binary service_protocol_test service_test)
+  message(STATUS "notel smoke: running ${test_binary}")
+  execute_process(
+    COMMAND ${SMOKE_DIR}/tests/${test_binary}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR "notel smoke: ${test_binary} failed")
+  endif()
+endforeach()
+
+message(STATUS "notel smoke: OK")

@@ -7,6 +7,10 @@
 /// user study.
 ///
 /// Run it and type `help`. Scriptable: `echo "demo\nsolve\nquit" | phocus_repl`.
+///
+/// `connect HOST PORT` switches the console to a running phocusd: the
+/// r-prefixed commands (rsession, rplan, rupdate, rstats) then plan against
+/// the server's sessions instead of the in-process system.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,6 +30,7 @@
 #include "phocus/instance_io.h"
 #include "phocus/representation.h"
 #include "phocus/system.h"
+#include "service/client.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "util/logging.h"
@@ -145,6 +150,49 @@ class Repl {
     } else if (command == "explain") {
       PHOCUS_CHECK(words.size() == 2, "usage: explain PHOTO-ID");
       Explain(static_cast<PhotoId>(std::stoul(words[1])));
+    } else if (command == "connect") {
+      PHOCUS_CHECK(words.size() == 3, "usage: connect HOST PORT");
+      client_.emplace(words[1], std::stoi(words[2]));
+      PHOCUS_CHECK(client_->Ping(), "server did not answer the ping");
+      std::printf("connected to phocusd at %s:%s; try 'rsession 400'\n",
+                  words[1].c_str(), words[2].c_str());
+    } else if (command == "disconnect") {
+      client_.reset();
+      remote_session_.clear();
+      std::printf("back to in-process mode\n");
+    } else if (command == "rsession") {
+      Json spec = Json::Object();
+      spec.Set("kind", "openimages");
+      spec.Set("num_photos",
+               words.size() > 1 ? std::stoi(words[1]) : 400);
+      spec.Set("seed", words.size() > 2 ? std::stoi(words[2]) : 7);
+      remote_session_ = Remote().CreateSession(std::move(spec));
+      std::printf("remote session %s\n", remote_session_.c_str());
+    } else if (command == "rplan") {
+      PHOCUS_CHECK(words.size() == 2, "usage: rplan BUDGET (e.g. 25MB)");
+      PrintRemotePlan(Remote().Plan(NeedRemoteSession(), words[1]));
+    } else if (command == "rupdate") {
+      PHOCUS_CHECK(words.size() >= 2, "usage: rupdate COUNT [seed]");
+      Json params = Json::Object();
+      params.Set("session", NeedRemoteSession());
+      params.Set("count", std::stoi(words[1]));
+      params.Set("seed", words.size() > 2 ? std::stoi(words[2]) : 1);
+      PrintRemotePlan(Remote().Call("update", std::move(params)));
+    } else if (command == "rstats") {
+      const Json stats = Remote().Stats();
+      std::printf("sessions %lld, queue %lld/%lld, plan cache %lld/%lld "
+                  "(hits %lld, misses %lld)\n",
+                  static_cast<long long>(stats.Get("sessions").AsInt()),
+                  static_cast<long long>(stats.Get("queue_depth").AsInt()),
+                  static_cast<long long>(stats.Get("queue_capacity").AsInt()),
+                  static_cast<long long>(
+                      stats.Get("plan_cache").Get("size").AsInt()),
+                  static_cast<long long>(
+                      stats.Get("plan_cache").Get("capacity").AsInt()),
+                  static_cast<long long>(
+                      stats.Get("plan_cache").Get("hits").AsInt()),
+                  static_cast<long long>(
+                      stats.Get("plan_cache").Get("misses").AsInt()));
     } else if (command == "save-instance") {
       PHOCUS_CHECK(words.size() == 2, "usage: save-instance FILE");
       RepresentationOptions repr;
@@ -176,6 +224,9 @@ class Repl {
         "  stats                         stage latencies of the last solve\n"
         "  explain PHOTO-ID              why a photo was retained/archived\n"
         "  save-instance FILE            export the modeled PAR instance\n"
+        "  connect HOST PORT             attach to a running phocusd\n"
+        "  rsession [N [seed]] | rplan BUDGET | rupdate COUNT [seed] | rstats\n"
+        "  disconnect                    back to in-process mode\n"
         "  quit\n");
   }
 
@@ -289,11 +340,42 @@ class Repl {
     std::printf("%s", table.Render().c_str());
   }
 
+  service::ServiceClient& Remote() {
+    PHOCUS_CHECK(client_.has_value(),
+                 "not connected; try 'connect 127.0.0.1 7411'");
+    return *client_;
+  }
+
+  const std::string& NeedRemoteSession() {
+    PHOCUS_CHECK(!remote_session_.empty(),
+                 "no remote session; run 'rsession' first");
+    return remote_session_;
+  }
+
+  void PrintRemotePlan(const Json& result) {
+    const Json& plan = result.Get("plan");
+    std::printf(
+        "%s%s: retained %zu (%s), archived %zu (%s); score %.4f "
+        "(certified ratio %.3f)\n",
+        result.Get("session").AsString().c_str(),
+        result.GetOr("cached", false).AsBool() ? " [cache]" : "",
+        plan.Get("retained").size(),
+        HumanBytes(static_cast<Cost>(plan.Get("retained_bytes").AsInt()))
+            .c_str(),
+        plan.Get("archived").size(),
+        HumanBytes(static_cast<Cost>(plan.Get("archived_bytes").AsInt()))
+            .c_str(),
+        plan.Get("score").AsDouble(),
+        plan.Get("online_bound").Get("certified_ratio").AsDouble());
+  }
+
   std::optional<Corpus> corpus_;
   std::optional<ArchivePlan> plan_;
   Cost budget_ = 0;
   double tau_ = 0.5;
   double exif_weight_ = 0.0;
+  std::optional<service::ServiceClient> client_;
+  std::string remote_session_;
 };
 
 }  // namespace

@@ -96,9 +96,17 @@ const ArchivePlan& IncrementalArchiver::SetBudget(
     Cost budget, IncrementalUpdateStats* stats) {
   PHOCUS_CHECK(initialized_, "SetBudget before Initialize");
   PHOCUS_CHECK(budget > 0, "budget must be positive");
+  const Cost previous_budget = options_.archive.budget;
   options_.archive.budget = budget;
   IncrementalUpdateStats local_stats;
-  Replan(&local_stats);
+  try {
+    Replan(&local_stats);
+  } catch (...) {
+    // Keep the archiver consistent: an infeasible budget leaves the
+    // previous budget and plan in force.
+    options_.archive.budget = previous_budget;
+    throw;
+  }
   if (stats != nullptr) *stats = local_stats;
   return plan_;
 }
@@ -108,6 +116,17 @@ void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
   const ParInstance instance =
       BuildInstance(corpus_, options_.archive.budget,
                     options_.archive.representation);
+  // Surface an unsatisfiable budget as the typed error (with the numbers a
+  // caller needs to pick a feasible one) before generic validation reports
+  // it as a plain CheckFailure.
+  const Cost required_cost = instance.RequiredCost();
+  if (required_cost > instance.budget()) {
+    throw InfeasibleBudgetError(
+        required_cost, instance.budget(),
+        "infeasible: required set S0 costs " + std::to_string(required_cost) +
+            " bytes, above the budget of " + std::to_string(instance.budget()) +
+            " bytes");
+  }
   instance.Validate();
 
   // Seed with what we previously retained (dropping nothing silently; the
@@ -144,8 +163,20 @@ void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
         victim_index = i;
       }
     }
-    PHOCUS_CHECK(victim_index < seed.size(),
-                 "cannot reach feasibility: required set exceeds budget");
+    if (victim_index >= seed.size()) {
+      // Only required photos remain and they still exceed the budget: no
+      // feasible plan exists. Surface a typed error (not a CHECK failure)
+      // and leave the previous plan untouched so the caller can recover.
+      Cost required_cost = 0;
+      for (PhotoId p : seed) {
+        if (instance.IsRequired(p)) required_cost += instance.cost(p);
+      }
+      throw InfeasibleBudgetError(
+          required_cost, instance.budget(),
+          "infeasible: required set S0 costs " + std::to_string(required_cost) +
+              " bytes, above the budget of " +
+              std::to_string(instance.budget()) + " bytes");
+    }
     if (stats != nullptr) ++stats->evicted_for_feasibility;
     seed_cost -= instance.cost(seed[victim_index]);
     seed.erase(seed.begin() + static_cast<std::ptrdiff_t>(victim_index));

@@ -5,6 +5,7 @@
 
 #include "datagen/corpus.h"
 #include "phocus/system.h"
+#include "util/logging.h"
 
 /// \file incremental.h
 /// Archive maintenance over time. §1's premise is that collection outpaces
@@ -25,6 +26,27 @@
 /// fraction of the work.
 
 namespace phocus {
+
+/// Thrown when no feasible plan exists: the budget cannot cover the cost of
+/// the required set S0 (every required photo must be retained, so nothing
+/// can be evicted to fit). Derives from CheckFailure so existing callers
+/// that recover from CHECK failures keep working; phocusd maps it to the
+/// typed `infeasible` protocol error.
+class InfeasibleBudgetError : public CheckFailure {
+ public:
+  InfeasibleBudgetError(Cost required_cost, Cost budget,
+                        const std::string& what)
+      : CheckFailure(what), required_cost_(required_cost), budget_(budget) {}
+
+  /// Cost of the required photos that cannot be evicted.
+  Cost required_cost() const { return required_cost_; }
+  /// The budget that could not accommodate them.
+  Cost budget() const { return budget_; }
+
+ private:
+  Cost required_cost_;
+  Cost budget_;
+};
 
 struct IncrementalOptions {
   ArchiveOptions archive;

@@ -1,0 +1,60 @@
+#include "service/client.h"
+
+#include "util/logging.h"
+
+namespace phocus {
+namespace service {
+
+ServiceClient::ServiceClient(const std::string& host, int port,
+                             std::size_t max_frame_bytes)
+    : host_(host),
+      port_(port),
+      socket_(ConnectTcp(host, port)),
+      decoder_(max_frame_bytes) {}
+
+Json ServiceClient::Call(const std::string& endpoint, Json params) {
+  const std::uint64_t id = next_id_++;
+  socket_.SendAll(EncodeFrame(MakeRequest(id, endpoint, std::move(params))));
+  std::string frame;
+  while (true) {
+    const FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kFrame) break;
+    PHOCUS_CHECK(status != FrameDecoder::Status::kTooLarge,
+                 "server sent an oversized frame");
+    std::string chunk;
+    PHOCUS_CHECK(socket_.RecvSome(&chunk),
+                 "connection closed awaiting response to " + endpoint);
+    decoder_.Append(chunk);
+  }
+  const Json response = Json::Parse(frame);
+  PHOCUS_CHECK(
+      static_cast<std::uint64_t>(response.GetOr("id", 0).AsInt()) == id,
+      "response id mismatch");
+  if (response.Get("ok").AsBool()) {
+    return response.Get("result");
+  }
+  const Json& error = response.Get("error");
+  throw ServiceError(ErrorCodeFromName(error.Get("code").AsString()),
+                     error.Get("message").AsString());
+}
+
+std::string ServiceClient::CreateSession(Json corpus_spec) {
+  Json params = Json::Object();
+  params.Set("corpus", std::move(corpus_spec));
+  return Call("create_session", std::move(params)).Get("session").AsString();
+}
+
+Json ServiceClient::Plan(const std::string& session,
+                         const std::string& budget) {
+  Json params = Json::Object();
+  params.Set("session", session);
+  params.Set("budget", budget);
+  return Call("plan", std::move(params));
+}
+
+bool ServiceClient::Ping() {
+  return Call("ping").GetOr("pong", false).AsBool();
+}
+
+}  // namespace service
+}  // namespace phocus

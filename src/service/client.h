@@ -1,0 +1,62 @@
+#ifndef PHOCUS_SERVICE_CLIENT_H_
+#define PHOCUS_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/socket.h"
+#include "util/json.h"
+
+/// \file client.h
+/// Blocking client for the phocusd protocol: one TCP connection, one
+/// request/response in flight. Error responses surface as ServiceError (the
+/// typed code preserved); transport failures as CheckFailure.
+///
+/// Used by the `phocus_client` CLI, the REPL's `connect` mode, and the
+/// service tests.
+
+namespace phocus {
+namespace service {
+
+class ServiceClient {
+ public:
+  /// Connects immediately; throws CheckFailure when the server is
+  /// unreachable.
+  ServiceClient(const std::string& host, int port,
+                std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&&) = default;
+  ServiceClient& operator=(ServiceClient&&) = default;
+
+  /// Sends one request and blocks for its response. Returns the `result`
+  /// object of an ok response; throws ServiceError for error responses.
+  Json Call(const std::string& endpoint, Json params);
+  Json Call(const std::string& endpoint) { return Call(endpoint, Json::Object()); }
+
+  /// Convenience wrappers over Call.
+  /// Creates a session; returns its id. `corpus_spec` is the params
+  /// `corpus` object ({"kind": "openimages", "num_photos": ..., ...}).
+  std::string CreateSession(Json corpus_spec);
+  Json Plan(const std::string& session, const std::string& budget);
+  Json Stats() { return Call("stats"); }
+  bool Ping();
+  void Shutdown() { Call("shutdown"); }
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+ private:
+  std::string host_;
+  int port_ = 0;
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace service
+}  // namespace phocus
+
+#endif  // PHOCUS_SERVICE_CLIENT_H_

@@ -1,0 +1,234 @@
+/// \file phocus_client_main.cc
+/// CLI client for phocusd. Quickstart:
+///
+///   phocusd --port=7411 &
+///   phocus_client --port=7411 plan --budget=25MB
+///
+/// `plan` without --session creates a demo session first (400 generated
+/// photos) so the one-liner works; pass --session=s-N to reuse one. See
+/// docs/SERVICE.md for the full protocol.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/client.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace {
+
+using phocus::Json;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      std::string key;
+      std::string value = "1";
+      if (eq == std::string::npos) {
+        key = arg.substr(2);
+      } else {
+        key = arg.substr(2, eq - 2);
+        value = arg.substr(eq + 1);
+      }
+      args.flags[key] = value;
+    } else if (args.command.empty()) {
+      args.command = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+void PrintPlanSummary(const Json& result) {
+  const Json& plan = result.Get("plan");
+  std::printf("session %s%s\n", result.Get("session").AsString().c_str(),
+              result.GetOr("cached", false).AsBool()
+                  ? " (served from plan cache)"
+                  : "");
+  std::printf(
+      "retained %zu photos (%s), archived %zu (%s); score %.4f "
+      "(%.1f%% of ceiling, certified ratio %.3f)\n",
+      plan.Get("retained").size(),
+      phocus::HumanBytes(
+          static_cast<std::uint64_t>(plan.Get("retained_bytes").AsInt()))
+          .c_str(),
+      plan.Get("archived").size(),
+      phocus::HumanBytes(
+          static_cast<std::uint64_t>(plan.Get("archived_bytes").AsInt()))
+          .c_str(),
+      plan.Get("score").AsDouble(),
+      100.0 * plan.Get("score_fraction").AsDouble(),
+      plan.Get("online_bound").Get("certified_ratio").AsDouble());
+}
+
+std::string EnsureSession(phocus::service::ServiceClient& client,
+                          const Args& args) {
+  if (args.Has("session")) return args.Get("session", "");
+  Json corpus = Json::Object();
+  corpus.Set("kind", args.Get("kind", "openimages"));
+  corpus.Set("num_photos", std::stoi(args.Get("photos", "400")));
+  corpus.Set("seed", std::stoi(args.Get("seed", "7")));
+  const std::string session = client.CreateSession(std::move(corpus));
+  std::printf("created %s\n", session.c_str());
+  return session;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command.empty() || args.command == "help") {
+    std::printf(
+        "phocus_client [--host=H] [--port=P] COMMAND [flags]\n"
+        "  ping                                     liveness probe\n"
+        "  create [--kind=openimages|ecommerce] [--photos=N] [--seed=S]\n"
+        "  plan --budget=25MB [--session=s-N] [--tau=V] [--exif-weight=V]\n"
+        "  update --session=s-N --count=N [--seed=S]  fold new photos in\n"
+        "  set-budget --session=s-N --budget=BYTES    incremental re-plan\n"
+        "  coverage --session=s-N [--top-k=K]\n"
+        "  explain --session=s-N --photo=ID\n"
+        "  archive --session=s-N --dir=PATH           cold set -> vault\n"
+        "  stats | shutdown\n");
+    return 0;
+  }
+  phocus::service::ServiceClient client(
+      args.Get("host", "127.0.0.1"), std::stoi(args.Get("port", "7411")));
+
+  if (args.command == "ping") {
+    std::printf("%s\n", client.Ping() ? "pong" : "no pong");
+    return 0;
+  }
+  if (args.command == "create") {
+    Json corpus = Json::Object();
+    corpus.Set("kind", args.Get("kind", "openimages"));
+    corpus.Set("num_photos", std::stoi(args.Get("photos", "400")));
+    corpus.Set("seed", std::stoi(args.Get("seed", "7")));
+    std::printf("%s\n", client.CreateSession(std::move(corpus)).c_str());
+    return 0;
+  }
+  if (args.command == "plan") {
+    const std::string session = EnsureSession(client, args);
+    Json params = Json::Object();
+    params.Set("session", session);
+    params.Set("budget", args.Get("budget", "25MB"));
+    if (args.Has("tau")) params.Set("tau", std::stod(args.Get("tau", "0")));
+    if (args.Has("exif-weight")) {
+      params.Set("exif_weight", std::stod(args.Get("exif-weight", "0")));
+    }
+    PrintPlanSummary(client.Call("plan", std::move(params)));
+    return 0;
+  }
+  if (args.command == "update") {
+    Json params = Json::Object();
+    params.Set("session", args.Get("session", ""));
+    params.Set("count", std::stoi(args.Get("count", "50")));
+    params.Set("seed", std::stoi(args.Get("seed", "1")));
+    if (args.Has("budget")) params.Set("budget", args.Get("budget", ""));
+    const Json result = client.Call("update", std::move(params));
+    const Json& stats = result.Get("stats");
+    std::printf("added %lld photos (%lld subsets), evicted %lld, %lld gain "
+                "evaluations\n",
+                static_cast<long long>(stats.Get("photos_added").AsInt()),
+                static_cast<long long>(stats.Get("subsets_added").AsInt()),
+                static_cast<long long>(
+                    stats.Get("evicted_for_feasibility").AsInt()),
+                static_cast<long long>(
+                    stats.Get("gain_evaluations").AsInt()));
+    PrintPlanSummary(result);
+    return 0;
+  }
+  if (args.command == "set-budget") {
+    Json params = Json::Object();
+    params.Set("session", args.Get("session", ""));
+    params.Set("budget", args.Get("budget", ""));
+    PrintPlanSummary(client.Call("set_budget", std::move(params)));
+    return 0;
+  }
+  if (args.command == "coverage") {
+    Json params = Json::Object();
+    params.Set("session", args.Get("session", ""));
+    params.Set("top_k", std::stoi(args.Get("top-k", "15")));
+    const Json result = client.Call("coverage", std::move(params));
+    for (const Json& row : result.Get("rows").items()) {
+      std::printf("  %-28s w=%-8g coverage=%.3f kept=%lld/%lld\n",
+                  row.Get("subset").AsString().c_str(),
+                  row.Get("weight").AsDouble(),
+                  row.Get("coverage").AsDouble(),
+                  static_cast<long long>(row.Get("retained_members").AsInt()),
+                  static_cast<long long>(row.Get("total_members").AsInt()));
+    }
+    return 0;
+  }
+  if (args.command == "explain") {
+    Json params = Json::Object();
+    params.Set("session", args.Get("session", ""));
+    params.Set("photo", std::stoi(args.Get("photo", "0")));
+    std::printf("%s",
+                client.Call("explain", std::move(params))
+                    .Get("text").AsString().c_str());
+    return 0;
+  }
+  if (args.command == "archive") {
+    Json params = Json::Object();
+    params.Set("session", args.Get("session", ""));
+    params.Set("directory", args.Get("dir", "phocus_vault"));
+    const Json result = client.Call("archive_to_vault", std::move(params));
+    std::printf("archived %lld photos into %s: %s stored (%.2fx compression, "
+                "%lld deduplicated)\n",
+                static_cast<long long>(result.Get("photos_archived").AsInt()),
+                result.Get("directory").AsString().c_str(),
+                phocus::HumanBytes(static_cast<std::uint64_t>(
+                                       result.Get("stored_bytes").AsInt()))
+                    .c_str(),
+                result.Get("compression_ratio").AsDouble(),
+                static_cast<long long>(result.Get("deduplicated").AsInt()));
+    return 0;
+  }
+  if (args.command == "stats") {
+    const Json result = client.Stats();
+    std::printf("%s\n", result.Dump(1).c_str());
+    return 0;
+  }
+  if (args.command == "shutdown") {
+    client.Shutdown();
+    std::printf("server draining\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'; try 'phocus_client help'\n",
+               args.command.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const phocus::service::ServiceError& error) {
+    std::fprintf(stderr, "server error: %s\n", error.what());
+    return 1;
+  } catch (const phocus::CheckFailure& failure) {
+    std::fprintf(stderr, "error: %s\n", failure.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

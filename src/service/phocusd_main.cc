@@ -1,0 +1,116 @@
+/// \file phocusd_main.cc
+/// The phocusd daemon: serves archive planning over TCP (see
+/// docs/SERVICE.md for the protocol).
+///
+///   phocusd --port=7411 --workers=4 --queue=64 --cache=32
+///
+/// SIGINT/SIGTERM trigger the same graceful drain as the `shutdown`
+/// endpoint: in-flight requests finish, then the process exits.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void HandleSignal(int) { g_stop_requested.store(true); }
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const std::size_t eq = arg.find('=');
+    std::string key;
+    std::string value = "1";
+    if (eq == std::string::npos) {
+      key = arg.substr(2);
+    } else {
+      key = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    }
+    flags[key] = value;
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phocus;
+  const std::map<std::string, std::string> flags = ParseFlags(argc, argv);
+  if (flags.count("help") > 0) {
+    std::printf(
+        "phocusd: PHOcus archive-planning daemon\n"
+        "  --host=ADDR        bind address (default 127.0.0.1)\n"
+        "  --port=N           TCP port; 0 picks an ephemeral one (default 7411)\n"
+        "  --workers=N        solver worker threads; 0 = hardware (default 0)\n"
+        "  --queue=N          admission bound on outstanding requests (default 64)\n"
+        "  --cache=N          plan-cache capacity in plans (default 32)\n"
+        "  --deadline-ms=F    default per-request deadline; 0 = none\n");
+    return 0;
+  }
+
+  service::ServerOptions options;
+  options.port = 7411;
+  try {
+    if (flags.count("host")) options.host = flags.at("host");
+    if (flags.count("port")) options.port = std::stoi(flags.at("port"));
+    if (flags.count("workers")) {
+      options.num_workers = std::stoul(flags.at("workers"));
+    }
+    if (flags.count("queue")) {
+      options.queue_capacity = std::stoul(flags.at("queue"));
+    }
+    if (flags.count("cache")) {
+      options.plan_cache_capacity = std::stoul(flags.at("cache"));
+    }
+    if (flags.count("deadline-ms")) {
+      options.default_deadline_ms = std::stod(flags.at("deadline-ms"));
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bad flag value: %s\n", error.what());
+    return 2;
+  }
+
+  try {
+    service::ServiceServer server(options);
+    server.Start();
+    std::printf("phocusd listening on %s:%d\n", options.host.c_str(),
+                server.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    // The handler only flips a flag; this watcher turns it into a graceful
+    // drain without doing non-signal-safe work inside the handler.
+    std::thread signal_watcher([&server] {
+      while (!g_stop_requested.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      server.RequestShutdown();
+    });
+
+    server.Wait();
+    g_stop_requested.store(true);
+    signal_watcher.join();
+  } catch (const CheckFailure& failure) {
+    std::fprintf(stderr, "phocusd: %s\n", failure.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+#ifndef PHOCUS_SERVICE_PLAN_CACHE_H_
+#define PHOCUS_SERVICE_PLAN_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "phocus/system.h"
+
+/// \file plan_cache.h
+/// LRU cache of solved archive plans, keyed by
+/// `<corpus fingerprint>|<canonical ArchiveOptions>` (see
+/// service::CanonicalOptionsKey). PlanArchive is deterministic for a given
+/// (corpus, options), so a repeated `plan` request on an unmodified session
+/// can be answered without re-solving; any corpus mutation changes the
+/// fingerprint and thus misses naturally — stale entries age out of the LRU
+/// rather than needing explicit invalidation.
+///
+/// Values are shared_ptr<const ArchivePlan>: the cache, concurrent readers,
+/// and the owning session can all hold the same solved plan without copies.
+
+namespace phocus {
+namespace service {
+
+class PlanCache {
+ public:
+  /// `capacity` = max resident plans; 0 disables caching entirely.
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan and refreshes its recency, or nullptr.
+  std::shared_ptr<const ArchivePlan> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) a plan, evicting the least recently used entry
+  /// beyond capacity.
+  void Insert(const std::string& key, std::shared_ptr<const ArchivePlan> plan);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Lifetime counters (also mirrored into telemetry by the server).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const ArchivePlan> plan;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace service
+}  // namespace phocus
+
+#endif  // PHOCUS_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,446 @@
+#include "service/server.h"
+
+#include <future>
+
+#include "datagen/corpus_io.h"
+#include "datagen/ecommerce.h"
+#include "datagen/openimages.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace service {
+
+namespace {
+
+/// Budgets arrive as "25MB" strings or raw byte numbers.
+Cost BudgetFromJson(const Json& value) {
+  if (value.is_string()) return ParseBytes(value.AsString());
+  return static_cast<Cost>(value.AsInt());
+}
+
+ArchiveOptions OptionsFromParams(const Json& params, bool require_budget) {
+  ArchiveOptions options;
+  if (params.Has("budget")) {
+    options.budget = BudgetFromJson(params.Get("budget"));
+  } else {
+    PHOCUS_CHECK(!require_budget, "missing required param: budget");
+  }
+  options.representation.sparsify_tau =
+      params.GetOr("tau", Json(options.representation.sparsify_tau)).AsDouble();
+  options.representation.exif_weight =
+      params.GetOr("exif_weight", Json(options.representation.exif_weight))
+          .AsDouble();
+  options.representation.context_normalize =
+      params.GetOr("context_normalize", true).AsBool();
+  options.compute_online_bound = params.GetOr("online_bound", true).AsBool();
+  options.coverage_rows = static_cast<std::size_t>(
+      params.GetOr("coverage_rows", 0).AsInt());
+  return options;
+}
+
+Corpus CorpusFromParams(const Json& params) {
+  const Json spec = params.GetOr("corpus", Json::Object());
+  const std::string kind = spec.GetOr("kind", Json("openimages")).AsString();
+  if (kind == "openimages") {
+    OpenImagesOptions options;
+    options.num_photos = static_cast<std::size_t>(
+        spec.GetOr("num_photos", 400).AsInt());
+    options.seed = static_cast<std::uint64_t>(spec.GetOr("seed", 1).AsInt());
+    options.near_duplicate_prob =
+        spec.GetOr("near_duplicate_prob", Json(options.near_duplicate_prob))
+            .AsDouble();
+    options.required_fraction =
+        spec.GetOr("required_fraction", Json(options.required_fraction))
+            .AsDouble();
+    return GenerateOpenImagesCorpus(options);
+  }
+  if (kind == "ecommerce") {
+    EcommerceOptions options;
+    options.num_products = static_cast<std::size_t>(
+        spec.GetOr("num_products", 2000).AsInt());
+    options.num_queries = static_cast<std::size_t>(
+        spec.GetOr("num_queries", 60).AsInt());
+    options.seed = static_cast<std::uint64_t>(spec.GetOr("seed", 7).AsInt());
+    return GenerateEcommerceCorpus(options);
+  }
+  if (kind == "file") {
+    return LoadCorpus(spec.Get("path").AsString());
+  }
+  throw ServiceError(ErrorCode::kBadRequest, "unknown corpus kind: " + kind);
+}
+
+Json StatsToJson(const IncrementalUpdateStats& stats) {
+  Json out = Json::Object();
+  out.Set("photos_added", stats.photos_added);
+  out.Set("subsets_added", stats.subsets_added);
+  out.Set("evicted_for_feasibility", stats.evicted_for_feasibility);
+  out.Set("gain_evaluations", stats.gain_evaluations);
+  out.Set("seconds", stats.seconds);
+  return out;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity) {}
+
+ServiceServer::~ServiceServer() {
+  RequestShutdown();
+  if (started_.load()) {
+    std::call_once(shutdown_once_, [this] { FinishShutdown(); });
+  }
+}
+
+void ServiceServer::Start() {
+  PHOCUS_CHECK(!started_.load(), "Start called twice");
+  listener_ = std::make_unique<ListenSocket>(options_.host, options_.port);
+  port_ = listener_->port();
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  started_.store(true);
+  accept_thread_ = std::thread(&ServiceServer::AcceptLoop, this);
+  PHOCUS_LOG(kInfo) << "phocusd listening on " << options_.host << ":"
+                    << port_ << " (workers=" << pool_->num_threads()
+                    << ", queue=" << options_.queue_capacity << ")";
+}
+
+void ServiceServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  draining_.store(true);
+  shutdown_cv_.notify_all();
+}
+
+void ServiceServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  if (started_.load()) {
+    std::call_once(shutdown_once_, [this] { FinishShutdown(); });
+  }
+}
+
+void ServiceServer::FinishShutdown() {
+  if (listener_ != nullptr) listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain: connections running a request keep their sockets until the
+  // response is written; idle ones are unblocked immediately.
+  while (true) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& connection : connections_) {
+        if (connection->done.load()) continue;
+        all_done = false;
+        if (!connection->busy.load()) connection->socket.ShutdownBoth();
+      }
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  connections_.clear();
+  PHOCUS_LOG(kInfo) << "phocusd drained and stopped";
+}
+
+void ServiceServer::AcceptLoop() {
+  auto& connection_counter =
+      telemetry::MetricsRegistry::Current().GetCounter("service.connections");
+  while (true) {
+    Socket socket = listener_->Accept();
+    if (!socket.valid()) break;  // listener shut down
+    if (draining_.load()) continue;  // drop: the socket closes on scope exit
+    connection_counter.Increment();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Reap connections whose threads already finished.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->socket = std::move(socket);
+    connection->thread =
+        std::thread(&ServiceServer::ServeConnection, this, connection);
+  }
+}
+
+void ServiceServer::ServeConnection(Connection* connection) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  std::string chunk;
+  try {
+    while (true) {
+      std::string frame;
+      const FrameDecoder::Status status = decoder.Next(&frame);
+      if (status == FrameDecoder::Status::kTooLarge) {
+        connection->socket.SendAll(EncodeFrame(MakeErrorResponse(
+            0, ErrorCode::kFrameTooLarge,
+            StrFormat("frame exceeds %zu bytes", decoder.max_frame_bytes()))));
+        break;
+      }
+      if (status == FrameDecoder::Status::kNeedMore) {
+        chunk.clear();
+        if (!connection->socket.RecvSome(&chunk)) break;  // clean EOF
+        decoder.Append(chunk);
+        continue;
+      }
+      connection->busy.store(true);
+      Json response;
+      try {
+        response = Process(Json::Parse(frame));
+      } catch (const CheckFailure& failure) {
+        // Unparseable request: no id to echo back.
+        response = MakeErrorResponse(0, ErrorCode::kBadRequest, failure.what());
+      }
+      connection->socket.SendAll(EncodeFrame(response));
+      connection->busy.store(false);
+      if (draining_.load()) break;
+    }
+  } catch (const CheckFailure&) {
+    // Peer vanished mid-read or mid-write; nothing left to answer.
+  }
+  // Half-close so the peer sees EOF now; the Connection (and its fd) is
+  // reaped by the accept loop or at shutdown.
+  connection->socket.ShutdownBoth();
+  connection->busy.store(false);
+  connection->done.store(true);
+}
+
+Json ServiceServer::Process(const Json& request) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  std::uint64_t id = 0;
+  std::string endpoint;
+  Json params = Json::Object();
+  try {
+    id = static_cast<std::uint64_t>(request.GetOr("id", 0).AsInt());
+    endpoint = request.Get("endpoint").AsString();
+    params = request.GetOr("params", Json::Object());
+  } catch (const CheckFailure& failure) {
+    return MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
+  }
+  registry.GetCounter("service.requests").Increment();
+
+  // Control-plane endpoints bypass the queue: health checks and shutdown
+  // must succeed even when the data plane is saturated.
+  if (endpoint == "ping") {
+    Json result = Json::Object();
+    result.Set("pong", true);
+    return MakeOkResponse(id, std::move(result));
+  }
+  if (endpoint == "shutdown") {
+    RequestShutdown();
+    Json result = Json::Object();
+    result.Set("draining", true);
+    return MakeOkResponse(id, std::move(result));
+  }
+
+  // Admission control: reject instead of queueing without bound.
+  if (draining_.load()) {
+    registry.GetCounter("service.rejected.shutting_down").Increment();
+    return MakeErrorResponse(id, ErrorCode::kShuttingDown,
+                             "server is draining");
+  }
+  const std::size_t admitted = admitted_.fetch_add(1);
+  if (admitted >= options_.queue_capacity) {
+    admitted_.fetch_sub(1);
+    registry.GetCounter("service.rejected.overloaded").Increment();
+    return MakeErrorResponse(
+        id, ErrorCode::kOverloaded,
+        StrFormat("request queue full (%zu outstanding)",
+                  options_.queue_capacity));
+  }
+  registry.GetGauge("service.queue_depth")
+      .Set(static_cast<double>(admitted + 1));
+
+  const double deadline_ms =
+      params.GetOr("deadline_ms", Json(options_.default_deadline_ms))
+          .AsDouble();
+  const auto enqueue_time = std::chrono::steady_clock::now();
+
+  std::promise<Json> promise;
+  std::future<Json> future = promise.get_future();
+  pool_->Submit([this, &registry, &promise, &params, &endpoint, id,
+                 deadline_ms, enqueue_time] {
+    Json response;
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - enqueue_time)
+            .count();
+    if (deadline_ms > 0.0 && waited_ms > deadline_ms) {
+      registry.GetCounter("service.rejected.deadline_exceeded").Increment();
+      response = MakeErrorResponse(
+          id, ErrorCode::kDeadlineExceeded,
+          StrFormat("request waited %.1fms past its %.1fms deadline",
+                    waited_ms - deadline_ms, deadline_ms));
+    } else {
+      Stopwatch timer;
+      try {
+        response = MakeOkResponse(id, Handle(endpoint, params));
+        registry.GetCounter("service.responses.ok").Increment();
+      } catch (const ServiceError& error) {
+        response = MakeErrorResponse(id, error.code(), error.what());
+      } catch (const InfeasibleBudgetError& error) {
+        response =
+            MakeErrorResponse(id, ErrorCode::kInfeasible, error.what());
+      } catch (const CheckFailure& failure) {
+        response =
+            MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
+      } catch (const std::exception& error) {
+        response = MakeErrorResponse(id, ErrorCode::kInternal, error.what());
+      }
+      registry.GetHistogram("service.endpoint." + endpoint + "_ns")
+          .Record(static_cast<double>(timer.ElapsedNanos()));
+    }
+    if (!response.GetOr("ok", false).AsBool()) {
+      registry.GetCounter("service.responses.error").Increment();
+    }
+    promise.set_value(std::move(response));
+  });
+  Json response = future.get();
+  const std::size_t remaining = admitted_.fetch_sub(1) - 1;
+  registry.GetGauge("service.queue_depth").Set(static_cast<double>(remaining));
+  return response;
+}
+
+std::shared_ptr<Session> ServiceServer::FindSession(const Json& params) const {
+  const std::string id = params.Get("session").AsString();
+  std::shared_ptr<Session> session = sessions_.Find(id);
+  if (session == nullptr) {
+    throw ServiceError(ErrorCode::kUnknownSession, "no such session: " + id);
+  }
+  return session;
+}
+
+Json ServiceServer::Handle(const std::string& endpoint, const Json& params) {
+  if (endpoint == "create_session") return HandleCreateSession(params);
+  if (endpoint == "session_info") return FindSession(params)->Describe();
+  if (endpoint == "plan") return HandlePlan(params);
+  if (endpoint == "update") return HandleUpdate(params);
+  if (endpoint == "set_budget") return HandleSetBudget(params);
+  if (endpoint == "coverage") {
+    return FindSession(params)->Coverage(
+        static_cast<std::size_t>(params.GetOr("top_k", 0).AsInt()));
+  }
+  if (endpoint == "explain") {
+    return FindSession(params)->Explain(
+        static_cast<PhotoId>(params.Get("photo").AsInt()));
+  }
+  if (endpoint == "archive_to_vault") return HandleArchiveToVault(params);
+  if (endpoint == "close_session") {
+    const bool closed = sessions_.Remove(params.Get("session").AsString());
+    telemetry::MetricsRegistry::Current()
+        .GetGauge("service.sessions")
+        .Set(static_cast<double>(sessions_.size()));
+    Json result = Json::Object();
+    result.Set("closed", closed);
+    return result;
+  }
+  if (endpoint == "stats") return HandleStats();
+  if (endpoint == "debug_sleep" && options_.enable_debug_endpoints) {
+    const double millis = params.GetOr("millis", 100).AsDouble();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(millis));
+    Json result = Json::Object();
+    result.Set("slept_ms", millis);
+    return result;
+  }
+  throw ServiceError(ErrorCode::kUnknownEndpoint,
+                     "unknown endpoint: " + endpoint);
+}
+
+Json ServiceServer::HandleCreateSession(const Json& params) {
+  std::shared_ptr<Session> session = sessions_.Create(CorpusFromParams(params));
+  telemetry::MetricsRegistry::Current()
+      .GetGauge("service.sessions")
+      .Set(static_cast<double>(sessions_.size()));
+  return session->Describe();
+}
+
+Json ServiceServer::HandlePlan(const Json& params) {
+  std::shared_ptr<Session> session = FindSession(params);
+  const ArchiveOptions options =
+      OptionsFromParams(params, /*require_budget=*/true);
+  const Session::PlanOutcome outcome = session->Plan(options, &plan_cache_);
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry
+      .GetCounter(outcome.from_cache ? "service.plan_cache.hits"
+                                     : "service.plan_cache.misses")
+      .Increment();
+  Json result = Json::Object();
+  result.Set("session", session->id());
+  result.Set("cached", outcome.from_cache);
+  result.Set("fingerprint", session->Fingerprint());
+  result.Set("plan", PlanToJson(*outcome.plan));
+  return result;
+}
+
+Json ServiceServer::HandleUpdate(const Json& params) {
+  std::shared_ptr<Session> session = FindSession(params);
+  const ArchiveOptions options =
+      OptionsFromParams(params, /*require_budget=*/false);
+  const std::size_t count =
+      static_cast<std::size_t>(params.Get("count").AsInt());
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(params.GetOr("seed", 1).AsInt());
+  const Session::UpdateOutcome outcome =
+      session->AddGeneratedPhotos(count, seed, options);
+  Json result = Json::Object();
+  result.Set("session", session->id());
+  result.Set("stats", StatsToJson(outcome.stats));
+  result.Set("plan", PlanToJson(*outcome.plan));
+  return result;
+}
+
+Json ServiceServer::HandleSetBudget(const Json& params) {
+  std::shared_ptr<Session> session = FindSession(params);
+  const ArchiveOptions options =
+      OptionsFromParams(params, /*require_budget=*/true);
+  const Session::UpdateOutcome outcome =
+      session->SetBudget(options.budget, options);
+  Json result = Json::Object();
+  result.Set("session", session->id());
+  result.Set("stats", StatsToJson(outcome.stats));
+  result.Set("plan", PlanToJson(*outcome.plan));
+  return result;
+}
+
+Json ServiceServer::HandleArchiveToVault(const Json& params) {
+  std::shared_ptr<Session> session = FindSession(params);
+  const std::string directory = params.Get("directory").AsString();
+  const int render_size = static_cast<int>(
+      params.GetOr("render_size", 64).AsInt());
+  return session->ArchiveToVault(directory, render_size);
+}
+
+Json ServiceServer::HandleStats() {
+  Json result = Json::Object();
+  result.Set("queue_depth", admitted_.load());
+  result.Set("queue_capacity", options_.queue_capacity);
+  result.Set("sessions", sessions_.size());
+  Json cache = Json::Object();
+  cache.Set("size", plan_cache_.size());
+  cache.Set("capacity", plan_cache_.capacity());
+  cache.Set("hits", plan_cache_.hits());
+  cache.Set("misses", plan_cache_.misses());
+  result.Set("plan_cache", std::move(cache));
+  result.Set("metrics",
+             telemetry::MetricsToJson(
+                 telemetry::MetricsRegistry::Current().Snapshot()));
+  return result;
+}
+
+}  // namespace service
+}  // namespace phocus

@@ -1,0 +1,138 @@
+#ifndef PHOCUS_SERVICE_SERVER_H_
+#define PHOCUS_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/plan_cache.h"
+#include "service/protocol.h"
+#include "service/session.h"
+#include "service/socket.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+/// \file server.h
+/// phocusd: the archive-planning daemon. One TCP listener, one thread per
+/// connection reading length-prefixed JSON requests, and a bounded request
+/// queue feeding a worker ThreadPool. Between the socket layer and
+/// PhocusSystem sit the serving pieces:
+///
+///  - SessionManager: per-client corpus + incremental state, fine-grained
+///    locks (requests against different sessions run concurrently),
+///  - PlanCache: repeated `plan` calls on an unmodified corpus are answered
+///    without re-solving,
+///  - admission control: when `queue_capacity` requests are admitted but
+///    unfinished, new ones are rejected with the typed `overloaded` error
+///    instead of queueing unboundedly,
+///  - per-request deadlines: an admitted request that waits past its
+///    deadline is answered `deadline_exceeded` without touching a solver,
+///  - graceful shutdown: the `shutdown` endpoint (or RequestShutdown())
+///    stops admission, drains every in-flight request, then closes.
+///
+/// Endpoint table, parameter schemas and error codes: docs/SERVICE.md.
+
+namespace phocus {
+namespace service {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via port().
+  int port = 0;
+  /// Worker threads solving requests; 0 = hardware concurrency.
+  std::size_t num_workers = 0;
+  /// Max admitted-but-unfinished requests (queued + executing) before
+  /// admission control answers `overloaded`.
+  std::size_t queue_capacity = 64;
+  /// Resident plans in the plan cache; 0 disables caching.
+  std::size_t plan_cache_capacity = 32;
+  /// Frame-size cap; oversized frames close the connection.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Applied when a request carries no `deadline_ms`; 0 = no deadline.
+  double default_deadline_ms = 0.0;
+  /// Enables the `debug_sleep` endpoint (deterministic queue-pressure and
+  /// drain tests). Never enable in production.
+  bool enable_debug_endpoints = false;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Throws CheckFailure when the
+  /// address is unavailable.
+  void Start();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// Begins a graceful shutdown: new requests are rejected with
+  /// `shutting_down`, in-flight ones drain. Non-blocking; pair with Wait().
+  void RequestShutdown();
+
+  /// Blocks until a shutdown request has fully drained and all threads are
+  /// joined.
+  void Wait();
+
+  /// Observability hooks for tests and the stats endpoint.
+  std::size_t queue_depth() const { return admitted_.load(); }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> busy{false};
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Admission + queueing + execution of one request; returns the response.
+  Json Process(const Json& request);
+  /// Endpoint dispatch (runs on a worker thread).
+  Json Handle(const std::string& endpoint, const Json& params);
+  Json HandleCreateSession(const Json& params);
+  Json HandlePlan(const Json& params);
+  Json HandleUpdate(const Json& params);
+  Json HandleSetBudget(const Json& params);
+  Json HandleArchiveToVault(const Json& params);
+  Json HandleStats();
+  std::shared_ptr<Session> FindSession(const Json& params) const;
+  void FinishShutdown();
+
+  ServerOptions options_;
+  int port_ = 0;
+  std::unique_ptr<ListenSocket> listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  SessionManager sessions_;
+  PlanCache plan_cache_;
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace service
+}  // namespace phocus
+
+#endif  // PHOCUS_SERVICE_SERVER_H_

@@ -1,0 +1,235 @@
+#include "service/session.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "datagen/corpus_io.h"
+#include "datagen/openimages.h"
+#include "phocus/explain.h"
+#include "phocus/representation.h"
+#include "service/protocol.h"
+#include "storage/archiver.h"
+#include "storage/vault.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace service {
+
+Session::Session(std::string id, Corpus corpus)
+    : id_(std::move(id)), corpus_(std::move(corpus)) {}
+
+Json Session::Describe() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json out = Json::Object();
+  out.Set("session", id_);
+  out.Set("corpus", corpus_.name);
+  out.Set("num_photos", corpus_.num_photos());
+  out.Set("total_bytes", corpus_.TotalBytes());
+  out.Set("num_subsets", corpus_.subsets.size());
+  out.Set("num_required", corpus_.required.size());
+  return out;
+}
+
+ArchivePlan Session::SolveLocked(const ArchiveOptions& options) {
+  if (system_ == nullptr) {
+    system_ = std::make_unique<PhocusSystem>(corpus_);
+  }
+  return system_->PlanArchive(options);
+}
+
+std::string Session::FingerprintLocked() {
+  if (fingerprint_.empty()) {
+    fingerprint_ = StrFormat(
+        "%016llx",
+        static_cast<unsigned long long>(Fnv64(EncodeCorpus(corpus_))));
+  }
+  return fingerprint_;
+}
+
+void Session::InvalidateLocked() {
+  system_.reset();
+  fingerprint_.clear();
+}
+
+std::string Session::Fingerprint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FingerprintLocked();
+}
+
+Session::PlanOutcome Session::Plan(const ArchiveOptions& options,
+                                   PlanCache* cache) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(options.budget > 0, "plan needs a positive budget");
+  const std::string key =
+      FingerprintLocked() + "|" + CanonicalOptionsKey(options);
+  PlanOutcome outcome;
+  if (cache != nullptr) {
+    outcome.plan = cache->Lookup(key);
+  }
+  if (outcome.plan != nullptr) {
+    outcome.from_cache = true;
+  } else {
+    outcome.plan = std::make_shared<const ArchivePlan>(SolveLocked(options));
+    if (cache != nullptr) cache->Insert(key, outcome.plan);
+  }
+  last_plan_ = outcome.plan;
+  last_options_ = options;
+  has_plan_ = true;
+  return outcome;
+}
+
+Session::UpdateOutcome Session::AddGeneratedPhotos(
+    std::size_t count, std::uint64_t seed, const ArchiveOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(count > 0, "update needs count > 0");
+  UpdateOutcome outcome;
+  if (archiver_ == nullptr) {
+    // No incremental state yet: seed it with the request's options, or fall
+    // back to the options of the last full plan.
+    ArchiveOptions initial = options;
+    if (initial.budget == 0 && has_plan_) initial = last_options_;
+    PHOCUS_CHECK(initial.budget > 0,
+                 "first update needs a budget (pass one or plan first)");
+    IncrementalOptions incremental;
+    incremental.archive = initial;
+    archiver_ = std::make_unique<IncrementalArchiver>(incremental);
+    archiver_->Initialize(corpus_);
+    last_options_ = initial;
+  }
+
+  // Deterministic arrivals: a fresh mini-corpus whose subsets are remapped
+  // into the appended id space (they only reference the new photos).
+  OpenImagesOptions generate;
+  generate.num_photos = count;
+  generate.seed = seed;
+  Corpus arrivals = GenerateOpenImagesCorpus(generate);
+  const PhotoId offset = static_cast<PhotoId>(corpus_.num_photos());
+  for (SubsetSpec& spec : arrivals.subsets) {
+    spec.name = StrFormat("%s@%u", spec.name.c_str(), offset);
+    for (PhotoId& member : spec.members) member += offset;
+  }
+
+  archiver_->AddPhotos(std::move(arrivals.photos),
+                       std::move(arrivals.subsets), {}, &outcome.stats);
+  corpus_ = archiver_->corpus();
+  InvalidateLocked();
+  outcome.plan = std::make_shared<const ArchivePlan>(archiver_->plan());
+  last_plan_ = outcome.plan;
+  has_plan_ = true;
+  return outcome;
+}
+
+Session::UpdateOutcome Session::SetBudget(Cost budget,
+                                          const ArchiveOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(budget > 0, "budget must be positive");
+  UpdateOutcome outcome;
+  if (archiver_ == nullptr) {
+    IncrementalOptions incremental;
+    incremental.archive = options;
+    incremental.archive.budget = budget;
+    archiver_ = std::make_unique<IncrementalArchiver>(incremental);
+    archiver_->Initialize(corpus_);
+  } else {
+    archiver_->SetBudget(budget, &outcome.stats);
+  }
+  last_options_.budget = budget;
+  outcome.plan = std::make_shared<const ArchivePlan>(archiver_->plan());
+  last_plan_ = outcome.plan;
+  has_plan_ = true;
+  return outcome;
+}
+
+Json Session::Coverage(std::size_t top_k) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(has_plan_, "no plan yet for session " + id_);
+  Json rows = Json::Array();
+  const std::vector<SubsetCoverage>& coverage = last_plan_->subset_coverage;
+  const std::size_t limit =
+      top_k == 0 ? coverage.size() : std::min(top_k, coverage.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const SubsetCoverage& row = coverage[i];
+    Json entry = Json::Object();
+    entry.Set("subset", row.name);
+    entry.Set("weight", row.weight);
+    entry.Set("coverage", row.coverage);
+    entry.Set("retained_members", row.retained_members);
+    entry.Set("total_members", row.total_members);
+    rows.Append(std::move(entry));
+  }
+  Json out = Json::Object();
+  out.Set("session", id_);
+  out.Set("rows", std::move(rows));
+  return out;
+}
+
+Json Session::Explain(PhotoId photo) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(has_plan_, "no plan yet for session " + id_);
+  PHOCUS_CHECK(photo < corpus_.num_photos(), "photo id out of range");
+  const ParInstance instance = BuildInstance(corpus_, last_options_.budget,
+                                             last_options_.representation);
+  const bool retained = std::binary_search(last_plan_->retained.begin(),
+                                           last_plan_->retained.end(), photo);
+  Json out = Json::Object();
+  out.Set("session", id_);
+  out.Set("photo", photo);
+  out.Set("retained", retained);
+  if (retained) {
+    out.Set("text", DescribeRetained(
+                        ExplainRetained(instance, last_plan_->retained, photo)));
+  } else {
+    out.Set("text", DescribeArchived(
+                        ExplainArchived(instance, last_plan_->retained, photo)));
+  }
+  return out;
+}
+
+Json Session::ArchiveToVault(const std::string& directory, int render_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(has_plan_, "no plan yet for session " + id_);
+  std::filesystem::create_directories(directory);
+  ArchiveVault vault(directory);
+  const ArchiveToVaultReport report =
+      ArchivePlanToVault(corpus_, *last_plan_, vault, render_size);
+  Json out = Json::Object();
+  out.Set("session", id_);
+  out.Set("directory", directory);
+  out.Set("photos_archived", report.photos_archived);
+  out.Set("deduplicated", report.deduplicated);
+  out.Set("original_bytes", report.original_bytes);
+  out.Set("stored_bytes", report.stored_bytes);
+  out.Set("compression_ratio", report.compression_ratio);
+  out.Set("vault_objects", vault.num_objects());
+  return out;
+}
+
+std::shared_ptr<Session> SessionManager::Create(Corpus corpus) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string id = StrFormat("s-%llu",
+                                   static_cast<unsigned long long>(next_id_++));
+  auto session = std::make_shared<Session>(id, std::move(corpus));
+  sessions_[id] = session;
+  return session;
+}
+
+std::shared_ptr<Session> SessionManager::Find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionManager::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.erase(id) > 0;
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace service
+}  // namespace phocus

@@ -1,0 +1,119 @@
+#ifndef PHOCUS_SERVICE_SESSION_H_
+#define PHOCUS_SERVICE_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "phocus/incremental.h"
+#include "phocus/system.h"
+#include "service/plan_cache.h"
+#include "util/json.h"
+
+/// \file session.h
+/// Per-client serving state for phocusd. A Session owns one corpus plus the
+/// machinery to answer repeated questions about it: a PhocusSystem facade
+/// (rebuilt lazily after mutations), an IncrementalArchiver for `update`
+/// streams, the most recent plan (for coverage/explain/archive_to_vault),
+/// and a cached corpus fingerprint feeding the server-wide PlanCache.
+///
+/// Locking is fine-grained: the SessionManager's map lock is only held for
+/// id lookup; all real work happens under the individual session's mutex, so
+/// requests against different sessions never serialize on each other.
+
+namespace phocus {
+namespace service {
+
+class Session {
+ public:
+  Session(std::string id, Corpus corpus);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// Corpus summary: {"session", "corpus", "num_photos", "total_bytes",
+  /// "num_subsets", "num_required"}.
+  Json Describe();
+
+  struct PlanOutcome {
+    std::shared_ptr<const ArchivePlan> plan;
+    bool from_cache = false;
+  };
+
+  /// Full PlanArchive under `options`, consulting (and feeding) `cache`.
+  /// A cache hit is served without touching the solver.
+  PlanOutcome Plan(const ArchiveOptions& options, PlanCache* cache);
+
+  struct UpdateOutcome {
+    std::shared_ptr<const ArchivePlan> plan;
+    IncrementalUpdateStats stats;
+  };
+
+  /// Folds `count` freshly generated photos (deterministic from `seed`) into
+  /// the plan via the IncrementalArchiver. The first update performs the
+  /// archiver's initial solve with `options`; later updates reuse it.
+  UpdateOutcome AddGeneratedPhotos(std::size_t count, std::uint64_t seed,
+                                   const ArchiveOptions& options);
+
+  /// Re-plans incrementally under a new budget. Throws InfeasibleBudgetError
+  /// when the budget cannot cover the required set S0.
+  UpdateOutcome SetBudget(Cost budget, const ArchiveOptions& options);
+
+  /// Per-subset coverage rows of the last plan (top_k = 0 keeps all).
+  Json Coverage(std::size_t top_k);
+
+  /// Human-readable retention explanation for one photo of the last plan.
+  Json Explain(PhotoId photo);
+
+  /// Stores the last plan's cold set into an ArchiveVault at `directory`
+  /// (created if missing) using the vault's deferred-manifest batch path.
+  Json ArchiveToVault(const std::string& directory, int render_size);
+
+  /// Hex corpus fingerprint (content hash; mutations change it).
+  std::string Fingerprint();
+
+ private:
+  ArchivePlan SolveLocked(const ArchiveOptions& options);
+  std::string FingerprintLocked();
+  void InvalidateLocked();
+
+  const std::string id_;
+  std::mutex mutex_;
+  Corpus corpus_;
+  std::unique_ptr<PhocusSystem> system_;  // lazily (re)built from corpus_
+  std::unique_ptr<IncrementalArchiver> archiver_;
+  std::shared_ptr<const ArchivePlan> last_plan_;
+  ArchiveOptions last_options_;
+  bool has_plan_ = false;
+  std::string fingerprint_;  // empty = stale
+};
+
+/// Thread-safe registry of live sessions.
+class SessionManager {
+ public:
+  SessionManager() = default;
+
+  /// Registers a new session around `corpus` and returns it.
+  std::shared_ptr<Session> Create(Corpus corpus);
+
+  /// Looks a session up; nullptr when unknown.
+  std::shared_ptr<Session> Find(const std::string& id) const;
+
+  bool Remove(const std::string& id);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace service
+}  // namespace phocus
+
+#endif  // PHOCUS_SERVICE_SESSION_H_

@@ -1,0 +1,138 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace service {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw CheckFailure(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in MakeAddress(const std::string& host, int port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  PHOCUS_CHECK(inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1,
+               "not a numeric IPv4 address: " + host);
+  return address;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::SendAll(std::string_view bytes) const {
+  PHOCUS_CHECK(valid(), "send on closed socket");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::RecvSome(std::string* out, std::size_t max_bytes) const {
+  PHOCUS_CHECK(valid(), "recv on closed socket");
+  std::string chunk(max_bytes, '\0');
+  ssize_t n;
+  do {
+    n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) ThrowErrno("recv failed");
+  if (n == 0) return false;
+  out->append(chunk.data(), static_cast<std::size_t>(n));
+  return true;
+}
+
+void Socket::ShutdownBoth() const {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket failed");
+  Socket socket(fd);
+  const sockaddr_in address = MakeAddress(host, port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ThrowErrno(StrFormat("connect to %s:%d failed", host.c_str(), port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+ListenSocket::ListenSocket(const std::string& host, int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket failed");
+  socket_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address = MakeAddress(host, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    ThrowErrno(StrFormat("bind to %s:%d failed", host.c_str(), port));
+  }
+  if (::listen(fd, backlog) < 0) ThrowErrno("listen failed");
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size) < 0) {
+    ThrowErrno("getsockname failed");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket ListenSocket::Accept() const {
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // The graceful-stop path: Shutdown() makes accept fail; report "no more
+    // connections" rather than throwing.
+    return Socket();
+  }
+}
+
+void ListenSocket::Shutdown() { socket_.ShutdownBoth(); }
+
+}  // namespace service
+}  // namespace phocus

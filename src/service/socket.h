@@ -1,0 +1,78 @@
+#ifndef PHOCUS_SERVICE_SOCKET_H_
+#define PHOCUS_SERVICE_SOCKET_H_
+
+#include <string>
+#include <string_view>
+
+/// \file socket.h
+/// Minimal RAII wrappers over POSIX TCP sockets — just enough surface for
+/// the length-prefixed phocusd protocol: a listener bound to a loopback (or
+/// any) address, blocking accept/connect, and send-all / recv-some helpers.
+/// All failures throw CheckFailure with errno context.
+
+namespace phocus {
+namespace service {
+
+/// An owned, connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes the whole buffer; throws on error or peer close.
+  void SendAll(std::string_view bytes) const;
+
+  /// Reads at most `max_bytes`, appending to `out`. Returns false on clean
+  /// EOF; throws on error.
+  bool RecvSome(std::string* out, std::size_t max_bytes = 64 * 1024) const;
+
+  /// Half-close in both directions, unblocking any reader; the fd stays
+  /// owned until destruction. Safe to call from another thread.
+  void ShutdownBoth() const;
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+Socket ConnectTcp(const std::string& host, int port);
+
+/// A listening TCP socket. Port 0 binds an ephemeral port; `port()` reports
+/// the actual one.
+class ListenSocket {
+ public:
+  ListenSocket(const std::string& host, int port, int backlog = 64);
+  ~ListenSocket() = default;
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Blocks for the next connection. Returns an invalid Socket if the
+  /// listener was shut down (the graceful-stop path).
+  Socket Accept() const;
+
+  /// Unblocks pending Accept calls; subsequent accepts fail.
+  void Shutdown();
+
+  int port() const { return port_; }
+
+ private:
+  Socket socket_;
+  int port_ = 0;
+};
+
+}  // namespace service
+}  // namespace phocus
+
+#endif  // PHOCUS_SERVICE_SOCKET_H_

@@ -19,12 +19,15 @@ ArchiveToVaultReport ArchivePlanToVault(const Corpus& corpus,
     const Image image =
         RenderScene(corpus.photos[p].scene, render_size, render_size);
     const ArchiveVault::Receipt receipt =
-        vault.Store(StrFormat("photo-%u", p), EncodePpm(image));
+        vault.Store(StrFormat("photo-%u", p), EncodePpm(image),
+                    ArchiveVault::StoreDurability::kDeferred);
     ++report.photos_archived;
     if (receipt.deduplicated) ++report.deduplicated;
     report.original_bytes += receipt.original_bytes;
     report.stored_bytes += receipt.deduplicated ? 0 : receipt.stored_bytes;
   }
+  // One manifest write for the whole batch instead of O(n) rewrites.
+  vault.Flush();
   report.compression_ratio =
       report.stored_bytes > 0
           ? static_cast<double>(report.original_bytes) /

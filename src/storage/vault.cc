@@ -34,7 +34,8 @@ std::string ArchiveVault::ObjectPath(const std::string& hash) const {
 }
 
 ArchiveVault::Receipt ArchiveVault::Store(const std::string& key,
-                                          const std::string& payload) {
+                                          const std::string& payload,
+                                          StoreDurability durability) {
   PHOCUS_CHECK(!key.empty(), "vault key must not be empty");
   Receipt receipt;
   receipt.content_hash = HashPayload(payload);
@@ -56,8 +57,13 @@ ArchiveVault::Receipt ArchiveVault::Store(const std::string& key,
   }
   registry.GetCounter("storage.vault.stores").Add(1);
   entries_[key] = {receipt.content_hash, receipt.original_bytes};
-  SaveManifest();
+  dirty_ = true;
+  if (durability == StoreDurability::kFlushEach) SaveManifest();
   return receipt;
+}
+
+void ArchiveVault::Flush() {
+  if (dirty_) SaveManifest();
 }
 
 std::string ArchiveVault::Fetch(const std::string& key) const {
@@ -121,7 +127,15 @@ void ArchiveVault::SaveManifest() const {
     objects.Set(hash, size);
   }
   manifest.Set("objects", std::move(objects));
-  WriteFile(directory_ + "/manifest.json", manifest.Dump(1));
+  // Temp file + atomic rename: readers (and a crash mid-write) only ever
+  // see a complete manifest.
+  const std::string path = directory_ + "/manifest.json";
+  const std::string temp_path = path + ".tmp";
+  WriteFile(temp_path, manifest.Dump(1));
+  std::error_code error;
+  fs::rename(temp_path, path, error);
+  PHOCUS_CHECK(!error, "manifest rename failed: " + error.message());
+  dirty_ = false;
 }
 
 void ArchiveVault::LoadManifest() {

@@ -36,8 +36,19 @@ class ArchiveVault {
     bool deduplicated = false;  ///< an identical object already existed
   };
 
+  /// Controls when Store persists the manifest.
+  enum class StoreDurability {
+    kFlushEach,  ///< rewrite the manifest after this store (safe default)
+    kDeferred,   ///< defer to the next Flush() — the bulk-archive path;
+                 ///< rewriting the manifest per store is O(n²) over a batch
+  };
+
   /// Stores a payload under `key` (overwrites the key's previous mapping).
-  Receipt Store(const std::string& key, const std::string& payload);
+  Receipt Store(const std::string& key, const std::string& payload,
+                StoreDurability durability = StoreDurability::kFlushEach);
+
+  /// Persists the manifest if deferred stores are pending; no-op otherwise.
+  void Flush();
 
   /// Retrieves and decompresses a payload; throws CheckFailure for unknown
   /// keys or corrupt objects.
@@ -52,7 +63,9 @@ class ArchiveVault {
   /// Uncompressed bytes represented (per key; dedup counted once per key).
   Cost OriginalBytes() const;
 
-  /// Persists the manifest (also called by Store).
+  /// Persists the manifest via temp file + atomic rename, so a crash
+  /// mid-write can never leave a truncated manifest behind (also called by
+  /// flushing stores).
   void SaveManifest() const;
 
   const std::string& directory() const { return directory_; }
@@ -72,6 +85,7 @@ class ArchiveVault {
   std::string directory_;
   std::map<std::string, Entry> entries_;          // key -> object
   std::map<std::string, Cost> object_sizes_;      // hash -> compressed size
+  mutable bool dirty_ = false;                    // deferred stores pending
 };
 
 }  // namespace phocus

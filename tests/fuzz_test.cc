@@ -6,6 +6,7 @@
 #include "datagen/openimages.h"
 #include "imaging/ppm_io.h"
 #include "phocus/instance_io.h"
+#include "service/protocol.h"
 #include "tests/test_support.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -170,6 +171,56 @@ TEST_P(FuzzTest, MutatedPpmNeverCrashesTheDecoder) {
       // rejected: fine
     } catch (const std::exception&) {
       // header numbers can overflow std::stoi: also an orderly rejection
+    }
+  }
+}
+
+TEST_P(FuzzTest, RandomBytesNeverCrashTheFrameDecoder) {
+  Rng rng(GetParam() ^ 0x66);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Small cap so random headers regularly trip every status.
+    service::FrameDecoder decoder(/*max_frame_bytes=*/256);
+    std::string frame;
+    bool closed = false;
+    for (int chunks = 0; chunks < 20 && !closed; ++chunks) {
+      std::string chunk(1 + rng.NextBelow(40), '\0');
+      for (char& c : chunk) c = static_cast<char>(rng.NextBelow(256));
+      decoder.Append(chunk);
+      while (true) {
+        const service::FrameDecoder::Status status = decoder.Next(&frame);
+        if (status == service::FrameDecoder::Status::kFrame) {
+          EXPECT_LE(frame.size(), decoder.max_frame_bytes());
+          continue;  // drain any further complete frames
+        }
+        if (status == service::FrameDecoder::Status::kTooLarge) {
+          closed = true;  // a real peer closes the stream here
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedRequestFramesDecodeOrRejectCleanly) {
+  Rng rng(GetParam() ^ 0x77);
+  Json params = Json::Object();
+  params.Set("session", "s-1");
+  params.Set("budget", "25MB");
+  const std::string base =
+      service::EncodeFrame(service::MakeRequest(7, "plan", std::move(params)));
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = Mutate(base, rng, 1 + rng.NextBelow(6));
+    service::FrameDecoder decoder(/*max_frame_bytes=*/4096);
+    decoder.Append(mutated);
+    std::string frame;
+    while (decoder.Next(&frame) == service::FrameDecoder::Status::kFrame) {
+      // Whatever survives framing must either parse or throw CheckFailure —
+      // exactly what the server does before answering bad_request.
+      try {
+        (void)Json::Parse(frame).Dump();
+      } catch (const CheckFailure&) {
+        // rejected: fine
+      }
     }
   }
 }

@@ -144,5 +144,46 @@ TEST(IncrementalTest, GuardsMisuse) {
   EXPECT_THROW(working.AddPhotos({}, {bad}), CheckFailure);
 }
 
+TEST(IncrementalTest, InfeasibleBudgetIsATypedErrorAndPreservesState) {
+  OpenImagesOptions generate = SmallOptions(7, 80);
+  generate.required_fraction = 0.25;  // a non-empty S0 to make budgets
+                                      // genuinely infeasible
+  const Corpus corpus = GenerateOpenImagesCorpus(generate);
+  ASSERT_FALSE(corpus.required.empty());
+  Cost required_cost = 0;
+  for (PhotoId p : corpus.required) required_cost += corpus.photos[p].bytes;
+
+  IncrementalOptions options;
+  options.archive.budget = corpus.TotalBytes() / 2;
+  IncrementalArchiver archiver(options);
+  const ArchivePlan before = archiver.Initialize(corpus);
+
+  // Shrinking below C(S0) must throw the *typed* error — not CHECK-fail —
+  // with the numbers a caller needs to pick a feasible budget.
+  const Cost impossible = required_cost / 2;
+  try {
+    archiver.SetBudget(impossible);
+    FAIL() << "expected InfeasibleBudgetError";
+  } catch (const InfeasibleBudgetError& error) {
+    EXPECT_EQ(error.budget(), impossible);
+    EXPECT_GE(error.required_cost(), required_cost);
+    EXPECT_GT(error.required_cost(), error.budget());
+  }
+
+  // The failed shrink left the archiver untouched: same plan, and the old
+  // budget still governs subsequent updates.
+  EXPECT_EQ(archiver.plan().retained, before.retained);
+  EXPECT_EQ(archiver.plan().retained_bytes, before.retained_bytes);
+
+  // A feasible shrink afterwards works and keeps S0 retained.
+  const Cost tight = required_cost + (corpus.TotalBytes() - required_cost) / 8;
+  const ArchivePlan& squeezed = archiver.SetBudget(tight);
+  EXPECT_LE(squeezed.retained_bytes, tight);
+  for (PhotoId p : corpus.required) {
+    EXPECT_TRUE(std::binary_search(squeezed.retained.begin(),
+                                   squeezed.retained.end(), p));
+  }
+}
+
 }  // namespace
 }  // namespace phocus

@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/openimages.h"
+#include "phocus/system.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+/// \file service_test.cc
+/// Loopback integration tests for phocusd: a ServiceServer on an ephemeral
+/// port, real ServiceClient connections, and the serving guarantees of
+/// docs/SERVICE.md — byte-identical plans vs. in-process solves, plan-cache
+/// hits, admission control (`overloaded`), per-request deadlines, and
+/// graceful drain. Also runs under -DPHOCUS_SANITIZE=thread.
+
+namespace phocus {
+namespace service {
+namespace {
+
+std::uint64_t MetricValue(const std::string& name) {
+  return telemetry::MetricsRegistry::Current().GetCounter(name).value();
+}
+
+/// The corpus every test session asks the server to generate; regenerating
+/// it locally with the same spec gives the in-process reference.
+OpenImagesOptions TestCorpusOptions(std::uint64_t seed) {
+  OpenImagesOptions options;
+  options.num_photos = 60;
+  options.seed = seed;
+  return options;
+}
+
+Json CorpusSpec(std::uint64_t seed) {
+  Json spec = Json::Object();
+  spec.Set("kind", "openimages");
+  spec.Set("num_photos", 60);
+  spec.Set("seed", seed);
+  return spec;
+}
+
+constexpr Cost kTestBudget = 1'500'000;
+
+/// The reference result: solve the identically generated corpus in-process
+/// and serialize with the same deterministic encoder the server uses.
+std::string ExpectedPlanDump(std::uint64_t seed) {
+  PhocusSystem system(GenerateOpenImagesCorpus(TestCorpusOptions(seed)));
+  ArchiveOptions options;
+  options.budget = kTestBudget;
+  return PlanToJson(system.PlanArchive(options)).Dump();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    // The CI machine can report a single core; pick worker counts
+    // explicitly so queueing behaviour is deterministic.
+    server_ = std::make_unique<ServiceServer>(std::move(options));
+    server_->Start();
+  }
+
+  ServiceClient Connect() {
+    return ServiceClient("127.0.0.1", server_->port());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->RequestShutdown();
+      server_->Wait();
+    }
+  }
+
+  std::unique_ptr<ServiceServer> server_;
+};
+
+TEST_F(ServiceTest, PlanMatchesInProcessSolveByteForByte) {
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+
+  ServiceClient client = Connect();
+  const std::string session = client.CreateSession(CorpusSpec(11));
+  Json params = Json::Object();
+  params.Set("session", session);
+  params.Set("budget", kTestBudget);
+  const Json response = client.Call("plan", std::move(params));
+  EXPECT_FALSE(response.Get("cached").AsBool());
+  EXPECT_EQ(response.Get("plan").Dump(), ExpectedPlanDump(11));
+}
+
+TEST_F(ServiceTest, PlanCacheHitIsServedWithoutAResolve) {
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+
+  ServiceClient client = Connect();
+  const std::string session = client.CreateSession(CorpusSpec(13));
+  Json params = Json::Object();
+  params.Set("session", session);
+  params.Set("budget", kTestBudget);
+  const Json first = client.Call("plan", Json(params));
+
+  const std::uint64_t hits_before = MetricValue("service.plan_cache.hits");
+  const std::size_t cache_hits_before = server_->plan_cache().hits();
+  const Json second = client.Call("plan", Json(params));
+
+  EXPECT_FALSE(first.Get("cached").AsBool());
+  EXPECT_TRUE(second.Get("cached").AsBool());
+  // The cache's own hit counter runs in every build; the telemetry mirror
+  // only when recorders are compiled in.
+  EXPECT_EQ(server_->plan_cache().hits(), cache_hits_before + 1);
+  if (telemetry::kCompiled) {
+    EXPECT_EQ(MetricValue("service.plan_cache.hits"), hits_before + 1);
+  }
+  EXPECT_EQ(first.Get("plan").Dump(), second.Get("plan").Dump());
+
+  // A second session over the *same* corpus shares the fingerprint, so its
+  // first plan is already a hit — the cache key is content, not session id.
+  const std::string twin = client.CreateSession(CorpusSpec(13));
+  Json twin_params = Json::Object();
+  twin_params.Set("session", twin);
+  twin_params.Set("budget", kTestBudget);
+  EXPECT_TRUE(client.Call("plan", std::move(twin_params))
+                  .Get("cached").AsBool());
+
+  // Mutating the corpus changes the fingerprint: no stale plan is served.
+  Json update = Json::Object();
+  update.Set("session", session);
+  update.Set("count", 5);
+  update.Set("seed", 99);
+  client.Call("update", std::move(update));
+  const Json after = client.Call("plan", Json(params));
+  EXPECT_FALSE(after.Get("cached").AsBool());
+  EXPECT_NE(after.Get("plan").Dump(), first.Get("plan").Dump());
+}
+
+TEST_F(ServiceTest, EightConcurrentClientsEndToEnd) {
+  ServerOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 32;
+  StartServer(options);
+
+  // Two corpus seeds: threads sharing a seed must get byte-identical plans
+  // (and the later ones plan-cache hits); distinct seeds exercise distinct
+  // concurrent solves.
+  const std::string expected_a = ExpectedPlanDump(11);
+  const std::string expected_b = ExpectedPlanDump(12);
+  const std::size_t cache_hits_before = server_->plan_cache().hits();
+
+  const int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  std::vector<std::string> errors(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        const std::uint64_t seed = (t % 2 == 0) ? 11 : 12;
+        const std::string& expected = (t % 2 == 0) ? expected_a : expected_b;
+        ServiceClient client("127.0.0.1", server_->port());
+
+        // create_session -> plan: byte-identical to the in-process solve.
+        const std::string session = client.CreateSession(CorpusSpec(seed));
+        Json plan_params = Json::Object();
+        plan_params.Set("session", session);
+        plan_params.Set("budget", kTestBudget);
+        const Json planned = client.Call("plan", std::move(plan_params));
+        PHOCUS_CHECK(planned.Get("plan").Dump() == expected,
+                     "server plan diverged from in-process solve");
+
+        // update: per-thread arrivals fold in incrementally and stay
+        // within budget.
+        Json update_params = Json::Object();
+        update_params.Set("session", session);
+        update_params.Set("count", 6);
+        update_params.Set("seed", 1000 + t);
+        const Json updated = client.Call("update", std::move(update_params));
+        const Json& update_plan = updated.Get("plan");
+        PHOCUS_CHECK(update_plan.Get("retained_bytes").AsInt() <=
+                         static_cast<long long>(kTestBudget),
+                     "update plan exceeds budget");
+        PHOCUS_CHECK(
+            updated.Get("stats").Get("photos_added").AsInt() == 6,
+            "update did not add the requested photos");
+
+        // archive_to_vault: the cold set lands in a per-thread vault.
+        const std::string dir = ::testing::TempDir() +
+                                StrFormat("/phocus_service_vault_%d", t);
+        std::filesystem::remove_all(dir);
+        Json archive_params = Json::Object();
+        archive_params.Set("session", session);
+        archive_params.Set("directory", dir);
+        archive_params.Set("render_size", 32);
+        const Json archived = client.Call("archive_to_vault",
+                                          std::move(archive_params));
+        PHOCUS_CHECK(static_cast<std::size_t>(
+                         archived.Get("photos_archived").AsInt()) ==
+                         update_plan.Get("archived").size(),
+                     "vault archived a different photo set than the plan");
+        PHOCUS_CHECK(std::filesystem::exists(dir + "/manifest.json"),
+                     "vault manifest missing");
+      } catch (const std::exception& error) {
+        errors[static_cast<std::size_t>(t)] = error.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_EQ(errors[static_cast<std::size_t>(t)], "") << "client " << t;
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // A follow-up plan on a fresh same-content session is a guaranteed cache
+  // hit (concurrent first-plans may race their inserts, so assert here).
+  ServiceClient client = Connect();
+  const std::string session = client.CreateSession(CorpusSpec(11));
+  Json params = Json::Object();
+  params.Set("session", session);
+  params.Set("budget", kTestBudget);
+  EXPECT_TRUE(client.Call("plan", std::move(params)).Get("cached").AsBool());
+  EXPECT_GE(server_->plan_cache().hits(), cache_hits_before + 1);
+
+  // All admitted work finished: the queue is empty again.
+  EXPECT_EQ(server_->queue_depth(), 0u);
+}
+
+TEST_F(ServiceTest, OverloadRejectsWithTypedError) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.enable_debug_endpoints = true;
+  StartServer(options);
+
+  const std::uint64_t rejected_before =
+      MetricValue("service.rejected.overloaded");
+  const int kClients = 6;
+  std::atomic<int> ok{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  std::vector<std::unique_ptr<ServiceClient>> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.push_back(std::make_unique<ServiceClient>("127.0.0.1",
+                                                      server_->port()));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Json params = Json::Object();
+      params.Set("millis", 400);
+      try {
+        clients[static_cast<std::size_t>(t)]->Call("debug_sleep",
+                                                   std::move(params));
+        ok.fetch_add(1);
+      } catch (const ServiceError& error) {
+        (error.code() == ErrorCode::kOverloaded ? overloaded : other)
+            .fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Capacity 2, six half-second requests in flight at once: some complete,
+  // the surplus is rejected with the typed `overloaded` error.
+  EXPECT_GE(ok.load(), 2);
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+  if (telemetry::kCompiled) {
+    EXPECT_GE(MetricValue("service.rejected.overloaded"), rejected_before + 1);
+  }
+
+  // The overload is transient: once drained, the same endpoint serves.
+  ServiceClient retry = Connect();
+  Json params = Json::Object();
+  params.Set("millis", 1);
+  EXPECT_EQ(retry.Call("debug_sleep", std::move(params))
+                .Get("slept_ms").AsDouble(), 1.0);
+}
+
+TEST_F(ServiceTest, QueuedRequestPastItsDeadlineIsNotSolved) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_debug_endpoints = true;
+  StartServer(options);
+
+  // Occupy the single worker...
+  std::thread blocker([&] {
+    ServiceClient client("127.0.0.1", server_->port());
+    Json params = Json::Object();
+    params.Set("millis", 400);
+    client.Call("debug_sleep", std::move(params));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...so this request waits ~300ms in the queue, past its 50ms deadline.
+  ServiceClient client = Connect();
+  Json params = Json::Object();
+  params.Set("millis", 1);
+  params.Set("deadline_ms", 50);
+  try {
+    client.Call("debug_sleep", std::move(params));
+    FAIL() << "expected deadline_exceeded";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kDeadlineExceeded);
+  }
+  blocker.join();
+}
+
+TEST_F(ServiceTest, GracefulShutdownDrainsInFlightRequests) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.enable_debug_endpoints = true;
+  StartServer(options);
+
+  // An in-flight request that outlives the shutdown call...
+  std::atomic<bool> drained{false};
+  std::thread in_flight([&] {
+    ServiceClient client("127.0.0.1", server_->port());
+    Json params = Json::Object();
+    params.Set("millis", 500);
+    const Json result = client.Call("debug_sleep", std::move(params));
+    drained.store(result.Get("slept_ms").AsDouble() == 500.0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...a connection that existed before the drain began...
+  ServiceClient bystander = Connect();
+
+  ServiceClient controller = Connect();
+  controller.Shutdown();
+
+  // ...is rejected with the typed shutting_down error (not dropped).
+  try {
+    bystander.Call("stats");
+    FAIL() << "expected shutting_down";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kShuttingDown);
+  }
+
+  // The in-flight request still completes: that is the drain guarantee.
+  in_flight.join();
+  EXPECT_TRUE(drained.load());
+
+  server_->Wait();  // returns: everything is joined
+  server_.reset();  // TearDown would otherwise re-drain a dead server
+
+  if (telemetry::kCompiled) {
+    EXPECT_GE(MetricValue("service.rejected.shutting_down"), 1u);
+  }
+}
+
+TEST_F(ServiceTest, InfeasibleBudgetSurfacesAsTypedError) {
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+
+  ServiceClient client = Connect();
+  Json spec = Json::Object();
+  spec.Set("kind", "openimages");
+  spec.Set("num_photos", 40);
+  spec.Set("seed", 3);
+  spec.Set("required_fraction", 0.3);
+  const std::string session = client.CreateSession(std::move(spec));
+
+  // Seed incremental state with a feasible budget first.
+  Json update = Json::Object();
+  update.Set("session", session);
+  update.Set("count", 4);
+  update.Set("budget", 2'000'000);
+  const Json feasible = client.Call("update", std::move(update));
+  const std::string before = feasible.Get("plan").Dump();
+
+  // Below the cost of the required set S0: typed `infeasible`, not a crash.
+  Json shrink = Json::Object();
+  shrink.Set("session", session);
+  shrink.Set("budget", 1000);
+  try {
+    client.Call("set_budget", std::move(shrink));
+    FAIL() << "expected infeasible";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kInfeasible);
+  }
+
+  // The rejection did not corrupt the session: the previous plan stands and
+  // a feasible re-budget still works.
+  Json rebudget = Json::Object();
+  rebudget.Set("session", session);
+  rebudget.Set("budget", 1'800'000);
+  const Json after = client.Call("set_budget", std::move(rebudget));
+  EXPECT_LE(after.Get("plan").Get("retained_bytes").AsInt(), 1'800'000);
+  (void)before;
+}
+
+TEST_F(ServiceTest, SessionLifecycleAndTypedUnknownSession) {
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+
+  ServiceClient client = Connect();
+  Json params = Json::Object();
+  params.Set("session", "s-424242");
+  params.Set("budget", kTestBudget);
+  try {
+    client.Call("plan", Json(params));
+    FAIL() << "expected unknown_session";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnknownSession);
+  }
+
+  const std::string session = client.CreateSession(CorpusSpec(5));
+  Json info_params = Json::Object();
+  info_params.Set("session", session);
+  const Json info = client.Call("session_info", Json(info_params));
+  EXPECT_EQ(info.Get("num_photos").AsInt(), 60);
+  EXPECT_GT(info.Get("total_bytes").AsInt(), 0);
+
+  const Json stats = client.Stats();
+  EXPECT_GE(stats.Get("sessions").AsInt(), 1);
+  EXPECT_EQ(stats.Get("plan_cache").Get("capacity").AsInt(), 32);
+
+  EXPECT_TRUE(client.Call("close_session", Json(info_params))
+                  .Get("closed").AsBool());
+  try {
+    client.Call("session_info", Json(info_params));
+    FAIL() << "expected unknown_session after close";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnknownSession);
+  }
+}
+
+TEST_F(ServiceTest, DebugEndpointsAreOffByDefault) {
+  ServerOptions options;
+  options.num_workers = 1;
+  StartServer(options);  // enable_debug_endpoints defaults to false
+
+  ServiceClient client = Connect();
+  Json params = Json::Object();
+  params.Set("millis", 1);
+  try {
+    client.Call("debug_sleep", std::move(params));
+    FAIL() << "expected unknown_endpoint";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnknownEndpoint);
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace phocus

@@ -144,6 +144,49 @@ TEST_F(VaultTest, RejectsMissingDirectoryAndEmptyKey) {
   EXPECT_THROW(vault.Store("", "payload"), CheckFailure);
 }
 
+TEST_F(VaultTest, SaveManifestLeavesNoTempFileBehind) {
+  ArchiveVault vault(dir_);
+  vault.Store("k", "payload");  // flushing store -> SaveManifest ran
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/manifest.json"));
+  // The atomic-rename protocol must consume its temp file.
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/manifest.json.tmp"));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "stray temp file: " << entry.path();
+  }
+}
+
+TEST_F(VaultTest, DeferredStoresBecomeDurableOnlyAtFlush) {
+  ArchiveVault vault(dir_);
+  vault.Store("early", "flushed immediately");
+  vault.Store("late", "deferred payload",
+              ArchiveVault::StoreDurability::kDeferred);
+
+  // A second process opening the vault now sees only the flushed key: the
+  // deferred store has not rewritten the manifest yet.
+  {
+    ArchiveVault observer(dir_);
+    EXPECT_TRUE(observer.Contains("early"));
+    EXPECT_FALSE(observer.Contains("late"));
+  }
+
+  vault.Flush();
+  ArchiveVault observer(dir_);
+  EXPECT_TRUE(observer.Contains("late"));
+  EXPECT_EQ(observer.Fetch("late"), "deferred payload");
+}
+
+TEST_F(VaultTest, FlushIsIdempotentAndCheapWhenClean) {
+  ArchiveVault vault(dir_);
+  vault.Store("k", "v", ArchiveVault::StoreDurability::kDeferred);
+  vault.Flush();
+  const auto first_write =
+      std::filesystem::last_write_time(dir_ + "/manifest.json");
+  vault.Flush();  // nothing dirty: must not rewrite
+  EXPECT_EQ(std::filesystem::last_write_time(dir_ + "/manifest.json"),
+            first_write);
+}
+
 TEST(VaultHashTest, HashIsStableAndContentSensitive) {
   EXPECT_EQ(ArchiveVault::HashPayload("abc"), ArchiveVault::HashPayload("abc"));
   EXPECT_NE(ArchiveVault::HashPayload("abc"), ArchiveVault::HashPayload("abd"));
@@ -181,6 +224,13 @@ TEST_F(VaultTest, ArchivePlanRoundTripsPhotos) {
   // Retained photos were never archived.
   for (PhotoId kept : plan.retained) {
     EXPECT_FALSE(vault.Contains("photo-" + std::to_string(kept)));
+  }
+
+  // The bulk path defers manifest writes, so the final Flush must have made
+  // every stored key durable: a fresh open sees the whole batch.
+  ArchiveVault reopened(dir_);
+  for (PhotoId cold : plan.archived) {
+    EXPECT_TRUE(reopened.Contains("photo-" + std::to_string(cold)));
   }
 }
 
