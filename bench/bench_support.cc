@@ -15,6 +15,7 @@
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace phocus {
 namespace bench {
@@ -46,6 +47,8 @@ void MaybeExportCsv(const std::string& stem, const TextTable& table) {
 
 namespace {
 std::string g_telemetry_out;  // empty = no dump requested
+std::string g_bench_json;    // empty = no bench JSON requested
+std::vector<BenchRecord> g_bench_records;
 }  // namespace
 
 void ParseBenchFlags(int* argc, char** argv) {
@@ -57,12 +60,53 @@ void ParseBenchFlags(int* argc, char** argv) {
       telemetry::SetEnabled(true);
     } else if (std::strcmp(arg, "--telemetry") == 0) {
       telemetry::SetEnabled(true);
+    } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+      g_bench_json = arg + 13;
+    } else if (std::strncmp(arg, "--bench-threads=", 16) == 0) {
+      // The global pool reads PHOCUS_NUM_THREADS once at first use;
+      // ParseBenchFlags runs first thing in main, before any solver code
+      // can touch the pool.
+      setenv("PHOCUS_NUM_THREADS", arg + 16, 1);
     } else {
       argv[kept++] = argv[i];
     }
   }
   *argc = kept;
   argv[kept] = nullptr;
+}
+
+void RecordBenchResult(const BenchRecord& record) {
+  g_bench_records.push_back(record);
+}
+
+bool BenchJsonRequested() { return !g_bench_json.empty(); }
+
+void ExportBenchJsonIfRequested(const std::string& bench_name) {
+  if (g_bench_json.empty()) return;
+  Json root = Json::Object();
+  root.Set("format", Json("phocus-bench"));
+  root.Set("bench", Json(bench_name));
+  root.Set("threads",
+           Json(static_cast<std::uint64_t>(ThreadPool::Global().num_threads())));
+  Json results = Json::Array();
+  for (const BenchRecord& record : g_bench_records) {
+    Json row = Json::Object();
+    row.Set("solver", Json(record.solver));
+    row.Set("photos", Json(static_cast<std::uint64_t>(record.photos)));
+    row.Set("subsets", Json(static_cast<std::uint64_t>(record.subsets)));
+    row.Set("wall_seconds", Json(record.wall_seconds));
+    row.Set("gain_evals", Json(static_cast<std::uint64_t>(record.gain_evals)));
+    row.Set("score", Json(record.score));
+    results.Append(std::move(row));
+  }
+  root.Set("results", std::move(results));
+  try {
+    WriteFile(g_bench_json, root.Dump(1) + "\n");
+  } catch (const CheckFailure& e) {
+    std::fprintf(stderr, "bench json export failed: %s\n", e.what());
+    return;
+  }
+  std::printf("(bench json written to %s)\n", g_bench_json.c_str());
 }
 
 void ExportTelemetryIfRequested() {

@@ -72,12 +72,45 @@ void MaybeExportCsv(const std::string& stem, const TextTable& table);
 ///   --telemetry-out=PATH   write a telemetry JSON dump at exit
 ///                          (also enables span/histogram recording)
 ///   --telemetry            enable recording without writing a file
+///   --bench-json=PATH      write queued BenchRecords as JSON at exit
+///                          (see RecordBenchResult / ExportBenchJsonIfRequested)
+///   --bench-threads=N      pin the global thread pool to N workers (sets
+///                          PHOCUS_NUM_THREADS; must run before the pool's
+///                          first use, which ParseBenchFlags guarantees when
+///                          called first thing in main)
 /// Call first thing in main(), before any other argv consumer.
 void ParseBenchFlags(int* argc, char** argv);
 
 /// Writes the telemetry JSON dump if --telemetry-out was given (and reports
 /// the path on stdout). Call once at the end of main(). No-op otherwise.
 void ExportTelemetryIfRequested();
+
+/// One solver measurement for the perf trajectory (BENCH_*.json files at
+/// the repo root). The field set is the stable schema — additions are
+/// allowed, renames and removals are not, so trend tooling can diff files
+/// across commits.
+struct BenchRecord {
+  std::string solver;         ///< configuration label, e.g. "celf_parallel"
+  std::size_t photos = 0;     ///< |P| of the fixture
+  std::size_t subsets = 0;    ///< |Q| of the fixture
+  double wall_seconds = 0.0;  ///< end-to-end solve wall time
+  std::size_t gain_evals = 0; ///< oracle calls (machine-independent)
+  double score = 0.0;         ///< G(S) of the returned solution
+};
+
+/// Queues one record for ExportBenchJsonIfRequested().
+void RecordBenchResult(const BenchRecord& record);
+
+/// True when --bench-json=FILE was given; benches use this to decide
+/// whether to run their measurement fixtures.
+bool BenchJsonRequested();
+
+/// Writes the queued records if --bench-json was given:
+///   {"format": "phocus-bench", "bench": <name>, "threads": N,
+///    "results": [{solver, photos, subsets, wall_seconds, gain_evals,
+///                 score}, ...]}
+/// Call once at the end of main(). No-op otherwise.
+void ExportBenchJsonIfRequested(const std::string& bench_name);
 
 /// Runs `fn`, records its wall time into the `bench.<stage>_ns` histogram,
 /// and returns the elapsed seconds. The standard way to time a bench stage:

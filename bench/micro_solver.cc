@@ -5,9 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "bench/bench_support.h"
 #include "core/celf.h"
 #include "core/gfl.h"
+#include "core/local_search.h"
 #include "core/sparsify.h"
 #include "core/objective.h"
 #include "embedding/context.h"
@@ -18,6 +22,7 @@
 #include "lsh/simhash.h"
 #include "util/lzss.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace phocus {
 namespace {
@@ -53,6 +58,124 @@ ParInstance MakeInstance(std::size_t n, std::uint64_t seed) {
   }
   return instance;
 }
+
+/// Random sparse instance for the solver perf fixture: n photos, n/2
+/// subsets of 6–18 members with τ-style thresholded sparse neighbor lists —
+/// the layout the PHOcus pipeline feeds the solver after sparsification.
+ParInstance MakeSparseInstance(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Cost> costs(n);
+  for (Cost& c : costs) c = 10 + rng.NextBelow(90);
+  Cost total = 0;
+  for (Cost c : costs) total += c;
+  ParInstance instance(n, costs, total / 4);
+  for (std::size_t s = 0; s < n / 2; ++s) {
+    Subset q;
+    q.weight = rng.Uniform(0.2, 3.0);
+    const std::size_t m = 6 + rng.NextBelow(13);
+    for (std::size_t idx : rng.SampleWithoutReplacement(n, std::min(m, n))) {
+      q.members.push_back(static_cast<PhotoId>(idx));
+    }
+    const std::size_t size = q.members.size();
+    q.relevance.assign(size, 1.0 / static_cast<double>(size));
+    q.sim_mode = Subset::SimMode::kSparse;
+    std::vector<std::vector<std::pair<std::uint32_t, float>>> rows(size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      for (std::uint32_t j = i + 1; j < size; ++j) {
+        if (rng.UniformDouble() < 0.35) {
+          const float sim =
+              static_cast<float>(0.3 + 0.65 * rng.UniformDouble());
+          rows[i].emplace_back(j, sim);
+          rows[j].emplace_back(i, sim);
+        }
+      }
+    }
+    q.SetSparseRows(rows);
+    instance.AddSubset(std::move(q));
+  }
+  return instance;
+}
+
+}  // namespace
+
+/// --solver-bench: the CELF perf trajectory fixture (≥5k photos, sparse
+/// sim). Solves once with the strictly sequential stale loop and once with
+/// the batched-parallel configuration, verifies the selections are
+/// byte-identical, and queues BenchRecords for --bench-json. Returns
+/// nonzero if the equivalence invariant is violated.
+int RunSolverBench() {
+  const std::size_t n = 6000;
+  bench::PrintHeader("micro_solver --solver-bench",
+                     "solver core perf trajectory (BENCH_solver.json)");
+  const ParInstance instance = MakeSparseInstance(n, 42);
+
+  CelfOptions sequential;
+  sequential.parallel_first_round = false;
+  sequential.batch_stale_requeues = false;
+  sequential.concurrent_passes = false;
+  CelfOptions parallel;  // defaults: batched + concurrent everywhere
+
+  CelfSolver seq_solver(sequential);
+  SolverResult seq;
+  const double seq_seconds =
+      bench::TimeStage("celf_sequential", [&] { seq = seq_solver.Solve(instance); });
+  CelfSolver par_solver(parallel);
+  SolverResult par;
+  const double par_seconds =
+      bench::TimeStage("celf_parallel", [&] { par = par_solver.Solve(instance); });
+
+  const bool identical = seq.selected == par.selected && seq.score == par.score;
+  std::printf(
+      "photos=%zu subsets=%zu threads=%zu\n"
+      "  celf_sequential: %.3fs  gain_evals=%zu  score=%.6f\n"
+      "  celf_parallel:   %.3fs  gain_evals=%zu  score=%.6f\n"
+      "  selected identical: %s  (speedup %.2fx)\n",
+      instance.num_photos(), instance.num_subsets(),
+      ThreadPool::Global().num_threads(), seq_seconds, seq.gain_evaluations,
+      seq.score, par_seconds, par.gain_evaluations, par.score,
+      identical ? "yes" : "NO", par_seconds > 0 ? seq_seconds / par_seconds : 0.0);
+
+  bench::RecordBenchResult({"celf_sequential", instance.num_photos(),
+                            instance.num_subsets(), seq_seconds,
+                            seq.gain_evaluations, seq.score});
+  bench::RecordBenchResult({"celf_parallel", instance.num_photos(),
+                            instance.num_subsets(), par_seconds,
+                            par.gain_evaluations, par.score});
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched-parallel CELF diverged from the sequential "
+                 "stale loop\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// --solver-smoke: the oracle-complexity guard behind the solver_perf_smoke
+/// ctest. Runs CELF + local search on a small fixed-seed fixture and fails
+/// when the (machine-independent) gain_evaluations count exceeds the
+/// checked-in bound — a timing-free regression tripwire.
+int RunSolverSmoke(std::size_t max_gain_evals) {
+  const ParInstance instance = MakeSparseInstance(400, 7);
+  CelfSolver solver;
+  SolverResult result = solver.Solve(instance);
+  const std::size_t celf_evals = result.gain_evaluations;
+  const LocalSearchStats ls_stats = ImproveByLocalSearch(instance, result);
+  std::printf(
+      "solver_perf_smoke: celf_evals=%zu ls_evals=%zu total=%zu bound=%zu "
+      "score=%.6f\n",
+      celf_evals, ls_stats.gain_evaluations, result.gain_evaluations,
+      max_gain_evals, result.score);
+  if (max_gain_evals > 0 && result.gain_evaluations > max_gain_evals) {
+    std::fprintf(stderr,
+                 "FAIL: gain_evaluations %zu exceeds the checked-in bound "
+                 "%zu — the solver regressed in oracle complexity\n",
+                 result.gain_evaluations, max_gain_evals);
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
 
 void BM_ObjectiveGainProbe(benchmark::State& state) {
   const ParInstance instance = MakeInstance(
@@ -198,11 +321,41 @@ BENCHMARK(BM_JpegRoundTrip)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace phocus
 
-// Custom main instead of BENCHMARK_MAIN(): peel off the --telemetry-out
-// flag before google-benchmark sees argv, and dump the telemetry JSON
-// (registry counters + span tree) after the benchmarks run.
+// Custom main instead of BENCHMARK_MAIN(): peel off the --telemetry-out /
+// --bench-json / solver-mode flags before google-benchmark sees argv, and
+// dump the telemetry / bench JSON after the run.
+//
+//   --solver-bench                sequential-vs-parallel CELF fixture
+//                                 (pairs with --bench-json / --bench-threads)
+//   --solver-smoke                oracle-complexity guard
+//   --max-gain-evals=N            smoke bound (see tests/CMakeLists.txt)
 int main(int argc, char** argv) {
   phocus::bench::ParseBenchFlags(&argc, argv);
+  bool solver_bench = false;
+  bool solver_smoke = false;
+  std::size_t max_gain_evals = 0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--solver-bench") == 0) {
+      solver_bench = true;
+    } else if (std::strcmp(argv[i], "--solver-smoke") == 0) {
+      solver_smoke = true;
+    } else if (std::strncmp(argv[i], "--max-gain-evals=", 17) == 0) {
+      max_gain_evals = static_cast<std::size_t>(
+          std::strtoull(argv[i] + 17, nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  if (solver_smoke) return phocus::RunSolverSmoke(max_gain_evals);
+  if (solver_bench) {
+    const int rc = phocus::RunSolverBench();
+    phocus::bench::ExportBenchJsonIfRequested("micro_solver");
+    phocus::bench::ExportTelemetryIfRequested();
+    return rc;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

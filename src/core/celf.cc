@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <queue>
+#include <thread>
 
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -15,12 +16,17 @@ namespace {
 
 /// Priority-queue entry: `key` is δ (UC) or δ/cost (CB); `epoch` is the
 /// solution size at which the gain was computed — the CELF staleness flag
-/// (`curr_p` in Algorithm 2).
+/// (`curr_p` in Algorithm 2). Ties on `key` break toward the smaller photo
+/// id so that pop order — and therefore selection on equal gains — is fully
+/// deterministic, which the batched-vs-sequential equivalence relies on.
 struct PqEntry {
   double key;
   PhotoId photo;
   std::size_t epoch;
-  bool operator<(const PqEntry& other) const { return key < other.key; }
+  bool operator<(const PqEntry& other) const {
+    if (key != other.key) return key < other.key;
+    return photo > other.photo;
+  }
 };
 
 }  // namespace
@@ -34,22 +40,41 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
                             const CelfOptions& options,
                             const std::vector<PhotoId>& seed) {
   Stopwatch timer;
+  ObjectiveEvaluator evaluator(&instance);
+  // Line 1-2 of Algorithm 2: S ← seed (⊇ S0), B ← B − C(seed).
+  for (PhotoId p : seed) evaluator.Add(p);
+  SolverResult result =
+      LazyGreedyComplete(instance, rule, options, evaluator, seed);
+  // A fresh evaluator makes the pass's total oracle count exactly the
+  // evaluator's counter (the seed Adds count, as in the paper's metric).
+  result.gain_evaluations = evaluator.gain_evaluations();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SolverResult LazyGreedyComplete(const ParInstance& instance, GreedyRule rule,
+                                const CelfOptions& options,
+                                ObjectiveEvaluator& evaluator,
+                                std::vector<PhotoId> already_selected) {
+  Stopwatch timer;
   telemetry::TraceSpan span("solver.celf.pass");
   span.SetAttribute("rule", rule == GreedyRule::kUnitCost ? "UC" : "CB");
+  // Constructing the evaluator built the membership index; parallel probes
+  // below depend on it (see the eager-build contract in instance.h).
+  PHOCUS_CHECK(instance.membership_index_built(),
+               "membership index must be built before a CELF pass");
   // Lazy-evaluation accounting is kept in locals inside the hot loop and
   // flushed to the registry once at the end — zero atomics per pop.
   std::uint64_t lazy_hits = 0;
   std::uint64_t lazy_misses = 0;
+  const std::size_t evals_at_entry = evaluator.gain_evaluations();
   SolverResult result;
   result.solver_name =
       rule == GreedyRule::kUnitCost ? "LazyGreedy(UC)" : "LazyGreedy(CB)";
-
-  ObjectiveEvaluator evaluator(&instance);
-  // Line 1-2 of Algorithm 2: S ← seed (⊇ S0), B ← B − C(seed).
-  for (PhotoId p : seed) {
-    evaluator.Add(p);
-    result.selected.push_back(p);
-  }
+  result.selected = std::move(already_selected);
+  const std::size_t seed_size = result.selected.size();
+  PHOCUS_CHECK(evaluator.num_selected() == seed_size,
+               "evaluator state must match already_selected");
   PHOCUS_CHECK(evaluator.selected_cost() <= instance.budget(),
                "seed set exceeds budget");
   Cost remaining = instance.budget() - evaluator.selected_cost();
@@ -70,12 +95,15 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
 
   std::size_t epoch = evaluator.num_selected();
   std::priority_queue<PqEntry> queue;
-  if (options.parallel_first_round && ThreadPool::Global().num_threads() > 1 &&
-      candidates.size() >= 256) {
+  // Which photos get probed must not depend on the machine: this gate looks
+  // only at options and the candidate count (never the thread count), so
+  // gain_evaluations is reproducible everywhere. ParallelFor itself runs
+  // inline on a single-core pool — identical results, different schedule.
+  if (options.parallel_first_round && candidates.size() >= 256) {
     // Eager first round, fanned across the pool: GainOf is const, so
     // concurrent probes against the seed state are safe. Entries enter the
-    // queue fresh (current epoch) — identical behaviour to the lazy seed,
-    // one lock-free pass cheaper.
+    // queue fresh (current epoch). Same probe count as the lazy seed — the
+    // +inf entries each get probed exactly once while draining anyway.
     std::vector<double> gains(candidates.size());
     ThreadPool::Global().ParallelFor(candidates.size(), [&](std::size_t i) {
       gains[i] = evaluator.GainOf(candidates[i]);
@@ -92,6 +120,14 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
                   std::numeric_limits<std::size_t>::max()});
     }
   }
+
+  // Batched stale loop state: the batch limit grows 1, 2, 4, … across
+  // consecutive stale rounds (capped at max_stale_batch) and resets on each
+  // selection, so a pick that lands after one refresh costs at most one
+  // extra probe while long miss-runs amortize to full batches.
+  std::size_t stale_batch = 1;
+  std::vector<PqEntry> stale;
+  std::vector<double> gains;
   while (!queue.empty()) {
     PqEntry top = queue.top();
     queue.pop();
@@ -105,18 +141,44 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
       result.selected.push_back(top.photo);
       remaining -= instance.cost(top.photo);
       epoch = evaluator.num_selected();
-    } else {
+      stale_batch = 1;
+    } else if (!options.batch_stale_requeues) {
       // Stale: recompute δ_p and re-queue (lines 17-18) — a lazy miss, one
       // heap re-push.
       ++lazy_misses;
       const double gain = evaluator.GainOf(top.photo);
       queue.push({key_of(top.photo, gain), top.photo, epoch});
+    } else {
+      // Stale, batched: pop up to stale_batch consecutive stale entries —
+      // exactly the prefix of the heap the sequential loop would refresh
+      // first — and recompute their gains in parallel. Stale keys are
+      // submodular upper bounds and fresh keys exact, so both loops select
+      // only when an exact key tops every bound: the same true argmax, in
+      // the same deterministic tie-break order (see docs/PERFORMANCE.md).
+      stale.clear();
+      stale.push_back(top);
+      while (stale.size() < stale_batch && !queue.empty()) {
+        const PqEntry next = queue.top();
+        if (next.epoch == epoch) break;  // fresh entry: stop collecting
+        queue.pop();
+        if (instance.cost(next.photo) > remaining) continue;
+        stale.push_back(next);
+      }
+      lazy_misses += stale.size();
+      gains.assign(stale.size(), 0.0);
+      ThreadPool::Global().ParallelFor(stale.size(), [&](std::size_t i) {
+        gains[i] = evaluator.GainOf(stale[i].photo);
+      });
+      for (std::size_t i = 0; i < stale.size(); ++i) {
+        queue.push({key_of(stale[i].photo, gains[i]), stale[i].photo, epoch});
+      }
+      stale_batch = std::min(stale_batch * 2, options.max_stale_batch);
     }
   }
 
   result.score = evaluator.score();
   result.cost = evaluator.selected_cost();
-  result.gain_evaluations = evaluator.gain_evaluations();
+  result.gain_evaluations = evaluator.gain_evaluations() - evals_at_entry;
   result.seconds = timer.ElapsedSeconds();
 
   auto& registry = telemetry::MetricsRegistry::Current();
@@ -125,7 +187,7 @@ SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
   registry.GetCounter("solver.celf.heap_repushes").Add(lazy_misses);
   registry.GetCounter("solver.celf.gain_evals").Add(result.gain_evaluations);
   registry.GetCounter("solver.celf.selected")
-      .Add(result.selected.size() - seed.size());
+      .Add(result.selected.size() - seed_size);
   registry.GetHistogram("solver.celf.pass_ns")
       .Record(static_cast<double>(timer.ElapsedNanos()));
   span.SetAttribute("selected",
@@ -141,8 +203,24 @@ SolverResult CelfSolver::Solve(const ParInstance& instance) {
   telemetry::TraceSpan span("solver.celf.solve");
   span.SetAttribute("photos",
                     static_cast<std::uint64_t>(instance.num_photos()));
-  SolverResult uc = LazyGreedy(instance, GreedyRule::kUnitCost, options_);
-  SolverResult cb = LazyGreedy(instance, GreedyRule::kCostBenefit, options_);
+  // Eager-build before any concurrent probing (contract in instance.h):
+  // both passes share the const instance across threads.
+  instance.BuildMembershipIndex();
+  SolverResult uc;
+  SolverResult cb;
+  if (options_.concurrent_passes) {
+    // The passes run on a dedicated thread + the caller (not pool workers,
+    // which would serialize their nested ParallelFor fan-outs); their
+    // ParallelFor calls interleave safely on the shared pool because
+    // completion is tracked per call.
+    std::thread uc_thread(
+        [&] { uc = LazyGreedy(instance, GreedyRule::kUnitCost, options_); });
+    cb = LazyGreedy(instance, GreedyRule::kCostBenefit, options_);
+    uc_thread.join();
+  } else {
+    uc = LazyGreedy(instance, GreedyRule::kUnitCost, options_);
+    cb = LazyGreedy(instance, GreedyRule::kCostBenefit, options_);
+  }
   uc_score_ = uc.score;
   cb_score_ = cb.score;
   winning_rule_ =

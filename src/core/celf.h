@@ -9,6 +9,18 @@
 /// passes — unit-cost (UC) and cost-benefit (CB) — returning the better
 /// solution. Worst-case guarantee (1 − 1/e)/2 [Leskovec et al. 2007]; the
 /// a-posteriori data-dependent bound lives in online_bound.h.
+///
+/// The stale-re-evaluation loop supports batching: when the queue top is
+/// stale, the top-K stale entries are popped together and their gains
+/// recomputed in parallel (CELF++-style). Selection order and scores are
+/// bit-identical to the sequential loop — see docs/PERFORMANCE.md for the
+/// invariant — though the batched loop may perform extra gain evaluations.
+///
+/// Determinism note: every decision that affects *which* photos are probed
+/// (eager first round, batch sizes) depends only on CelfOptions and the
+/// instance, never on the machine's thread count; the pool only changes how
+/// probes are scheduled. This keeps gain_evaluations reproducible across
+/// machines, which the solver_perf_smoke oracle-complexity guard relies on.
 
 namespace phocus {
 
@@ -23,10 +35,22 @@ struct CelfOptions {
   /// if budget remains — they cannot change G(S). Set negative to fill the
   /// budget exactly as the paper's pseudo-code does.
   double min_gain = 1e-12;
-  /// Compute the first round of marginal gains in parallel across the
-  /// global thread pool (the only embarrassingly parallel phase; later
-  /// rounds are lazy and touch few photos). Identical results either way.
+  /// Compute the first round of marginal gains eagerly, fanned across the
+  /// global thread pool (the embarrassingly parallel phase). Identical
+  /// selections and gain_evaluations either way: the lazy seed probes every
+  /// candidate exactly once while draining the +inf entries.
   bool parallel_first_round = true;
+  /// When the queue top is stale, pop up to a batch of consecutive stale
+  /// entries and recompute their gains in parallel (const GainOf probes).
+  /// Batch size grows exponentially (1, 2, 4, …, max_stale_batch) across
+  /// consecutive stale rounds and resets on each selection, bounding the
+  /// extra probes relative to the sequential loop. Selections and scores
+  /// are bit-identical to the sequential loop.
+  bool batch_stale_requeues = true;
+  std::size_t max_stale_batch = 64;
+  /// Run the UC and CB passes of CelfSolver::Solve concurrently (each pass
+  /// still fans its own probes across the shared pool).
+  bool concurrent_passes = true;
 };
 
 /// One lazy-greedy pass (Algorithm 2); S0 is taken from the instance.
@@ -40,6 +64,16 @@ SolverResult LazyGreedy(const ParInstance& instance, GreedyRule rule,
 SolverResult LazyGreedyFrom(const ParInstance& instance, GreedyRule rule,
                             const CelfOptions& options,
                             const std::vector<PhotoId>& seed);
+
+/// Lazy-greedy completion that REUSES a caller-owned evaluator instead of
+/// constructing one (the local-search hot path). The evaluator's state must
+/// already reflect exactly `already_selected` (every photo Added, within
+/// budget); the result lists `already_selected` first, then picks, and its
+/// gain_evaluations field counts only probes performed during this call.
+SolverResult LazyGreedyComplete(const ParInstance& instance, GreedyRule rule,
+                                const CelfOptions& options,
+                                ObjectiveEvaluator& evaluator,
+                                std::vector<PhotoId> already_selected);
 
 /// Algorithm 1: best of LazyGreedy(UC) and LazyGreedy(CB).
 class CelfSolver : public Solver {

@@ -40,11 +40,13 @@ GflGraph GflGraph::FromInstance(const ParInstance& instance) {
             if (s > 0.0f) incident.emplace_back(q.members[i], s);
           }
           break;
-        case Subset::SimMode::kSparse:
-          for (const auto& [i, s] : q.sparse_sim[j]) {
-            incident.emplace_back(q.members[i], s);
+        case Subset::SimMode::kSparse: {
+          const SparseSimRow row = q.sparse_row(j);
+          for (std::uint32_t k = 0; k < row.size; ++k) {
+            incident.emplace_back(q.members[row.indices[k]], row.values[k]);
           }
           break;
+        }
       }
       for (const auto& [photo, weight] : incident) {
         graph.photo_edges_[photo].emplace_back(right_id, weight);

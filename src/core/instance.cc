@@ -8,6 +8,28 @@
 
 namespace phocus {
 
+void Subset::SetSparseRows(
+    const std::vector<std::vector<std::pair<std::uint32_t, float>>>& rows) {
+  PHOCUS_CHECK(rows.size() == members.size(),
+               "SetSparseRows needs one row per member");
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  sparse_offsets.clear();
+  sparse_indices.clear();
+  sparse_values.clear();
+  sparse_offsets.reserve(rows.size() + 1);
+  sparse_indices.reserve(total);
+  sparse_values.reserve(total);
+  sparse_offsets.push_back(0);
+  for (const auto& row : rows) {
+    for (const auto& [j, s] : row) {
+      sparse_indices.push_back(j);
+      sparse_values.push_back(s);
+    }
+    sparse_offsets.push_back(static_cast<std::uint32_t>(sparse_indices.size()));
+  }
+}
+
 double Subset::Similarity(std::uint32_t local_a, std::uint32_t local_b) const {
   PHOCUS_CHECK(local_a < members.size() && local_b < members.size(),
                "local index out of range");
@@ -18,8 +40,9 @@ double Subset::Similarity(std::uint32_t local_a, std::uint32_t local_b) const {
     case SimMode::kDense:
       return dense_sim[static_cast<std::size_t>(local_a) * members.size() + local_b];
     case SimMode::kSparse: {
-      for (const auto& [other, sim] : sparse_sim[local_a]) {
-        if (other == local_b) return sim;
+      const SparseSimRow row = sparse_row(local_a);
+      for (std::uint32_t k = 0; k < row.size; ++k) {
+        if (row.indices[k] == local_b) return row.values[k];
       }
       return 0.0;
     }
@@ -41,11 +64,8 @@ std::size_t Subset::CountSimEntries() const {
       }
       return count;
     }
-    case SimMode::kSparse: {
-      std::size_t count = 0;
-      for (const auto& list : sparse_sim) count += list.size();
-      return count;
-    }
+    case SimMode::kSparse:
+      return sparse_indices.size();
   }
   return 0;
 }
@@ -97,6 +117,12 @@ SubsetId ParInstance::AddSubset(Subset subset) {
   for (PhotoId p : subset.members) {
     PHOCUS_CHECK(p < costs_.size(), "subset member photo id out of range");
   }
+  if (subset.sim_mode == Subset::SimMode::kSparse &&
+      subset.sparse_offsets.empty()) {
+    // A sparse subset with no entries set: give it an all-empty CSR layout
+    // so row views are valid.
+    subset.sparse_offsets.assign(subset.members.size() + 1, 0);
+  }
   subsets_.push_back(std::move(subset));
   membership_index_valid_ = false;
   return static_cast<SubsetId>(subsets_.size() - 1);
@@ -122,20 +148,40 @@ void ParInstance::BuildMembershipIndex() const {
   // (see instance.h) is "build once, then share", and evaluators constructed
   // concurrently after that point all land here.
   if (membership_index_valid_) return;
-  membership_index_.assign(costs_.size(), {});
+
+  // Pass 1: per-photo membership counts → CSR offsets; per-subset member
+  // offsets (prefix sums of subset sizes) for the flat evaluator arena.
+  membership_offsets_.assign(costs_.size() + 1, 0);
+  member_offsets_.assign(subsets_.size() + 1, 0);
+  std::size_t running = 0;
+  for (SubsetId q = 0; q < subsets_.size(); ++q) {
+    member_offsets_[q] = running;
+    running += subsets_[q].members.size();
+    for (PhotoId p : subsets_[q].members) ++membership_offsets_[p + 1];
+  }
+  member_offsets_[subsets_.size()] = running;
+  for (std::size_t p = 1; p <= costs_.size(); ++p) {
+    membership_offsets_[p] += membership_offsets_[p - 1];
+  }
+
+  // Pass 2: fill entries using a per-photo write cursor.
+  membership_entries_.resize(running);
+  std::vector<std::uint32_t> cursor(membership_offsets_.begin(),
+                                    membership_offsets_.end() - 1);
   for (SubsetId q = 0; q < subsets_.size(); ++q) {
     const Subset& subset = subsets_[q];
     for (std::uint32_t i = 0; i < subset.members.size(); ++i) {
-      membership_index_[subset.members[i]].push_back({q, i});
+      membership_entries_[cursor[subset.members[i]]++] = {q, i};
     }
   }
   membership_index_valid_ = true;
 }
 
-const std::vector<Membership>& ParInstance::memberships(PhotoId p) const {
+MembershipRange ParInstance::memberships(PhotoId p) const {
   PHOCUS_CHECK(p < costs_.size(), "photo id out of range");
   if (!membership_index_valid_) BuildMembershipIndex();
-  return membership_index_[p];
+  const Membership* base = membership_entries_.data();
+  return {base + membership_offsets_[p], base + membership_offsets_[p + 1]};
 }
 
 void ParInstance::Validate() const {
@@ -186,10 +232,19 @@ void ParInstance::Validate() const {
         break;
       }
       case Subset::SimMode::kSparse: {
-        PHOCUS_CHECK(q.sparse_sim.size() == m,
-                     StrFormat("subset %u sparse sim has wrong size", qi));
+        PHOCUS_CHECK(q.sparse_offsets.size() == m + 1,
+                     StrFormat("subset %u sparse CSR offsets have wrong size", qi));
+        PHOCUS_CHECK(q.sparse_offsets.front() == 0 &&
+                         q.sparse_offsets.back() == q.sparse_indices.size() &&
+                         q.sparse_indices.size() == q.sparse_values.size(),
+                     StrFormat("subset %u sparse CSR arrays inconsistent", qi));
         for (std::size_t i = 0; i < m; ++i) {
-          for (const auto& [j, s] : q.sparse_sim[i]) {
+          PHOCUS_CHECK(q.sparse_offsets[i] <= q.sparse_offsets[i + 1],
+                       StrFormat("subset %u sparse CSR offsets not monotone", qi));
+          const SparseSimRow row = q.sparse_row(static_cast<std::uint32_t>(i));
+          for (std::uint32_t k = 0; k < row.size; ++k) {
+            const std::uint32_t j = row.indices[k];
+            const float s = row.values[k];
             PHOCUS_CHECK(j < m && j != i,
                          StrFormat("subset %u sparse sim bad neighbor", qi));
             PHOCUS_CHECK(s > 0.0f && s <= 1.0f + 1e-6f,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// \file instance.h
@@ -12,17 +13,30 @@
 /// photo ids, their (normalized) relevance scores, and the contextualized
 /// similarity among members, in one of three storage modes:
 ///   - kDense:   full |q|×|q| matrix (PHOcus-NS / small subsets),
-///   - kSparse:  per-member neighbor lists (τ-sparsified, §4.3),
+///   - kSparse:  CSR neighbor lists (τ-sparsified, §4.3),
 ///   - kUniform: SIM ≡ 1 among all members (the Greedy-NR surrogate and the
 ///               hardness-reduction instances, where one pick covers all).
 /// Self-similarity is always exactly 1 and is implicit (never stored in
 /// sparse lists).
+///
+/// The sparse mode and the photo→membership index are stored as CSR arrays
+/// (contiguous `offsets`/`indices`/`values`) rather than vector-of-vectors:
+/// the solver's marginal-gain probe streams whole rows, and contiguous
+/// storage turns every probe into a linear scan instead of a pointer chase.
 
 namespace phocus {
 
 using PhotoId = std::uint32_t;
 using SubsetId = std::uint32_t;
 using Cost = std::uint64_t;
+
+/// One CSR row of a subset's sparse similarity list: `size` neighbor
+/// (local index, similarity) entries laid out contiguously.
+struct SparseSimRow {
+  const std::uint32_t* indices = nullptr;
+  const float* values = nullptr;
+  std::uint32_t size = 0;
+};
 
 /// One pre-defined subset q ∈ Q with weight, relevance, and contextual SIM.
 struct Subset {
@@ -38,11 +52,29 @@ struct Subset {
   SimMode sim_mode = SimMode::kUniform;
   /// kDense: row-major |members|²; diagonal must be 1.
   std::vector<float> dense_sim;
-  /// kSparse: for each local member index, (other local index, sim) entries
-  /// with sim > 0; symmetric; self-pairs excluded.
-  std::vector<std::vector<std::pair<std::uint32_t, float>>> sparse_sim;
+  /// kSparse, CSR layout: row i (a local member index) holds the (other
+  /// local index, sim) entries with sim > 0 at
+  /// `sparse_indices/sparse_values[sparse_offsets[i] .. sparse_offsets[i+1])`.
+  /// Symmetric; self-pairs excluded. Build with SetSparseRows() or append
+  /// rows in order, keeping `sparse_offsets` sized |members|+1.
+  std::vector<std::uint32_t> sparse_offsets;
+  std::vector<std::uint32_t> sparse_indices;
+  std::vector<float> sparse_values;
 
   std::size_t size() const { return members.size(); }
+
+  /// Converts per-row neighbor lists into the CSR arrays (rows may have been
+  /// filled in any order). `rows` must have one entry per member.
+  void SetSparseRows(
+      const std::vector<std::vector<std::pair<std::uint32_t, float>>>& rows);
+
+  /// CSR row view for local member index `i`. Requires kSparse with a
+  /// finalized layout (`sparse_offsets.size() == size() + 1`).
+  SparseSimRow sparse_row(std::uint32_t i) const {
+    const std::uint32_t begin = sparse_offsets[i];
+    return {sparse_indices.data() + begin, sparse_values.data() + begin,
+            sparse_offsets[i + 1] - begin};
+  }
 
   /// SIM between two members, by *local* index. Diagonal returns 1.
   double Similarity(std::uint32_t local_a, std::uint32_t local_b) const;
@@ -56,6 +88,19 @@ struct Subset {
 struct Membership {
   SubsetId subset = 0;
   std::uint32_t local_index = 0;  ///< position within Subset::members
+};
+
+/// Contiguous view over one photo's memberships (a CSR row of the
+/// photo → membership index).
+struct MembershipRange {
+  const Membership* first = nullptr;
+  const Membership* last = nullptr;
+
+  const Membership* begin() const { return first; }
+  const Membership* end() const { return last; }
+  std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  bool empty() const { return first == last; }
+  const Membership& operator[](std::size_t i) const { return first[i]; }
 };
 
 /// The full PAR input.
@@ -93,16 +138,37 @@ class ParInstance {
   /// whose relevance sums to 0 get uniform scores.
   void NormalizeRelevance();
 
-  /// Builds the photo → memberships index; called automatically by
-  /// memberships() when stale. NOT thread-safe: when an instance is shared
-  /// across threads, call this once (or construct one ObjectiveEvaluator,
-  /// which does) before fanning out — all later concurrent reads are safe.
+  /// Builds the photo → memberships index and the per-subset member-offset
+  /// prefix sums (the solver arena layout); called automatically by
+  /// memberships() when stale.
+  ///
+  /// EAGER-BUILD CONTRACT: this method is NOT thread-safe against itself or
+  /// against readers while it runs. Every solver entry point that may probe
+  /// the instance from multiple threads builds the index eagerly up front —
+  /// constructing one ObjectiveEvaluator does so, and the parallel CELF and
+  /// local-search paths additionally assert membership_index_built() before
+  /// fanning out. When sharing a const ParInstance across threads yourself,
+  /// call this once before the fan-out; all later concurrent reads are safe
+  /// because a valid index is never rebuilt.
   void BuildMembershipIndex() const;
-  const std::vector<Membership>& memberships(PhotoId p) const;
+
+  /// True once BuildMembershipIndex() has run (and no AddSubset since):
+  /// the precondition for any concurrent probing of this instance.
+  bool membership_index_built() const { return membership_index_valid_; }
+
+  MembershipRange memberships(PhotoId p) const;
+
+  /// Offset of subset q's first member slot in the flattened
+  /// "one slot per (subset, member) pair" arena used by ObjectiveEvaluator.
+  /// Requires the index to be built (see BuildMembershipIndex).
+  std::size_t member_offset(SubsetId q) const { return member_offsets_[q]; }
+  /// Total member slots across all subsets (the arena length).
+  std::size_t total_members() const { return member_offsets_.back(); }
 
   /// Structural validation: relevance normalized, similarities in [0, 1],
-  /// dense diagonals 1, sparse symmetry spot-checks, required cost within
-  /// budget. Throws CheckFailure with a precise message on violation.
+  /// dense diagonals 1, sparse CSR well-formed with symmetry spot-checks,
+  /// required cost within budget. Throws CheckFailure with a precise message
+  /// on violation.
   void Validate() const;
 
   /// Total stored similarity entries across subsets (sparsification metric).
@@ -114,7 +180,12 @@ class ParInstance {
   std::vector<Subset> subsets_;
   Cost budget_ = 0;
 
-  mutable std::vector<std::vector<Membership>> membership_index_;
+  /// CSR photo → membership index: photo p's memberships live at
+  /// membership_entries_[membership_offsets_[p] .. membership_offsets_[p+1]).
+  mutable std::vector<std::uint32_t> membership_offsets_;
+  mutable std::vector<Membership> membership_entries_;
+  /// Prefix sums of subset sizes (num_subsets + 1 entries).
+  mutable std::vector<std::size_t> member_offsets_;
   mutable bool membership_index_valid_ = false;
 };
 

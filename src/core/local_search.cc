@@ -1,6 +1,8 @@
 #include "core/local_search.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/celf.h"
 #include "core/objective.h"
@@ -8,47 +10,138 @@
 #include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace phocus {
+
+namespace {
+
+/// One speculative evict-and-refill probe, batched by the sweep below.
+struct VictimProbe {
+  PhotoId victim = 0;
+  /// Snapshot index just past the victim — where the sweep resumes if this
+  /// probe's move is accepted.
+  std::size_t resume_at = 0;
+  SolverResult refilled;
+  std::size_t gain_evaluations = 0;
+};
+
+}  // namespace
 
 LocalSearchStats ImproveByLocalSearch(const ParInstance& instance,
                                       SolverResult& solution,
                                       const LocalSearchOptions& options) {
   telemetry::TraceSpan span("solver.local_search");
   LocalSearchStats stats;
-  stats.initial_score = ObjectiveEvaluator::Evaluate(instance, solution.selected);
-  stats.gain_evaluations += solution.selected.size();  // the Evaluate pass
+  // Build once before any parallel probing (eager-build contract,
+  // instance.h); the scratch evaluators below would each race to build it.
+  instance.BuildMembershipIndex();
+
+  // One reusable evaluator scores the incoming solution; its counter delta
+  // is the true oracle cost of the pass (duplicates in `selected` are
+  // skipped, so this can be below selected.size()).
+  ObjectiveEvaluator current(&instance);
+  for (PhotoId p : solution.selected) {
+    if (!current.IsSelected(p)) current.Add(p);
+  }
+  stats.gain_evaluations += current.gain_evaluations();
+  stats.initial_score = current.score();
   double current_score = stats.initial_score;
+
+  // Refill probes use the strictly sequential CELF loop: it performs the
+  // fewest oracle calls per probe, and parallelism comes from probing
+  // independent victims concurrently instead.
+  CelfOptions probe_options;
+  probe_options.parallel_first_round = false;
+  probe_options.batch_stale_requeues = false;
+  probe_options.concurrent_passes = false;
+
+  const std::size_t batch_width = std::max<std::size_t>(1, options.probe_batch);
+  // One scratch evaluator per batch lane, constructed once and Reset per
+  // probe — evaluator construction is an arena allocation we do not want in
+  // the inner loop.
+  std::vector<ObjectiveEvaluator> scratch;
+  scratch.reserve(batch_width);
+  for (std::size_t lane = 0; lane < batch_width; ++lane) {
+    scratch.emplace_back(&instance);
+  }
+
+  // Membership bitmask for O(1) "is the victim still selected" checks
+  // (previously a std::find over the selection — quadratic per sweep).
+  std::vector<char> in_selection(instance.num_photos(), 0);
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
     ++stats.passes;
     bool any_accepted = false;
     // Iterate over a snapshot: accepted moves rewrite the selection.
     const std::vector<PhotoId> snapshot = solution.selected;
-    for (PhotoId victim : snapshot) {
-      if (instance.IsRequired(victim)) continue;
-      // Is the victim still in the current selection?
-      auto it = std::find(solution.selected.begin(), solution.selected.end(),
-                          victim);
-      if (it == solution.selected.end()) continue;
+    std::fill(in_selection.begin(), in_selection.end(), 0);
+    for (PhotoId p : solution.selected) in_selection[p] = 1;
 
-      std::vector<PhotoId> base;
-      base.reserve(solution.selected.size() - 1);
-      for (PhotoId p : solution.selected) {
-        if (p != victim) base.push_back(p);
+    std::size_t cursor = 0;
+    std::vector<VictimProbe> probes;
+    while (cursor < snapshot.size()) {
+      // Collect the next batch of live victims in selection order.
+      probes.clear();
+      while (cursor < snapshot.size() && probes.size() < batch_width) {
+        const PhotoId victim = snapshot[cursor];
+        ++cursor;
+        if (instance.IsRequired(victim)) continue;
+        if (!in_selection[victim]) continue;  // evicted by an earlier move
+        VictimProbe probe;
+        probe.victim = victim;
+        probe.resume_at = cursor;
+        probes.push_back(std::move(probe));
       }
-      // Greedy refill of the freed budget (may re-add the victim, in which
-      // case the move cannot strictly improve and is rejected).
-      ++stats.moves_tried;
-      const SolverResult refilled =
-          LazyGreedyFrom(instance, GreedyRule::kCostBenefit, CelfOptions{}, base);
-      stats.gain_evaluations += refilled.gain_evaluations;
-      if (refilled.score >
-          current_score * (1.0 + options.min_relative_gain)) {
-        solution.selected = refilled.selected;
-        current_score = refilled.score;
+      if (probes.empty()) break;
+
+      // Probe every victim against the same frozen selection. Each lane has
+      // its own evaluator, so the probes are independent const work over
+      // the shared instance.
+      ThreadPool::Global().ParallelFor(probes.size(), [&](std::size_t k) {
+        VictimProbe& probe = probes[k];
+        ObjectiveEvaluator& evaluator = scratch[k];
+        const std::size_t evals_before = evaluator.gain_evaluations();
+        evaluator.Reset();
+        std::vector<PhotoId> base;
+        base.reserve(solution.selected.size() - 1);
+        for (PhotoId p : solution.selected) {
+          if (p != probe.victim) {
+            base.push_back(p);
+            evaluator.Add(p);
+          }
+        }
+        // Greedy refill of the freed budget (may re-add the victim, in
+        // which case the move cannot strictly improve and is rejected).
+        probe.refilled =
+            LazyGreedyComplete(instance, GreedyRule::kCostBenefit,
+                               probe_options, evaluator, std::move(base));
+        probe.gain_evaluations = evaluator.gain_evaluations() - evals_before;
+      });
+
+      // First-improvement in victim order: consume probes up to and
+      // including the first accepted one; discard the rest (their base is
+      // stale once the selection changes). Only consumed probes count, so
+      // stats match the sequential loop exactly.
+      std::size_t accepted_at = probes.size();
+      for (std::size_t k = 0; k < probes.size(); ++k) {
+        ++stats.moves_tried;
+        stats.gain_evaluations += probes[k].gain_evaluations;
+        if (probes[k].refilled.score >
+            current_score * (1.0 + options.min_relative_gain)) {
+          accepted_at = k;
+          break;
+        }
+      }
+      if (accepted_at < probes.size()) {
+        const VictimProbe& winner = probes[accepted_at];
+        solution.selected = winner.refilled.selected;
+        current_score = winner.refilled.score;
         ++stats.moves_accepted;
         any_accepted = true;
+        in_selection[winner.victim] = 0;
+        for (PhotoId p : solution.selected) in_selection[p] = 1;
+        cursor = winner.resume_at;
       }
     }
     if (!any_accepted) break;

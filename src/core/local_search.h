@@ -1,6 +1,8 @@
 #ifndef PHOCUS_CORE_LOCAL_SEARCH_H_
 #define PHOCUS_CORE_LOCAL_SEARCH_H_
 
+#include <cstddef>
+
 #include "core/solver.h"
 
 /// \file local_search.h
@@ -21,14 +23,24 @@ struct LocalSearchOptions {
   /// Relative improvement below which a move is rejected (guards against
   /// floating-point churn).
   double min_relative_gain = 1e-9;
+  /// Number of evict-and-refill probes evaluated concurrently. Probes in a
+  /// batch run against the same frozen selection; the first improving one
+  /// (in selection order) is accepted, later probes in the batch are
+  /// discarded (their base is stale), and the sweep resumes right after the
+  /// accepted victim. Accepted moves, scores, and reported stats are
+  /// therefore identical to the sequential first-improvement loop for every
+  /// batch size — discarded probes are never counted.
+  std::size_t probe_batch = 8;
 };
 
 struct LocalSearchStats {
   int passes = 0;
   int moves_tried = 0;
   int moves_accepted = 0;
-  /// Marginal-gain evaluations spent by the evict-and-refill probes; also
-  /// added onto the improved solution's SolverResult::gain_evaluations.
+  /// Marginal-gain evaluations spent by the initial scoring pass and the
+  /// consumed evict-and-refill probes (discarded speculative probes are
+  /// excluded); also added onto the improved solution's
+  /// SolverResult::gain_evaluations.
   std::size_t gain_evaluations = 0;
   double initial_score = 0.0;
   double final_score = 0.0;

@@ -37,10 +37,7 @@ ObjectiveEvaluator& ObjectiveEvaluator::operator=(
 }
 
 void ObjectiveEvaluator::Reset() {
-  best_sim_.resize(instance_->num_subsets());
-  for (SubsetId q = 0; q < instance_->num_subsets(); ++q) {
-    best_sim_[q].assign(instance_->subset(q).size(), 0.0f);
-  }
+  best_sim_.assign(instance_->total_members(), 0.0f);
   selected_.assign(instance_->num_photos(), false);
   num_selected_ = 0;
   selected_cost_ = 0;
@@ -70,7 +67,10 @@ void ForEachSimilar(const Subset& subset, std::uint32_t local_p,
     }
     case Subset::SimMode::kSparse: {
       visit(local_p, 1.0f);
-      for (const auto& [j, s] : subset.sparse_sim[local_p]) visit(j, s);
+      const SparseSimRow row = subset.sparse_row(local_p);
+      for (std::uint32_t k = 0; k < row.size; ++k) {
+        visit(row.indices[k], row.values[k]);
+      }
       return;
     }
   }
@@ -84,7 +84,7 @@ double ObjectiveEvaluator::GainOf(PhotoId p) const {
   double gain = 0.0;
   for (const Membership& membership : instance_->memberships(p)) {
     const Subset& subset = instance_->subset(membership.subset);
-    const std::vector<float>& best = best_sim_[membership.subset];
+    const float* best = best_sim_.data() + instance_->member_offset(membership.subset);
     ForEachSimilar(subset, membership.local_index,
                    [&](std::uint32_t j, float sim) {
                      if (sim > best[j]) {
@@ -103,7 +103,7 @@ double ObjectiveEvaluator::Add(PhotoId p) {
   double gain = 0.0;
   for (const Membership& membership : instance_->memberships(p)) {
     const Subset& subset = instance_->subset(membership.subset);
-    std::vector<float>& best = best_sim_[membership.subset];
+    float* best = best_sim_.data() + instance_->member_offset(membership.subset);
     ForEachSimilar(subset, membership.local_index,
                    [&](std::uint32_t j, float sim) {
                      if (sim > best[j]) {
@@ -123,9 +123,10 @@ double ObjectiveEvaluator::Add(PhotoId p) {
 double ObjectiveEvaluator::SubsetScore(SubsetId q) const {
   PHOCUS_CHECK(q < instance_->num_subsets(), "subset id out of range");
   const Subset& subset = instance_->subset(q);
+  const float* best = best_sim_.data() + instance_->member_offset(q);
   double score = 0.0;
   for (std::size_t j = 0; j < subset.size(); ++j) {
-    score += subset.relevance[j] * best_sim_[q][j];
+    score += subset.relevance[j] * best[j];
   }
   return score;
 }

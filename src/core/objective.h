@@ -16,12 +16,19 @@
 /// Adding photo p touches only the subsets containing p, so a marginal-gain
 /// probe costs O(Σ_{q∋p} |q|) dense / O(deg(p)) sparse — the property that
 /// makes lazy greedy fast (§4.2).
+///
+/// best_sim is stored as ONE flat arena (`total_members()` floats) indexed
+/// by `member_offset(q) + local_j`, not a vector per subset: a gain probe
+/// streams each subset's slice contiguously, Reset is a single fill, and
+/// copying the evaluator (branch-and-bound snapshots) is a single memcpy.
 
 namespace phocus {
 
 class ObjectiveEvaluator {
  public:
-  /// The instance must outlive the evaluator.
+  /// The instance must outlive the evaluator. Construction eagerly builds
+  /// the instance's membership index (see the EAGER-BUILD CONTRACT in
+  /// instance.h), so evaluators may be probed concurrently afterwards.
   explicit ObjectiveEvaluator(const ParInstance* instance);
 
   /// Copyable (branch-and-bound snapshots evaluator state); the atomic
@@ -48,7 +55,7 @@ class ObjectiveEvaluator {
 
   /// Number of GainOf/Add gain computations performed (the paper's
   /// "number of times it evaluates the gain" metric). Counted with relaxed
-  /// atomics so concurrent const probes (parallel first CELF round) are
+  /// atomics so concurrent const probes (parallel CELF rounds) are
   /// race-free.
   std::size_t gain_evaluations() const {
     return gain_evaluations_.load(std::memory_order_relaxed);
@@ -68,7 +75,9 @@ class ObjectiveEvaluator {
 
  private:
   const ParInstance* instance_;
-  std::vector<std::vector<float>> best_sim_;  // [subset][local member]
+  /// Flat best-sim arena: subset q's members occupy
+  /// [member_offset(q), member_offset(q) + |q|).
+  std::vector<float> best_sim_;
   std::vector<bool> selected_;
   std::size_t num_selected_ = 0;
   Cost selected_cost_ = 0;

@@ -34,26 +34,36 @@ ParInstance SparsifyInstance(const ParInstance& instance, double tau,
       continue;
     }
     sparse.sim_mode = Subset::SimMode::kSparse;
-    sparse.sparse_sim.resize(m);
+    // Rows are produced in order, so the CSR arrays are built directly —
+    // no intermediate row lists.
+    sparse.sparse_offsets.reserve(m + 1);
+    sparse.sparse_offsets.push_back(0);
     if (q.sim_mode == Subset::SimMode::kDense) {
       for (std::uint32_t i = 0; i < m; ++i) {
         for (std::uint32_t j = 0; j < m; ++j) {
           if (i == j) continue;
           const float s = q.dense_sim[static_cast<std::size_t>(i) * m + j];
           if (s >= tau && s > 0.0f) {
-            sparse.sparse_sim[i].emplace_back(j, s);
+            sparse.sparse_indices.push_back(j);
+            sparse.sparse_values.push_back(s);
             ++after;
           }
         }
+        sparse.sparse_offsets.push_back(
+            static_cast<std::uint32_t>(sparse.sparse_indices.size()));
       }
     } else {  // already sparse: re-threshold
       for (std::uint32_t i = 0; i < m; ++i) {
-        for (const auto& [j, s] : q.sparse_sim[i]) {
-          if (s >= tau) {
-            sparse.sparse_sim[i].emplace_back(j, s);
+        const SparseSimRow row = q.sparse_row(i);
+        for (std::uint32_t k = 0; k < row.size; ++k) {
+          if (row.values[k] >= tau) {
+            sparse.sparse_indices.push_back(row.indices[k]);
+            sparse.sparse_values.push_back(row.values[k]);
             ++after;
           }
         }
+        sparse.sparse_offsets.push_back(
+            static_cast<std::uint32_t>(sparse.sparse_indices.size()));
       }
     }
     out.AddSubset(std::move(sparse));

@@ -66,16 +66,21 @@ ParInstance ExpandWithCompressionVariants(
     const std::size_t em = out.members.size();
     if (q.sim_mode == Subset::SimMode::kSparse) {
       out.sim_mode = Subset::SimMode::kSparse;
-      out.sparse_sim.resize(em);
+      // Edges land out of row order (both endpoints of each pair), so
+      // accumulate per-row lists and flatten into CSR at the end.
+      std::vector<std::vector<std::pair<std::uint32_t, float>>> rows(em);
       auto connect = [&](std::size_t a, std::size_t b, double sim) {
         const float value = static_cast<float>(std::min(1.0, sim));
         if (value <= 0.0f) return;
-        out.sparse_sim[a].emplace_back(static_cast<std::uint32_t>(b), value);
-        out.sparse_sim[b].emplace_back(static_cast<std::uint32_t>(a), value);
+        rows[a].emplace_back(static_cast<std::uint32_t>(b), value);
+        rows[b].emplace_back(static_cast<std::uint32_t>(a), value);
       };
       // Original neighbor pairs, replicated across variant combinations.
       for (std::uint32_t i = 0; i < m; ++i) {
-        for (const auto& [j, s] : q.sparse_sim[i]) {
+        const SparseSimRow row = q.sparse_row(i);
+        for (std::uint32_t k = 0; k < row.size; ++k) {
+          const std::uint32_t j = row.indices[k];
+          const float s = row.values[k];
           if (j <= i) continue;  // handle each unordered pair once
           for (std::size_t a = i; a < em; a += m) {
             for (std::size_t b = j; b < em; b += m) {
@@ -91,6 +96,7 @@ ParInstance ExpandWithCompressionVariants(
           }
         }
       }
+      out.SetSparseRows(rows);
     } else {
       // kDense and kUniform both expand to dense.
       out.sim_mode = Subset::SimMode::kDense;

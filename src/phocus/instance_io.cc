@@ -105,11 +105,12 @@ ParInstance InstanceFromJson(const Json& json) {
     }
     subset.sim_mode = SimModeFromName(subset_json.Get("sim_mode").AsString());
     const std::size_t m = subset.members.size();
+    std::vector<std::vector<std::pair<std::uint32_t, float>>> sparse_rows;
     if (subset.sim_mode == Subset::SimMode::kDense) {
       subset.dense_sim.assign(m * m, 0.0f);
       for (std::size_t i = 0; i < m; ++i) subset.dense_sim[i * m + i] = 1.0f;
     } else if (subset.sim_mode == Subset::SimMode::kSparse) {
-      subset.sparse_sim.resize(m);
+      sparse_rows.resize(m);
     }
     if (subset.sim_mode != Subset::SimMode::kUniform) {
       for (const Json& entry : subset_json.Get("similarities").items()) {
@@ -123,10 +124,13 @@ ParInstance InstanceFromJson(const Json& json) {
           subset.dense_sim[static_cast<std::size_t>(i) * m + j] = s;
           subset.dense_sim[static_cast<std::size_t>(j) * m + i] = s;
         } else {
-          subset.sparse_sim[i].emplace_back(j, s);
-          subset.sparse_sim[j].emplace_back(i, s);
+          sparse_rows[i].emplace_back(j, s);
+          sparse_rows[j].emplace_back(i, s);
         }
       }
+    }
+    if (subset.sim_mode == Subset::SimMode::kSparse) {
+      subset.SetSparseRows(sparse_rows);
     }
     instance.AddSubset(std::move(subset));
   }

@@ -72,14 +72,21 @@ ParInstance BuildInstance(const Corpus& corpus, Cost budget,
       } else {
         // τ-threshold the small-subset dense matrix into neighbor lists.
         subset.sim_mode = Subset::SimMode::kSparse;
-        subset.sparse_sim.resize(m);
+        // Rows come out in order, so fill the CSR arrays directly.
+        subset.sparse_offsets.reserve(m + 1);
+        subset.sparse_offsets.push_back(0);
         const float tau = static_cast<float>(options.sparsify_tau);
         for (std::uint32_t i = 0; i < m; ++i) {
           for (std::uint32_t j = 0; j < m; ++j) {
             if (i == j) continue;
             const float s = dense[static_cast<std::size_t>(i) * m + j];
-            if (s >= tau && s > 0.0f) subset.sparse_sim[i].emplace_back(j, s);
+            if (s >= tau && s > 0.0f) {
+              subset.sparse_indices.push_back(j);
+              subset.sparse_values.push_back(s);
+            }
           }
+          subset.sparse_offsets.push_back(
+              static_cast<std::uint32_t>(subset.sparse_indices.size()));
         }
       }
     } else {
@@ -94,12 +101,14 @@ ParInstance BuildInstance(const Corpus& corpus, Cost budget,
       const std::vector<SimilarPair> pairs =
           LshPairsAbove(view.embeddings, options.sparsify_tau, lsh);
       subset.sim_mode = Subset::SimMode::kSparse;
-      subset.sparse_sim.resize(m);
+      // LSH pairs arrive in arbitrary order; collect rows, then flatten.
+      std::vector<std::vector<std::pair<std::uint32_t, float>>> rows(m);
       for (const SimilarPair& pair : pairs) {
         const float s = std::min(1.0f, pair.similarity);
-        subset.sparse_sim[pair.first].emplace_back(pair.second, s);
-        subset.sparse_sim[pair.second].emplace_back(pair.first, s);
+        rows[pair.first].emplace_back(pair.second, s);
+        rows[pair.second].emplace_back(pair.first, s);
       }
+      subset.SetSparseRows(rows);
     }
     instance.AddSubset(std::move(subset));
   }

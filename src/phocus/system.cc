@@ -42,6 +42,9 @@ ArchivePlan PhocusSystem::PlanArchiveWith(const ArchiveOptions& options,
     ParInstance built =
         BuildInstance(corpus_, options.budget, options.representation);
     built.Validate();
+    // Eager-build before the solve stage: solvers fan probes across threads
+    // and must find the index already constructed (contract in instance.h).
+    built.BuildMembershipIndex();
     stage.SetAttribute("subsets", static_cast<std::uint64_t>(built.num_subsets()));
     return built;
   }();

@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 namespace phocus {
+
+namespace {
+
+/// True on threads owned by any ThreadPool. A ParallelFor issued from a
+/// pool task must not block on pool completion (its own task is part of
+/// in_flight_, so the global Wait would never return); it runs inline.
+thread_local bool t_is_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -11,7 +21,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this] {
+      t_is_pool_worker = true;
+      WorkerLoop();
+    });
   }
 }
 
@@ -61,29 +74,49 @@ void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   const std::size_t threads = num_threads();
-  if (threads <= 1 || count < 2 * threads) {
+  if (threads <= 1 || count < 2 * threads || t_is_pool_worker) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
   const std::size_t chunks = threads * 4;
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
   std::atomic<std::size_t> next_chunk{0};
+
+  // Per-call completion state: concurrent ParallelFor calls (e.g. the UC
+  // and CB CELF passes running side by side) each wait only on their own
+  // tasks, not on the pool-wide in_flight_ count.
+  struct Completion {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending;
+  } completion;
+  completion.pending = threads;
+
   for (std::size_t t = 0; t < threads; ++t) {
     Submit([&, chunk_size, count] {
       for (;;) {
         const std::size_t c = next_chunk.fetch_add(1);
         const std::size_t begin = c * chunk_size;
-        if (begin >= count) return;
+        if (begin >= count) break;
         const std::size_t end = std::min(count, begin + chunk_size);
         for (std::size_t i = begin; i < end; ++i) body(i);
       }
+      std::lock_guard<std::mutex> lock(completion.mutex);
+      if (--completion.pending == 0) completion.done.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(completion.mutex);
+  completion.done.wait(lock, [&] { return completion.pending == 0; });
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("PHOCUS_NUM_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return static_cast<std::size_t>(0);
+  }());
   return pool;
 }
 

@@ -30,18 +30,27 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. Must not be called
+  /// from a pool worker (the worker's own task can never drain).
   void Wait();
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Runs `body(i)` for i in [0, count) across the pool and blocks until all
-  /// iterations finish. Iterations are chunked to limit queue churn. If the
-  /// pool has a single worker (or `count` is small) the loop runs inline.
+  /// Runs `body(i)` for i in [0, count) and blocks until all iterations
+  /// finish. Iterations are chunked to limit queue churn. Safe to call
+  /// concurrently from several threads (completion is tracked per call,
+  /// not via the global Wait), and safe to call from inside a pool task —
+  /// a nested call runs inline on the calling worker instead of deadlocking
+  /// on its own unfinished task. Runs inline too when the pool has a single
+  /// worker or `count` is small; either way every index is visited exactly
+  /// once, so callers may depend on it only for throughput, never for
+  /// semantics.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& body);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Process-wide shared pool (lazily constructed). Sized from the
+  /// PHOCUS_NUM_THREADS environment variable when set to a positive
+  /// integer, else `hardware_concurrency()`. Read once at first use.
   static ThreadPool& Global();
 
  private:

@@ -47,7 +47,7 @@ TEST(InstanceTest, SubsetSimilarityModes) {
   Subset sparse;
   sparse.members = {0, 1, 2};
   sparse.sim_mode = Subset::SimMode::kSparse;
-  sparse.sparse_sim = {{{1, 0.7f}}, {{0, 0.7f}}, {}};
+  sparse.SetSparseRows({{{1, 0.7f}}, {{0, 0.7f}}, {}});
   EXPECT_FLOAT_EQ(sparse.Similarity(0, 1), 0.7f);
   EXPECT_DOUBLE_EQ(sparse.Similarity(0, 2), 0.0);
   EXPECT_DOUBLE_EQ(sparse.Similarity(2, 2), 1.0);

@@ -127,7 +127,7 @@ TEST(InstanceIoTest, RoundTripsAllSimModes) {
     sparse.members = {0, 3};
     sparse.relevance = {0.6, 0.4};
     sparse.sim_mode = Subset::SimMode::kSparse;
-    sparse.sparse_sim = {{{1, 0.55f}}, {{0, 0.55f}}};
+    sparse.SetSparseRows({{{1, 0.55f}}, {{0, 0.55f}}});
     original.AddSubset(std::move(sparse));
     Subset uniform;
     uniform.members = {2, 4, 6};

@@ -103,18 +103,32 @@ ParInstance MakeRandomInstance(std::uint64_t seed,
     const std::size_t m = q.members.size();
     q.relevance.resize(m);
     for (double& r : q.relevance) r = rng.Uniform(0.05, 1.0);
-    q.sim_mode = Subset::SimMode::kDense;
-    q.dense_sim.assign(m * m, 0.0f);
-    for (std::size_t i = 0; i < m; ++i) {
-      q.dense_sim[i * m + i] = 1.0f;
-      for (std::size_t j = i + 1; j < m; ++j) {
-        float sim = rng.Bernoulli(options.sim_sparsity)
-                        ? 0.0f
-                        : static_cast<float>(rng.UniformDouble());
-        q.dense_sim[i * m + j] = sim;
-        q.dense_sim[j * m + i] = sim;
+    q.sim_mode = options.sim_mode;
+    if (options.sim_mode == Subset::SimMode::kDense) {
+      q.dense_sim.assign(m * m, 0.0f);
+      for (std::size_t i = 0; i < m; ++i) {
+        q.dense_sim[i * m + i] = 1.0f;
+        for (std::size_t j = i + 1; j < m; ++j) {
+          float sim = rng.Bernoulli(options.sim_sparsity)
+                          ? 0.0f
+                          : static_cast<float>(rng.UniformDouble());
+          q.dense_sim[i * m + j] = sim;
+          q.dense_sim[j * m + i] = sim;
+        }
       }
-    }
+    } else if (options.sim_mode == Subset::SimMode::kSparse) {
+      std::vector<std::vector<std::pair<std::uint32_t, float>>> rows(m);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        for (std::uint32_t j = i + 1; j < m; ++j) {
+          if (rng.Bernoulli(options.sim_sparsity)) continue;
+          const float sim = static_cast<float>(rng.UniformDouble());
+          if (sim <= 0.0f) continue;  // sparse entries must be in (0, 1]
+          rows[i].emplace_back(j, sim);
+          rows[j].emplace_back(i, sim);
+        }
+      }
+      q.SetSparseRows(rows);
+    }  // kUniform stores nothing
     instance.AddSubset(std::move(q));
   }
   instance.NormalizeRelevance();

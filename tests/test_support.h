@@ -32,6 +32,11 @@ struct RandomInstanceOptions {
   double budget_fraction = 0.4;
   double required_fraction = 0.0;
   double sim_sparsity = 0.0;  ///< fraction of off-diagonal sims forced to 0
+  /// Similarity storage for the generated subsets: kDense keeps the full
+  /// matrix, kSparse stores the same nonzero entries as CSR neighbor lists
+  /// (combine with sim_sparsity for genuinely sparse rows), kUniform drops
+  /// the values entirely (SIM ≡ 1).
+  Subset::SimMode sim_mode = Subset::SimMode::kDense;
 };
 ParInstance MakeRandomInstance(std::uint64_t seed,
                                const RandomInstanceOptions& options = {});
