@@ -1,0 +1,51 @@
+# Cross-thread-count determinism check (ctest script mode).
+#
+# Runs plan_determinism_main with PHOCUS_NUM_THREADS=1, =4, and unset (the
+# hardware default) and fails unless all three emitted plans are
+# byte-identical. Usage:
+#
+#   cmake -DBINARY=<plan_determinism_main> -DOUT_DIR=<scratch dir> \
+#         -P plan_determinism.cmake
+
+if(NOT DEFINED BINARY)
+  message(FATAL_ERROR "pass -DBINARY=<path to plan_determinism_main>")
+endif()
+if(NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "pass -DOUT_DIR=<scratch directory>")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(baseline "")
+set(baseline_name "")
+foreach(threads IN ITEMS 1 4 default)
+  if(threads STREQUAL "default")
+    unset(ENV{PHOCUS_NUM_THREADS})
+  else()
+    set(ENV{PHOCUS_NUM_THREADS} "${threads}")
+  endif()
+  set(out "${OUT_DIR}/plan_threads_${threads}.json")
+  execute_process(
+    COMMAND "${BINARY}"
+    OUTPUT_FILE "${out}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "plan_determinism_main failed with PHOCUS_NUM_THREADS=${threads} (rc=${rc})")
+  endif()
+  if(baseline STREQUAL "")
+    set(baseline "${out}")
+    set(baseline_name "${threads}")
+  else()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files "${baseline}" "${out}"
+      RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+        "archive plan differs between PHOCUS_NUM_THREADS=${baseline_name} "
+        "and PHOCUS_NUM_THREADS=${threads}: ${baseline} vs ${out}")
+    endif()
+  endif()
+endforeach()
+
+message(STATUS "plans byte-identical across thread counts 1, 4, default")

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Tiered check runner. Tests carry ctest labels (see tests/CMakeLists.txt):
+#
+#   unit      the default gtest suites
+#   scenario  failpoint fault-injection + determinism scenarios
+#   fuzz      randomized fuzzing + seeded-corpus replay
+#   perf      oracle-complexity guard (solver_perf_smoke)
+#   tsan      the scenario + concurrency tier rebuilt with
+#             -DPHOCUS_SANITIZE=thread
+#
+# Usage: scripts/check.sh [unit|scenario|fuzz|perf|tsan|all]   (default: all)
+#
+# Environment: BUILD_DIR (default build), TSAN_DIR (default build-tsan),
+# JOBS (default nproc).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+TSAN_DIR=${TSAN_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+TIER=${1:-all}
+
+build_tree() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_label() {
+  local dir=$1 label=$2
+  (cd "$dir" && ctest -L "$label" --output-on-failure -j "$JOBS")
+}
+
+tier_unit()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" unit; }
+tier_scenario() { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" scenario; }
+tier_fuzz()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" fuzz; }
+tier_perf()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" perf; }
+
+tier_tsan() {
+  build_tree "$TSAN_DIR" -DPHOCUS_SANITIZE=thread
+  run_label "$TSAN_DIR" scenario
+  (cd "$TSAN_DIR" && ctest -R "Concurrency|ThreadPool|SolverEquivalence" \
+    --output-on-failure -j "$JOBS")
+}
+
+case "$TIER" in
+  unit)     tier_unit ;;
+  scenario) tier_scenario ;;
+  fuzz)     tier_fuzz ;;
+  perf)     tier_perf ;;
+  tsan)     tier_tsan ;;
+  all)
+    build_tree "$BUILD_DIR"
+    run_label "$BUILD_DIR" unit
+    run_label "$BUILD_DIR" scenario
+    run_label "$BUILD_DIR" fuzz
+    run_label "$BUILD_DIR" perf
+    tier_tsan
+    ;;
+  *)
+    echo "usage: scripts/check.sh [unit|scenario|fuzz|perf|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: tier '$TIER' passed"

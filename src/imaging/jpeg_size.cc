@@ -108,22 +108,30 @@ double PlaneBits(const Plane& plane, const int quant[64], int quality) {
   return bits;
 }
 
+/// DCT basis table shared by the forward and inverse transforms. A
+/// function-local static so initialization is thread-safe (size estimation
+/// runs on the pool; a hand-rolled lazy-init flag here is a data race).
+const float (*DctCosTable())[8] {
+  static const struct Table {
+    float v[8][8];
+    Table() {
+      for (int k = 0; k < 8; ++k) {
+        for (int n = 0; n < 8; ++n) {
+          v[k][n] =
+              static_cast<float>(std::cos((2 * n + 1) * k * M_PI / 16.0));
+        }
+      }
+    }
+  } table;
+  return table.v;
+}
+
 }  // namespace
 
 void ForwardDct8x8(const float input[64], float output[64]) {
   // Separable DCT-II with orthonormal scaling (matches JPEG conventions up
   // to the standard x4 factor folded into the basis constants below).
-  static float cos_table[8][8];
-  static bool initialized = false;
-  if (!initialized) {
-    for (int k = 0; k < 8; ++k) {
-      for (int n = 0; n < 8; ++n) {
-        cos_table[k][n] =
-            static_cast<float>(std::cos((2 * n + 1) * k * M_PI / 16.0));
-      }
-    }
-    initialized = true;
-  }
+  const float(*cos_table)[8] = DctCosTable();
   float temp[64];
   // Rows.
   for (int y = 0; y < 8; ++y) {
@@ -146,17 +154,7 @@ void ForwardDct8x8(const float input[64], float output[64]) {
 }
 
 void InverseDct8x8(const float input[64], float output[64]) {
-  static float cos_table[8][8];
-  static bool initialized = false;
-  if (!initialized) {
-    for (int k = 0; k < 8; ++k) {
-      for (int n = 0; n < 8; ++n) {
-        cos_table[k][n] =
-            static_cast<float>(std::cos((2 * n + 1) * k * M_PI / 16.0));
-      }
-    }
-    initialized = true;
-  }
+  const float(*cos_table)[8] = DctCosTable();
   float temp[64];
   // Columns (DCT-III with orthonormal scaling).
   for (int x = 0; x < 8; ++x) {

@@ -7,6 +7,7 @@
 #include "core/objective.h"
 #include "core/online_bound.h"
 #include "phocus/representation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -79,6 +80,13 @@ const ArchivePlan& IncrementalArchiver::AddPhotos(
   local_stats.photos_added = photos.size();
   local_stats.subsets_added = new_subsets.size();
 
+  // Snapshot enough state to undo the appends: photos/subsets only grow
+  // (truncate to the old size), but `required` is sorted + deduplicated in
+  // place, so it needs a full copy.
+  const std::size_t previous_photos = corpus_.photos.size();
+  const std::size_t previous_subsets = corpus_.subsets.size();
+  std::vector<PhotoId> previous_required = corpus_.required;
+
   for (CorpusPhoto& photo : photos) corpus_.photos.push_back(std::move(photo));
   for (SubsetSpec& spec : new_subsets) corpus_.subsets.push_back(std::move(spec));
   for (PhotoId p : new_required) corpus_.required.push_back(p);
@@ -87,7 +95,17 @@ const ArchivePlan& IncrementalArchiver::AddPhotos(
       std::unique(corpus_.required.begin(), corpus_.required.end()),
       corpus_.required.end());
 
-  Replan(&local_stats);
+  try {
+    Replan(&local_stats);
+  } catch (...) {
+    // Keep the archiver consistent: a failed replan (infeasible budget,
+    // injected fault) must not leave appended photos in a corpus whose
+    // active plan has never seen them.
+    corpus_.photos.resize(previous_photos);
+    corpus_.subsets.resize(previous_subsets);
+    corpus_.required = std::move(previous_required);
+    throw;
+  }
   if (stats != nullptr) *stats = local_stats;
   return plan_;
 }
@@ -112,6 +130,7 @@ const ArchivePlan& IncrementalArchiver::SetBudget(
 }
 
 void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
+  PHOCUS_FAILPOINT("incremental.replan");
   Stopwatch timer;
   const ParInstance instance =
       BuildInstance(corpus_, options_.archive.budget,

@@ -1,16 +1,32 @@
 #include "service/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "util/logging.h"
 
 namespace phocus {
 namespace service {
 
+bool IsRetryableError(ErrorCode code) {
+  // Transient server states. Everything else (bad request, unknown
+  // session, infeasible budget, ...) would fail identically on resend.
+  return code == ErrorCode::kOverloaded || code == ErrorCode::kDeadlineExceeded;
+}
+
 ServiceClient::ServiceClient(const std::string& host, int port,
                              std::size_t max_frame_bytes)
     : host_(host),
       port_(port),
+      max_frame_bytes_(max_frame_bytes),
       socket_(ConnectTcp(host, port)),
       decoder_(max_frame_bytes) {}
+
+void ServiceClient::Reconnect() {
+  socket_ = ConnectTcp(host_, port_);
+  decoder_ = FrameDecoder(max_frame_bytes_);
+}
 
 Json ServiceClient::Call(const std::string& endpoint, Json params) {
   const std::uint64_t id = next_id_++;
@@ -36,6 +52,39 @@ Json ServiceClient::Call(const std::string& endpoint, Json params) {
   const Json& error = response.Get("error");
   throw ServiceError(ErrorCodeFromName(error.Get("code").AsString()),
                      error.Get("message").AsString());
+}
+
+Json ServiceClient::CallIdempotent(const std::string& endpoint, Json params,
+                                   const RetryPolicy& policy) {
+  PHOCUS_CHECK(policy.max_attempts >= 1, "max_attempts must be at least 1");
+  double backoff_ms = policy.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    bool redial = false;
+    try {
+      if (!socket_.valid()) Reconnect();
+      return Call(endpoint, params);  // params copied: retries resend it
+    } catch (const ServiceError& error) {
+      if (attempt >= policy.max_attempts || !IsRetryableError(error.code())) {
+        throw;
+      }
+    } catch (const CheckFailure&) {
+      // Transport failure: the stream may hold a half-written request or a
+      // half-read response, so the connection cannot be reused.
+      if (attempt >= policy.max_attempts) throw;
+      redial = true;
+    }
+    if (redial) socket_.Close();
+    if (backoff_ms > 0.0) {
+      if (policy.sleep_fn) {
+        policy.sleep_fn(backoff_ms);
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    backoff_ms = std::min(backoff_ms * policy.backoff_multiplier,
+                          policy.max_backoff_ms);
+  }
 }
 
 std::string ServiceClient::CreateSession(Json corpus_spec) {

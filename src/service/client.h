@@ -2,6 +2,7 @@
 #define PHOCUS_SERVICE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "service/protocol.h"
@@ -13,11 +14,33 @@
 /// request/response in flight. Error responses surface as ServiceError (the
 /// typed code preserved); transport failures as CheckFailure.
 ///
+/// CallIdempotent layers capped exponential backoff on top: transport
+/// failures redial the connection, retryable error codes (overloaded,
+/// deadline_exceeded) back off and resend. Only safe for idempotent
+/// endpoints — resending `plan` recomputes the same plan; resending a
+/// hypothetical "append" would double-apply.
+///
 /// Used by the `phocus_client` CLI, the REPL's `connect` mode, and the
 /// service tests.
 
 namespace phocus {
 namespace service {
+
+/// Backoff schedule for CallIdempotent. The default schedule is
+/// deterministic (no jitter) so fault-injection tests replay identically.
+struct RetryPolicy {
+  int max_attempts = 4;            ///< total tries, including the first
+  double initial_backoff_ms = 5.0; ///< wait after the first failure
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;   ///< cap on any single wait
+  /// Sleep hook; tests inject a recorder so no wall-clock time passes.
+  /// Null means really sleep.
+  std::function<void(double ms)> sleep_fn;
+};
+
+/// True for error codes an idempotent retry can help with (transient
+/// server states), false for semantic errors that will recur.
+bool IsRetryableError(ErrorCode code);
 
 class ServiceClient {
  public:
@@ -36,6 +59,21 @@ class ServiceClient {
   Json Call(const std::string& endpoint, Json params);
   Json Call(const std::string& endpoint) { return Call(endpoint, Json::Object()); }
 
+  /// Like Call, but retries per `policy`: a transport failure drops the
+  /// connection and redials before the next attempt; a retryable error
+  /// response (see IsRetryableError) backs off and resends. The final
+  /// attempt's failure propagates unchanged. Use only for idempotent
+  /// endpoints.
+  Json CallIdempotent(const std::string& endpoint, Json params,
+                      const RetryPolicy& policy = {});
+  Json CallIdempotent(const std::string& endpoint) {
+    return CallIdempotent(endpoint, Json::Object());
+  }
+
+  /// Drops the current connection (and any buffered partial frame) and
+  /// dials a fresh one. Throws CheckFailure when the server is unreachable.
+  void Reconnect();
+
   /// Convenience wrappers over Call.
   /// Creates a session; returns its id. `corpus_spec` is the params
   /// `corpus` object ({"kind": "openimages", "num_photos": ..., ...}).
@@ -51,6 +89,7 @@ class ServiceClient {
  private:
   std::string host_;
   int port_ = 0;
+  std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
   Socket socket_;
   FrameDecoder decoder_;
   std::uint64_t next_id_ = 1;

@@ -1,9 +1,24 @@
 #include "service/plan_cache.h"
 
+#include "util/failpoint.h"
+
 namespace phocus {
 namespace service {
 
 std::shared_ptr<const ArchivePlan> PlanCache::Lookup(const std::string& key) {
+  // Fail open: a faulty cache must degrade to a miss (recompute), never
+  // fail the request, so an injected `error` here reports no entry.
+  if (failpoint::AnyActive()) {
+    const failpoint::Action action = failpoint::Evaluate("plan_cache.lookup");
+    if (action.kind == failpoint::ActionKind::kDelay ||
+        action.kind == failpoint::ActionKind::kCrash) {
+      failpoint::Perform("plan_cache.lookup", action);
+    } else if (action.armed()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++misses_;
+      return nullptr;
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -17,6 +32,16 @@ std::shared_ptr<const ArchivePlan> PlanCache::Lookup(const std::string& key) {
 
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const ArchivePlan> plan) {
+  // Same fail-open contract: a cache that cannot store simply forgets.
+  if (failpoint::AnyActive()) {
+    const failpoint::Action action = failpoint::Evaluate("plan_cache.insert");
+    if (action.kind == failpoint::ActionKind::kDelay ||
+        action.kind == failpoint::ActionKind::kCrash) {
+      failpoint::Perform("plan_cache.insert", action);
+    } else if (action.armed()) {
+      return;
+    }
+  }
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);

@@ -7,6 +7,7 @@
 #include "datagen/openimages.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -128,6 +129,9 @@ void ServiceServer::Wait() {
 }
 
 void ServiceServer::FinishShutdown() {
+  // Delay-only: widens the drain window so tests can race requests
+  // against shutdown without an exception skipping the join logic below.
+  PHOCUS_FAILPOINT_DELAY_ONLY("server.drain");
   if (listener_ != nullptr) listener_->Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   // Drain: connections running a request keep their sockets until the
@@ -254,6 +258,19 @@ Json ServiceServer::Process(const Json& request) {
     return MakeErrorResponse(id, ErrorCode::kShuttingDown,
                              "server is draining");
   }
+  if (failpoint::AnyActive()) {
+    // An injected admission fault surfaces as the typed overload rejection
+    // a saturated queue would produce, so clients exercise that path
+    // without needing queue_capacity concurrent requests in flight.
+    const failpoint::Action action = failpoint::Evaluate("server.admission");
+    if (action.kind == failpoint::ActionKind::kError ||
+        action.kind == failpoint::ActionKind::kShortWrite) {
+      registry.GetCounter("service.rejected.overloaded").Increment();
+      return MakeErrorResponse(id, ErrorCode::kOverloaded,
+                               "injected admission rejection");
+    }
+    failpoint::Perform("server.admission", action);
+  }
   const std::size_t admitted = admitted_.fetch_add(1);
   if (admitted >= options_.queue_capacity) {
     admitted_.fetch_sub(1);
@@ -276,6 +293,10 @@ Json ServiceServer::Process(const Json& request) {
   pool_->Submit([this, &registry, &promise, &params, &endpoint, id,
                  deadline_ms, enqueue_time] {
     Json response;
+    // Delay-only (an exception here would escape the pool task before
+    // promise.set_value and wedge the caller): stretches the apparent
+    // queue wait so tests can force deadline expiry deterministically.
+    PHOCUS_FAILPOINT_DELAY_ONLY("server.queue_wait");
     const double waited_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - enqueue_time)

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -43,6 +44,21 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 void Socket::SendAll(std::string_view bytes) const {
   PHOCUS_CHECK(valid(), "send on closed socket");
+  if (failpoint::AnyActive()) {
+    const failpoint::Action action = failpoint::Evaluate("socket.write");
+    if (action.kind == failpoint::ActionKind::kShortWrite && !bytes.empty()) {
+      // Deliver a truncated prefix so the peer observes a partial frame,
+      // then fail the way a connection dying mid-send would.
+      SendRaw(bytes.substr(0, (bytes.size() + 1) / 2));
+      throw failpoint::InjectedFault(
+          "injected short write at failpoint socket.write");
+    }
+    failpoint::Perform("socket.write", action);
+  }
+  SendRaw(bytes);
+}
+
+void Socket::SendRaw(std::string_view bytes) const {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
@@ -57,6 +73,16 @@ void Socket::SendAll(std::string_view bytes) const {
 
 bool Socket::RecvSome(std::string* out, std::size_t max_bytes) const {
   PHOCUS_CHECK(valid(), "recv on closed socket");
+  if (failpoint::AnyActive()) {
+    const failpoint::Action action = failpoint::Evaluate("socket.read");
+    if (action.kind == failpoint::ActionKind::kShortWrite) {
+      // Short-read flavor: deliver at most one byte this call, so framing
+      // code sees maximally fragmented input.
+      max_bytes = 1;
+    } else {
+      failpoint::Perform("socket.read", action);
+    }
+  }
   std::string chunk(max_bytes, '\0');
   ssize_t n;
   do {
@@ -80,6 +106,7 @@ void Socket::Close() {
 }
 
 Socket ConnectTcp(const std::string& host, int port) {
+  PHOCUS_FAILPOINT("socket.connect");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) ThrowErrno("socket failed");
   Socket socket(fd);
@@ -119,6 +146,9 @@ ListenSocket::ListenSocket(const std::string& host, int port, int backlog) {
 
 Socket ListenSocket::Accept() const {
   while (true) {
+    // Delay-only: the accept loop treats an exception as fatal, so an
+    // armed `error` here would kill the server rather than one connection.
+    PHOCUS_FAILPOINT_DELAY_ONLY("socket.accept");
     const int fd = ::accept(socket_.fd(), nullptr, nullptr);
     if (fd >= 0) {
       const int one = 1;

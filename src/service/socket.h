@@ -28,11 +28,15 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Writes the whole buffer; throws on error or peer close.
+  /// Writes the whole buffer; throws on error or peer close. Hooks the
+  /// `socket.write` failpoint (a `short_write` action delivers a truncated
+  /// prefix, then throws InjectedFault).
   void SendAll(std::string_view bytes) const;
 
   /// Reads at most `max_bytes`, appending to `out`. Returns false on clean
-  /// EOF; throws on error.
+  /// EOF; throws on error. Hooks the `socket.read` failpoint (a
+  /// `short_write` action clamps the read to one byte, exercising
+  /// maximally fragmented framing).
   bool RecvSome(std::string* out, std::size_t max_bytes = 64 * 1024) const;
 
   /// Half-close in both directions, unblocking any reader; the fd stays
@@ -42,6 +46,9 @@ class Socket {
   void Close();
 
  private:
+  /// The send loop proper, with no failpoint hook.
+  void SendRaw(std::string_view bytes) const;
+
   int fd_ = -1;
 };
 

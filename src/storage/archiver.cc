@@ -3,6 +3,7 @@
 #include "imaging/ppm_io.h"
 #include "imaging/scene.h"
 #include "telemetry/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -16,6 +17,7 @@ ArchiveToVaultReport ArchivePlanToVault(const Corpus& corpus,
   span.SetAttribute("photos", static_cast<std::uint64_t>(plan.archived.size()));
   for (PhotoId p : plan.archived) {
     PHOCUS_CHECK(p < corpus.photos.size(), "archived photo id out of range");
+    PHOCUS_FAILPOINT("archiver.store");
     const Image image =
         RenderScene(corpus.photos[p].scene, render_size, render_size);
     const ArchiveVault::Receipt receipt =

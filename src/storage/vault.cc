@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "telemetry/metrics.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/lzss.h"
@@ -26,6 +27,10 @@ ArchiveVault::ArchiveVault(std::string directory)
     : directory_(std::move(directory)) {
   PHOCUS_CHECK(fs::is_directory(directory_),
                "vault directory does not exist: " + directory_);
+  // A crash between the temp write and the rename leaves manifest.json.tmp
+  // behind; it was never visible, so recovery is simply discarding it.
+  std::error_code ignored;
+  fs::remove(directory_ + "/manifest.json.tmp", ignored);
   LoadManifest();
 }
 
@@ -50,19 +55,39 @@ ArchiveVault::Receipt ArchiveVault::Store(const std::string& key,
   } else {
     fs::create_directories(directory_ + "/objects");
     const std::string compressed = LzssCompress(payload);
+    PHOCUS_FAILPOINT("vault.object_write");
     WriteFile(ObjectPath(receipt.content_hash), compressed);
     receipt.stored_bytes = compressed.size();
     object_sizes_[receipt.content_hash] = receipt.stored_bytes;
     registry.GetCounter("storage.vault.bytes_written").Add(compressed.size());
   }
   registry.GetCounter("storage.vault.stores").Add(1);
+  const auto previous = entries_.find(key);
+  const bool had_previous = previous != entries_.end();
+  const Entry previous_entry = had_previous ? previous->second : Entry{};
   entries_[key] = {receipt.content_hash, receipt.original_bytes};
   dirty_ = true;
-  if (durability == StoreDurability::kFlushEach) SaveManifest();
+  if (durability == StoreDurability::kFlushEach) {
+    try {
+      SaveManifest();
+    } catch (...) {
+      // A flushing store either persists the mapping or leaves it as it
+      // was: roll the key back so memory matches the on-disk manifest.
+      // (An already-written object stays on disk — it is content-addressed
+      // and unreferenced, so a later identical store safely reuses it.)
+      if (had_previous) {
+        entries_[key] = previous_entry;
+      } else {
+        entries_.erase(key);
+      }
+      throw;
+    }
+  }
   return receipt;
 }
 
 void ArchiveVault::Flush() {
+  PHOCUS_FAILPOINT("vault.manifest_flush");
   if (dirty_) SaveManifest();
 }
 
@@ -127,11 +152,15 @@ void ArchiveVault::SaveManifest() const {
     objects.Set(hash, size);
   }
   manifest.Set("objects", std::move(objects));
-  // Temp file + atomic rename: readers (and a crash mid-write) only ever
-  // see a complete manifest.
+  // Temp file + fsync + atomic rename: readers (and a crash at any point
+  // in the protocol) only ever see a complete, durable manifest.
   const std::string path = directory_ + "/manifest.json";
   const std::string temp_path = path + ".tmp";
+  PHOCUS_FAILPOINT("vault.tmp_write");
   WriteFile(temp_path, manifest.Dump(1));
+  PHOCUS_FAILPOINT("vault.fsync");
+  SyncFile(temp_path);
+  PHOCUS_FAILPOINT("vault.rename");
   std::error_code error;
   fs::rename(temp_path, path, error);
   PHOCUS_CHECK(!error, "manifest rename failed: " + error.message());

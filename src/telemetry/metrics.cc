@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "util/failpoint.h"
+
 namespace phocus {
 namespace telemetry {
 
@@ -12,6 +14,21 @@ std::atomic<bool> g_enabled{true};
 
 namespace {
 std::atomic<MetricsRegistry*> g_current{nullptr};
+
+// phocus_util cannot depend on phocus_telemetry, so the failpoint registry
+// mirrors its hit/trigger counters through this sink, installed before main.
+// Resolving Current() per call keeps ScopedMetricsRegistry isolation intact;
+// failpoints only fire in failure-mode tests, so the lookup cost is moot.
+const bool g_failpoint_sink_installed = [] {
+  failpoint::internal::SetTelemetrySink(
+      +[](std::string_view name, bool triggered) {
+        auto& registry = MetricsRegistry::Current();
+        const std::string prefix = "failpoint." + std::string(name);
+        registry.GetCounter(prefix + ".hits").Increment();
+        if (triggered) registry.GetCounter(prefix + ".triggers").Increment();
+      });
+  return true;
+}();
 }  // namespace
 
 void SetEnabled(bool enabled) {

@@ -1,0 +1,188 @@
+#ifndef PHOCUS_UTIL_FAILPOINT_H_
+#define PHOCUS_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file failpoint.h
+/// Failpoint fault injection: named hook points compiled into production
+/// code paths (vault writes, socket I/O, admission control, replanning)
+/// that tests — or an operator via the environment — can arm to inject
+/// errors, delays, short writes, or simulated crashes deterministically.
+///
+/// Cost model: a disarmed failpoint is one relaxed atomic load
+/// (`AnyActive()`); the registry lookup, probability draw, and telemetry
+/// mirroring only run while at least one failpoint is armed, which never
+/// happens outside failure-mode tests.
+///
+/// Arming a failpoint, programmatically or via the environment:
+///
+///   failpoint::Configure("vault.rename", "error");         // in a test
+///   PHOCUS_FAILPOINTS="socket.write=error@0.3,server.queue_wait=delay:100"
+///
+/// Spec grammar (the env var holds comma-separated `name=spec` pairs):
+///
+///   spec    := action ["@" probability]
+///   action  := "error" | "delay:" millis | "short_write" | "crash"
+///
+///  - `error`       throws InjectedFault at the failpoint,
+///  - `delay:ms`    sleeps `ms` milliseconds, then continues normally,
+///  - `short_write` the call site performs a truncated I/O operation
+///                  (sites that cannot truncate treat it as `error`),
+///  - `crash`       throws InjectedCrash — simulates the process dying at
+///                  that instruction; only scenario harnesses may catch it,
+///  - `@p`          triggers the action on each hit with probability `p`
+///                  (default 1.0), drawn from a seeded per-failpoint RNG so
+///                  a run's fault schedule is reproducible bit-for-bit.
+///
+/// Every armed failpoint exports `failpoint.<name>.hits` (times evaluated)
+/// and `failpoint.<name>.triggers` (times the action fired) through the
+/// telemetry registry. Naming convention for the points themselves:
+/// `<module>.<operation>`, e.g. `vault.rename`, `socket.read`.
+///
+/// The catalog of compiled-in failpoints lives in docs/TESTING.md.
+
+namespace phocus {
+namespace failpoint {
+
+/// Thrown by an `error`-action failpoint (and by `short_write` at sites
+/// that cannot truncate). Derives from CheckFailure so the usual recovery
+/// paths treat it like any other I/O failure.
+class InjectedFault : public CheckFailure {
+ public:
+  explicit InjectedFault(const std::string& what) : CheckFailure(what) {}
+};
+
+/// Thrown by a `crash`-action failpoint. Simulates the process dying at the
+/// failpoint: production code must never catch it (catch InjectedFault or
+/// CheckFailure instead — this type deliberately does not derive from
+/// InjectedFault); only a scenario harness playing "the restarted process"
+/// may swallow it.
+class InjectedCrash : public CheckFailure {
+ public:
+  explicit InjectedCrash(const std::string& what) : CheckFailure(what) {}
+};
+
+enum class ActionKind {
+  kOff,         ///< not armed, or the probability draw spared this hit
+  kError,       ///< throw InjectedFault
+  kDelay,       ///< sleep delay_ms, then proceed
+  kShortWrite,  ///< truncate the I/O at the call site
+  kCrash,       ///< throw InjectedCrash
+};
+
+/// The action a single hit of a failpoint resolved to.
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  double delay_ms = 0.0;
+
+  bool armed() const { return kind != ActionKind::kOff; }
+};
+
+namespace internal {
+/// Count of currently armed failpoints; the disarmed fast path is one
+/// relaxed load of this.
+extern std::atomic<int> g_armed_count;
+
+/// Counter mirror hook. phocus_util sits below phocus_telemetry in the
+/// dependency DAG, so the failpoint registry cannot call the metrics
+/// registry directly; phocus_telemetry installs this sink at static-init
+/// time instead. Called once per Evaluate with whether the action fired.
+using TelemetrySink = void (*)(std::string_view name, bool triggered);
+void SetTelemetrySink(TelemetrySink sink);
+}  // namespace internal
+
+/// True when at least one failpoint is armed (including via the
+/// PHOCUS_FAILPOINTS environment variable). One relaxed atomic load.
+inline bool AnyActive() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Resolves one hit of `name`: applies the probability draw, bumps the
+/// hit/trigger counters, and returns the action — without performing it.
+/// Call sites that need bespoke behavior (short writes, fail-open caches)
+/// interpret the result themselves. Never throws, never sleeps.
+Action Evaluate(std::string_view name);
+
+/// Performs an already-Evaluated action: no-op for kOff, sleeps for delay,
+/// throws InjectedFault for error (and for short_write — callers that can
+/// truncate handle kShortWrite before calling this), InjectedCrash for
+/// crash. For sites that Evaluate() and interpret some kinds themselves.
+void Perform(std::string_view name, const Action& action);
+
+/// Resolves one hit of `name` and performs the action: throws for
+/// error/crash (short_write degrades to error here), sleeps for delay.
+/// Prefer the PHOCUS_FAILPOINT macro, which keeps the disarmed fast path.
+void Trigger(std::string_view name);
+
+/// Like Trigger but only honors `delay`; error/crash/short_write are
+/// counted as triggers and ignored. For sites where an exception cannot
+/// propagate safely (worker-thread startup, shutdown drains).
+void MaybeDelay(std::string_view name);
+
+/// Arms `name` with `spec` (see the grammar above). Throws CheckFailure on
+/// a malformed spec. Re-configuring an armed failpoint replaces its action
+/// and resets its RNG stream (counters persist).
+void Configure(const std::string& name, const std::string& spec);
+
+/// Disarms `name`; returns false if it was not armed.
+bool Deactivate(const std::string& name);
+
+/// Disarms everything (env-configured points included).
+void DeactivateAll();
+
+/// Seeds the per-failpoint probability RNG streams (default seed 0x9e37).
+/// Takes effect for failpoints configured after the call; tests set the
+/// seed first, then Configure. Also settable via PHOCUS_FAILPOINTS_SEED.
+void SetSeed(std::uint64_t seed);
+
+/// Times `name` was evaluated / actually fired since it was first armed.
+/// Zero for never-armed names.
+std::uint64_t HitCount(const std::string& name);
+std::uint64_t TriggerCount(const std::string& name);
+
+/// Names of currently armed failpoints, sorted.
+std::vector<std::string> ArmedNames();
+
+/// RAII arming for tests: Configure on construction, Deactivate on scope
+/// exit (even when the test body throws).
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const std::string& spec)
+      : name_(std::move(name)) {
+    Configure(name_, spec);
+  }
+  ~ScopedFailpoint() { Deactivate(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace failpoint
+}  // namespace phocus
+
+/// Hook a named failpoint into a production code path. Disarmed cost: one
+/// relaxed atomic load and a perfectly-predicted branch.
+#define PHOCUS_FAILPOINT(name)                                   \
+  do {                                                           \
+    if (::phocus::failpoint::AnyActive()) {                      \
+      ::phocus::failpoint::Trigger(name);                        \
+    }                                                            \
+  } while (false)
+
+/// Delay-only variant for sites that cannot let an exception escape.
+#define PHOCUS_FAILPOINT_DELAY_ONLY(name)                        \
+  do {                                                           \
+    if (::phocus::failpoint::AnyActive()) {                      \
+      ::phocus::failpoint::MaybeDelay(name);                     \
+    }                                                            \
+  } while (false)
+
+#endif  // PHOCUS_UTIL_FAILPOINT_H_

@@ -1,5 +1,8 @@
 #include "util/json.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -377,6 +380,14 @@ void WriteFile(const std::string& path, std::string_view contents) {
   PHOCUS_CHECK(out.good(), "cannot open file for writing: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   PHOCUS_CHECK(out.good(), "failed writing file: " + path);
+}
+
+void SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  PHOCUS_CHECK(fd >= 0, "cannot open file for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  PHOCUS_CHECK(rc == 0, "fsync failed: " + path);
 }
 
 }  // namespace phocus

@@ -87,6 +87,11 @@ std::string ReadFile(const std::string& path);
 /// Writes a string to a file; throws CheckFailure on failure.
 void WriteFile(const std::string& path, std::string_view contents);
 
+/// Flushes a file's contents to stable storage (fsync); throws CheckFailure
+/// if the file cannot be opened or synced. Pair with WriteFile before an
+/// atomic rename so a crash cannot surface an empty renamed file.
+void SyncFile(const std::string& path);
+
 }  // namespace phocus
 
 #endif  // PHOCUS_UTIL_JSON_H_

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "util/failpoint.h"
+
 namespace phocus {
 
 namespace {
@@ -62,6 +64,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Delay-only: WorkerLoop has no exception barrier, so a thrown action
+    // would std::terminate the process. A delay perturbs task scheduling,
+    // which is what races under TSan care about anyway.
+    PHOCUS_FAILPOINT_DELAY_ONLY("thread_pool.task");
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);

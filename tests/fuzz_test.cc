@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "datagen/corpus_io.h"
 #include "datagen/openimages.h"
 #include "imaging/ppm_io.h"
 #include "phocus/instance_io.h"
 #include "service/protocol.h"
+#include "tests/scenario_support.h"
 #include "tests/test_support.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/lzss.h"
@@ -227,6 +232,186 @@ TEST_P(FuzzTest, MutatedRequestFramesDecodeOrRejectCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range<std::uint64_t>(1000, 1008));
+
+// ---------------------------------------------------------------------------
+// Seeded-corpus regression: inputs that once exercised interesting
+// FrameDecoder states live under tests/corpus/frame_decoder/ and are
+// replayed deterministically — as one buffer, byte-at-a-time, under seeded
+// random chunkings, and through a socket with injected short reads. The
+// decoder must produce the identical frame sequence every way.
+
+/// The cap every corpus entry was authored against (entries marked
+/// "over cap" must trip kTooLarge at exactly this setting).
+constexpr std::size_t kCorpusFrameCap = 256;
+
+/// Parses a corpus .hex file: '#' lines are comments, the rest is the hex
+/// encoding of the input bytes, whitespace ignored.
+std::string DecodeHexFile(const std::string& path) {
+  const std::string text = ReadFile(path);
+  std::string hex;
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') in_comment = false;
+    if (in_comment || std::isspace(static_cast<unsigned char>(c))) continue;
+    hex.push_back(c);
+  }
+  PHOCUS_CHECK(hex.size() % 2 == 0, "odd hex digit count in " + path);
+  auto nibble = [&](char c) -> unsigned {
+    if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+    PHOCUS_CHECK(false, "bad hex digit in " + path);
+    return 0;
+  };
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    bytes.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return bytes;
+}
+
+std::vector<std::string> CorpusFiles() {
+  const std::string dir =
+      std::string(PHOCUS_TEST_CORPUS_DIR) + "/frame_decoder";
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".hex") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// What a decoder run observed: the frames delivered, in order, and
+/// whether the stream ended in the kTooLarge protocol violation.
+struct ReplayResult {
+  std::vector<std::string> frames;
+  bool too_large = false;
+
+  bool operator==(const ReplayResult& other) const {
+    return frames == other.frames && too_large == other.too_large;
+  }
+};
+
+/// Feeds `bytes` to a fresh decoder in the given chunk sizes (the last
+/// chunk takes the remainder; an empty schedule means one buffer).
+ReplayResult ReplayChunked(const std::string& bytes,
+                           const std::vector<std::size_t>& chunk_sizes) {
+  service::FrameDecoder decoder(kCorpusFrameCap);
+  ReplayResult result;
+  std::size_t pos = 0;
+  std::size_t chunk_index = 0;
+  while (pos < bytes.size() && !result.too_large) {
+    std::size_t take = chunk_index < chunk_sizes.size()
+                           ? chunk_sizes[chunk_index++]
+                           : bytes.size() - pos;
+    take = std::min(std::max<std::size_t>(take, 1), bytes.size() - pos);
+    decoder.Append(std::string_view(bytes).substr(pos, take));
+    pos += take;
+    std::string frame;
+    while (true) {
+      const service::FrameDecoder::Status status = decoder.Next(&frame);
+      if (status == service::FrameDecoder::Status::kFrame) {
+        result.frames.push_back(frame);
+        continue;
+      }
+      if (status == service::FrameDecoder::Status::kTooLarge) {
+        result.too_large = true;  // a real peer closes the stream here
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+TEST(FrameCorpusTest, EntriesReplayIdenticallyUnderEveryChunking) {
+  const std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty()) << "corpus directory missing or empty";
+  for (const std::string& file : files) {
+    SCOPED_TRACE(file);
+    const std::string bytes = DecodeHexFile(file);
+    const ReplayResult whole = ReplayChunked(bytes, {});
+    for (const std::string& frame : whole.frames) {
+      EXPECT_LE(frame.size(), kCorpusFrameCap);
+    }
+
+    const ReplayResult byte_at_a_time =
+        ReplayChunked(bytes, std::vector<std::size_t>(bytes.size(), 1));
+    EXPECT_TRUE(byte_at_a_time == whole)
+        << "byte-at-a-time replay diverged from whole-buffer replay";
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Rng rng(seed);
+      std::vector<std::size_t> chunks;
+      std::size_t remaining = bytes.size();
+      while (remaining > 0) {
+        const std::size_t take = 1 + rng.NextBelow(std::min<std::size_t>(
+                                         remaining, 7));
+        chunks.push_back(take);
+        remaining -= take;
+      }
+      EXPECT_TRUE(ReplayChunked(bytes, chunks) == whole)
+          << "seed " << seed << " chunking diverged";
+    }
+  }
+}
+
+TEST(FrameCorpusTest, CorpusCoversEveryDecoderStatus) {
+  bool saw_frame = false, saw_too_large = false, saw_incomplete = false;
+  for (const std::string& file : CorpusFiles()) {
+    const ReplayResult result = ReplayChunked(DecodeHexFile(file), {});
+    saw_frame = saw_frame || !result.frames.empty();
+    saw_too_large = saw_too_large || result.too_large;
+    saw_incomplete =
+        saw_incomplete || (result.frames.empty() && !result.too_large);
+  }
+  // Guards corpus erosion: deleting the entry for a status family should
+  // fail loudly, not silently shrink coverage.
+  EXPECT_TRUE(saw_frame);
+  EXPECT_TRUE(saw_too_large);
+  EXPECT_TRUE(saw_incomplete);
+}
+
+TEST(FrameCorpusTest, EntriesSurviveInjectedShortReadsOverASocket) {
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    const std::string bytes = DecodeHexFile(file);
+    if (bytes.empty()) continue;
+    const ReplayResult expected = ReplayChunked(bytes, {});
+
+    scenario::SocketPair pair = scenario::MakeSocketPair();
+    pair.first.SendAll(bytes);
+    pair.first.ShutdownBoth();
+
+    // One-byte reads via the socket.read failpoint: the harshest framing
+    // the transport can produce.
+    failpoint::ScopedFailpoint armed("socket.read", "short_write");
+    service::FrameDecoder decoder(kCorpusFrameCap);
+    ReplayResult actual;
+    std::string chunk;
+    while (!actual.too_large) {
+      std::string frame;
+      const service::FrameDecoder::Status status = decoder.Next(&frame);
+      if (status == service::FrameDecoder::Status::kFrame) {
+        actual.frames.push_back(frame);
+        continue;
+      }
+      if (status == service::FrameDecoder::Status::kTooLarge) {
+        actual.too_large = true;
+        break;
+      }
+      chunk.clear();
+      if (!pair.second.RecvSome(&chunk)) break;  // EOF
+      ASSERT_EQ(chunk.size(), 1u);
+      decoder.Append(chunk);
+    }
+    EXPECT_TRUE(actual == expected)
+        << "socket replay diverged from direct replay";
+  }
+}
 
 }  // namespace
 }  // namespace phocus

@@ -1,0 +1,31 @@
+#include <cstdio>
+
+#include "datagen/openimages.h"
+#include "phocus/system.h"
+#include "service/protocol.h"
+
+/// \file plan_determinism_main.cc
+/// Emits the deterministic JSON serialization of one full-system archive
+/// plan on stdout. cmake/plan_determinism.cmake runs this binary under
+/// several PHOCUS_NUM_THREADS values (the variable is read once per
+/// process, so each count needs its own process) and fails unless every
+/// run is byte-identical — the solver's cross-thread-count determinism
+/// guarantee, checked through the whole PhocusSystem path.
+
+int main() {
+  phocus::OpenImagesOptions corpus_options;
+  corpus_options.num_photos = 150;
+  corpus_options.seed = 17;
+  corpus_options.render_size = 32;
+  const phocus::Corpus corpus =
+      phocus::GenerateOpenImagesCorpus(corpus_options);
+
+  phocus::ArchiveOptions options;
+  options.budget = corpus.TotalBytes() / 4;
+
+  phocus::PhocusSystem system(corpus);
+  const phocus::ArchivePlan plan = system.PlanArchive(options);
+  std::fputs(phocus::service::PlanToJson(plan).Dump(1).c_str(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}

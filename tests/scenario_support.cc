@@ -1,0 +1,43 @@
+#include "tests/scenario_support.h"
+
+#include <sys/socket.h>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace scenario {
+
+SocketPair MakeSocketPair() {
+  int fds[2];
+  PHOCUS_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+               "socketpair failed");
+  SocketPair pair;
+  pair.first = service::Socket(fds[0]);
+  pair.second = service::Socket(fds[1]);
+  return pair;
+}
+
+CrashRecoveryResult RunWithCrashRecovery(
+    const std::string& directory,
+    const std::function<void(ArchiveVault&)>& mutation) {
+  CrashRecoveryResult result;
+  {
+    ArchiveVault vault(directory);
+    try {
+      mutation(vault);
+    } catch (const failpoint::InjectedCrash& crash) {
+      result.faulted = true;
+      result.fault_message = crash.what();
+    } catch (const failpoint::InjectedFault& fault) {
+      result.faulted = true;
+      result.fault_message = fault.what();
+    }
+  }  // the vault object dies with the simulated process
+  failpoint::DeactivateAll();
+  result.reopened = std::make_unique<ArchiveVault>(directory);
+  return result;
+}
+
+}  // namespace scenario
+}  // namespace phocus

@@ -1,0 +1,73 @@
+#ifndef PHOCUS_TESTS_SCENARIO_SUPPORT_H_
+#define PHOCUS_TESTS_SCENARIO_SUPPORT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/socket.h"
+#include "storage/vault.h"
+
+/// \file scenario_support.h
+/// Deterministic scenario-test harness: an in-process socket pair for
+/// transport tests without a listener, a fake clock that records sleeps
+/// instead of taking wall-clock time, and a crash-recovery driver that
+/// plays "the restarted process" for vault fault-injection tests.
+
+namespace phocus {
+namespace scenario {
+
+/// Two connected in-process stream sockets (AF_UNIX socketpair). Bytes
+/// written to `first` are read from `second` and vice versa — a transport
+/// with phocusd's Socket surface but no listener, port, or accept loop.
+struct SocketPair {
+  service::Socket first;
+  service::Socket second;
+};
+SocketPair MakeSocketPair();
+
+/// A fake monotonic clock. Sleeper() returns a callback with the
+/// RetryPolicy::sleep_fn signature that advances the clock and records the
+/// requested duration instead of sleeping, so backoff schedules are
+/// asserted on exactly, in zero wall-clock time.
+class FakeClock {
+ public:
+  std::function<void(double)> Sleeper() {
+    return [this](double ms) {
+      now_ms_ += ms;
+      sleeps_ms_.push_back(ms);
+    };
+  }
+
+  double now_ms() const { return now_ms_; }
+  const std::vector<double>& sleeps_ms() const { return sleeps_ms_; }
+
+ private:
+  double now_ms_ = 0.0;
+  std::vector<double> sleeps_ms_;
+};
+
+/// Outcome of RunWithCrashRecovery: whether the injected fault fired, its
+/// message, and the vault as the "restarted process" sees it.
+struct CrashRecoveryResult {
+  bool faulted = false;
+  std::string fault_message;
+  std::unique_ptr<ArchiveVault> reopened;
+};
+
+/// Opens the vault at `directory`, runs `mutation` against it, and absorbs
+/// any injected fault or crash as simulated process death: the vault object
+/// is destroyed, every failpoint is disarmed (the restarted process starts
+/// clean), and the directory is reopened as a fresh ArchiveVault — running
+/// its normal recovery (stale temp-file cleanup, manifest load) on the
+/// way. Non-injected exceptions propagate: a scenario must only survive
+/// the faults it injected.
+CrashRecoveryResult RunWithCrashRecovery(
+    const std::string& directory,
+    const std::function<void(ArchiveVault&)>& mutation);
+
+}  // namespace scenario
+}  // namespace phocus
+
+#endif  // PHOCUS_TESTS_SCENARIO_SUPPORT_H_

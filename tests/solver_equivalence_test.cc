@@ -21,6 +21,9 @@
 #include "core/celf.h"
 #include "core/local_search.h"
 #include "core/objective.h"
+#include "datagen/openimages.h"
+#include "phocus/system.h"
+#include "service/protocol.h"
 #include "tests/test_support.h"
 #include "util/thread_pool.h"
 
@@ -299,6 +302,26 @@ TEST(ThreadPoolTest, ConcurrentParallelForCallsComplete) {
   other.join();
   EXPECT_EQ(a.load(), 50 * 64);
   EXPECT_EQ(b.load(), 50 * 64);
+}
+
+TEST(FullSystemDeterminismTest, RepeatedSolvesSerializeByteIdentically) {
+  // The in-process half of the determinism guarantee: two full-system runs
+  // on the same corpus and options (under the forced 4-worker pool) must
+  // serialize byte-identically. The cross-thread-count half runs as the
+  // `plan_determinism` ctest entry, which re-executes the same pipeline in
+  // subprocesses with PHOCUS_NUM_THREADS 1, 4, and unset.
+  OpenImagesOptions corpus_options;
+  corpus_options.num_photos = 150;
+  corpus_options.seed = 17;
+  corpus_options.render_size = 32;
+  const Corpus corpus = GenerateOpenImagesCorpus(corpus_options);
+  ArchiveOptions options;
+  options.budget = corpus.TotalBytes() / 4;
+
+  PhocusSystem first(corpus);
+  PhocusSystem second(corpus);
+  EXPECT_EQ(service::PlanToJson(first.PlanArchive(options)).Dump(),
+            service::PlanToJson(second.PlanArchive(options)).Dump());
 }
 
 TEST(CsrLayoutTest, SparseRowViewsAndMembershipIndex) {
