@@ -3,18 +3,148 @@
 /// similar pairs in roughly linear time". This ablation compares exhaustive
 /// all-pairs search with the LSH finder on real corpus embeddings across τ,
 /// reporting candidate counts, recall, and wall time.
+///
+/// Extra modes:
+///   --lsh-smoke --max-candidates=N   candidate-complexity guard behind the
+///                                    lsh_perf_smoke ctest (see
+///                                    tests/CMakeLists.txt)
+///   --bench-json=FILE                measure the serial vs sharded engines
+///                                    and export BENCH_lsh.json records
 
 #include <cstdio>
+#include <cstring>
 #include <set>
+#include <string>
 
 #include "bench/bench_support.h"
 #include "datagen/openimages.h"
+#include "embedding/vector_ops.h"
 #include "lsh/similar_pairs.h"
+#include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
 
+namespace phocus {
+namespace {
+
+std::vector<Embedding> ClusteredVectors(std::size_t clusters,
+                                        std::size_t per_cluster,
+                                        std::size_t dim, double noise,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Embedding> vectors;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    Embedding center(dim);
+    for (float& v : center) v = static_cast<float>(rng.Normal());
+    NormalizeInPlace(center);
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      Embedding v = center;
+      for (float& x : v) x += static_cast<float>(rng.Normal(0.0, noise));
+      NormalizeInPlace(v);
+      vectors.push_back(std::move(v));
+    }
+  }
+  return vectors;
+}
+
+/// --lsh-smoke: the candidate-complexity guard behind the lsh_perf_smoke
+/// ctest. The fixture is fixed-seed and the banding schedule depends only
+/// on the options, so candidate_pairs is machine-independent: exceeding the
+/// checked-in bound means the bucketing got less selective (a perf
+/// regression even when wall time still looks fine on a fast machine).
+/// Also cross-checks the sharded engine against the serial reference.
+int RunLshSmoke(std::size_t max_candidates) {
+  const std::vector<Embedding> vectors =
+      ClusteredVectors(40, 20, 64, 0.04, 77);
+  const double tau = 0.85;
+  LshPairFinderOptions options;
+  options.num_bits = 256;
+  options.bands = SuggestBands(options.num_bits, tau);
+
+  PairSearchStats serial_stats;
+  const std::vector<SimilarPair> serial =
+      LshPairsAboveSerial(vectors, tau, options, &serial_stats);
+  PairSearchStats parallel_stats;
+  const std::vector<SimilarPair> parallel =
+      LshPairsAbove(vectors, tau, options, &parallel_stats);
+
+  if (parallel.size() != serial.size() ||
+      parallel_stats.candidate_pairs != serial_stats.candidate_pairs) {
+    std::fprintf(stderr,
+                 "FAIL: sharded engine disagrees with the serial reference "
+                 "(%zu vs %zu pairs, %zu vs %zu candidates)\n",
+                 parallel.size(), serial.size(),
+                 parallel_stats.candidate_pairs,
+                 serial_stats.candidate_pairs);
+    return 1;
+  }
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (parallel[i].first != serial[i].first ||
+        parallel[i].second != serial[i].second ||
+        parallel[i].similarity != serial[i].similarity) {
+      std::fprintf(stderr, "FAIL: pair %zu differs between engines\n", i);
+      return 1;
+    }
+  }
+  std::printf(
+      "lsh_perf_smoke: vectors=%zu candidates=%zu pairs=%zu bound=%zu\n",
+      vectors.size(), parallel_stats.candidate_pairs,
+      parallel_stats.output_pairs, max_candidates);
+  if (max_candidates > 0 && parallel_stats.candidate_pairs > max_candidates) {
+    std::fprintf(stderr,
+                 "FAIL: candidate_pairs %zu exceeds the checked-in bound %zu "
+                 "— the banding got less selective\n",
+                 parallel_stats.candidate_pairs, max_candidates);
+    return 1;
+  }
+  return 0;
+}
+
+/// Measurement fixtures for BENCH_lsh.json: the exhaustive sweep, the
+/// serial LSH reference, and the sharded engine on the same corpus
+/// embeddings. gain_evals carries candidate_pairs (the cosine verifications
+/// — the machine-independent oracle count) and score carries output_pairs.
+void RunBenchRecords(const std::vector<Embedding>& vectors, double tau) {
+  const std::size_t m = vectors.size();
+  LshPairFinderOptions options;
+  options.num_bits = 512;
+  options.bands = SuggestBands(options.num_bits, tau);
+
+  PairSearchStats all_stats;
+  AllPairsAbove(vectors, tau, &all_stats);
+  bench::RecordBenchResult({"all_pairs", m, 0, all_stats.seconds,
+                            all_stats.candidate_pairs,
+                            static_cast<double>(all_stats.output_pairs)});
+
+  PairSearchStats serial_stats;
+  LshPairsAboveSerial(vectors, tau, options, &serial_stats);
+  bench::RecordBenchResult({"lsh_serial", m, 0, serial_stats.seconds,
+                            serial_stats.candidate_pairs,
+                            static_cast<double>(serial_stats.output_pairs)});
+
+  PairSearchStats parallel_stats;
+  LshPairsAbove(vectors, tau, options, &parallel_stats);
+  bench::RecordBenchResult({"lsh_parallel", m, 0, parallel_stats.seconds,
+                            parallel_stats.candidate_pairs,
+                            static_cast<double>(parallel_stats.output_pairs)});
+}
+
+}  // namespace
+}  // namespace phocus
+
 int main(int argc, char** argv) {
   phocus::bench::ParseBenchFlags(&argc, argv);
+  bool lsh_smoke = false;
+  std::size_t max_candidates = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lsh-smoke") == 0) {
+      lsh_smoke = true;
+    } else if (std::strncmp(argv[i], "--max-candidates=", 17) == 0) {
+      max_candidates = static_cast<std::size_t>(std::stoull(argv[i] + 17));
+    }
+  }
+  if (lsh_smoke) return phocus::RunLshSmoke(max_candidates);
+
   using namespace phocus;
   bench::PrintHeader("ablation_lsh", "§4.3 LSH sparsification front-end");
   const std::size_t scale = bench::GetScale();
@@ -71,6 +201,12 @@ int main(int argc, char** argv) {
   std::printf("%s", table.Render(
                         "LSH vs exhaustive similar-pair search (corpus "
                         "embeddings)").c_str());
+  if (bench::BenchJsonRequested()) {
+    // τ = 0.95 is where the banding actually prunes on this near-dup-heavy
+    // corpus (lower τ collides almost everything; see the table above).
+    RunBenchRecords(vectors, 0.95);
+  }
   phocus::bench::ExportTelemetryIfRequested();
+  phocus::bench::ExportBenchJsonIfRequested("ablation_lsh");
   return 0;
 }

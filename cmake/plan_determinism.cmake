@@ -1,14 +1,15 @@
 # Cross-thread-count determinism check (ctest script mode).
 #
-# Runs plan_determinism_main with PHOCUS_NUM_THREADS=1, =4, and unset (the
-# hardware default) and fails unless all three emitted plans are
+# Runs BINARY (a deterministic-output main such as plan_determinism_main or
+# lsh_determinism_main) with PHOCUS_NUM_THREADS=1, =4, and unset (the
+# hardware default) and fails unless all three emitted outputs are
 # byte-identical. Usage:
 #
-#   cmake -DBINARY=<plan_determinism_main> -DOUT_DIR=<scratch dir> \
+#   cmake -DBINARY=<determinism main> -DOUT_DIR=<scratch dir> \
 #         -P plan_determinism.cmake
 
 if(NOT DEFINED BINARY)
-  message(FATAL_ERROR "pass -DBINARY=<path to plan_determinism_main>")
+  message(FATAL_ERROR "pass -DBINARY=<path to a determinism main>")
 endif()
 if(NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "pass -DOUT_DIR=<scratch directory>")
@@ -31,7 +32,7 @@ foreach(threads IN ITEMS 1 4 default)
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR
-      "plan_determinism_main failed with PHOCUS_NUM_THREADS=${threads} (rc=${rc})")
+      "${BINARY} failed with PHOCUS_NUM_THREADS=${threads} (rc=${rc})")
   endif()
   if(baseline STREQUAL "")
     set(baseline "${out}")
@@ -42,10 +43,10 @@ foreach(threads IN ITEMS 1 4 default)
       RESULT_VARIABLE diff)
     if(NOT diff EQUAL 0)
       message(FATAL_ERROR
-        "archive plan differs between PHOCUS_NUM_THREADS=${baseline_name} "
+        "output differs between PHOCUS_NUM_THREADS=${baseline_name} "
         "and PHOCUS_NUM_THREADS=${threads}: ${baseline} vs ${out}")
     endif()
   endif()
 endforeach()
 
-message(STATUS "plans byte-identical across thread counts 1, 4, default")
+message(STATUS "outputs byte-identical across thread counts 1, 4, default")

@@ -4,7 +4,8 @@
 #   unit      the default gtest suites
 #   scenario  failpoint fault-injection + determinism scenarios
 #   fuzz      randomized fuzzing + seeded-corpus replay
-#   perf      oracle-complexity guard (solver_perf_smoke)
+#   perf      oracle/candidate-complexity guards (solver_perf_smoke,
+#             lsh_perf_smoke)
 #   tsan      the scenario + concurrency tier rebuilt with
 #             -DPHOCUS_SANITIZE=thread
 #
@@ -41,7 +42,8 @@ tier_perf()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" perf; }
 tier_tsan() {
   build_tree "$TSAN_DIR" -DPHOCUS_SANITIZE=thread
   run_label "$TSAN_DIR" scenario
-  (cd "$TSAN_DIR" && ctest -R "Concurrency|ThreadPool|SolverEquivalence" \
+  (cd "$TSAN_DIR" && \
+    ctest -R "Concurrency|ThreadPool|SolverEquivalence|LshEquivalence" \
     --output-on-failure -j "$JOBS")
 }
 

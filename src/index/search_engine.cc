@@ -45,9 +45,16 @@ std::vector<SearchEngine::Hit> SearchEngine::Search(const std::string& query,
                                                     std::size_t top_k) const {
   PHOCUS_CHECK(finalized_, "Search() before Finalize()");
   const std::vector<std::string> terms = Tokenize(query, tokenizer_options_);
+  // Aggregate query-term frequencies first: each distinct term contributes
+  // once (BM25 query-frequency saturation with k3 = 0, as in Lucene).
+  // Scoring the raw token stream would double the weight of a repeated
+  // term — "beach beach sunset" is still a query about beaches and sunsets.
+  std::unordered_map<std::string, std::uint32_t> query_term_frequency;
+  for (const std::string& term : terms) ++query_term_frequency[term];
   std::unordered_map<DocId, double> scores;
   const double n = static_cast<double>(doc_lengths_.size());
-  for (const std::string& term : terms) {
+  for (const auto& [term, qtf] : query_term_frequency) {
+    (void)qtf;
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     const auto& list = it->second;

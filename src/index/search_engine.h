@@ -35,7 +35,8 @@ class SearchEngine {
   void Finalize();
 
   /// BM25 top-k retrieval (k = 0 means all matching documents), scores
-  /// strictly positive, sorted descending (ties by doc id).
+  /// strictly positive, sorted descending (ties by doc id). Repeated query
+  /// terms count once (query-frequency saturation with k3 = 0).
   std::vector<Hit> Search(const std::string& query, std::size_t top_k = 0) const;
 
   std::size_t num_documents() const { return doc_lengths_.size(); }

@@ -5,17 +5,17 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "lsh/simhash_index.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace phocus {
 
-namespace {
+namespace internal {
 
-/// Flushes pair-search accounting into the telemetry registry (shared by the
-/// exhaustive and LSH finders; the τ-survival ratio is the §4.3 story).
 void ReportPairSearch(telemetry::TraceSpan& span, std::size_t vectors,
                       std::size_t candidates, std::size_t outputs) {
   auto& registry = telemetry::MetricsRegistry::Current();
@@ -26,7 +26,7 @@ void ReportPairSearch(telemetry::TraceSpan& span, std::size_t vectors,
   span.SetAttribute("output_pairs", static_cast<std::uint64_t>(outputs));
 }
 
-}  // namespace
+}  // namespace internal
 
 std::vector<SimilarPair> AllPairsAbove(const std::vector<Embedding>& vectors,
                                        double tau, PairSearchStats* stats) {
@@ -34,14 +34,33 @@ std::vector<SimilarPair> AllPairsAbove(const std::vector<Embedding>& vectors,
   telemetry::TraceSpan span("lsh.all_pairs");
   std::vector<SimilarPair> pairs;
   const std::size_t m = vectors.size();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      const double sim = CosineSimilarity(vectors[i], vectors[j]);
-      if (sim >= tau) {
-        pairs.push_back({static_cast<std::uint32_t>(i),
-                         static_cast<std::uint32_t>(j),
-                         static_cast<float>(sim)});
+  if (m >= 2) {
+    // Tiled upper-triangle sweep: each tile owns a contiguous row range and
+    // appends to its own vector; concatenating tiles in order reproduces
+    // the serial (i asc, j asc) output exactly. Several tiles per worker
+    // compensate for the triangle's shrinking rows.
+    const std::size_t threads = ThreadPool::Global().num_threads();
+    const std::size_t tiles =
+        std::min(m - 1, std::max<std::size_t>(1, threads * 8));
+    const std::size_t rows_per_tile = (m - 1 + tiles - 1) / tiles;
+    std::vector<std::vector<SimilarPair>> tile_pairs(tiles);
+    ThreadPool::Global().ParallelFor(tiles, [&](std::size_t tile) {
+      const std::size_t row_begin = tile * rows_per_tile;
+      const std::size_t row_end = std::min(m - 1, row_begin + rows_per_tile);
+      std::vector<SimilarPair>& out = tile_pairs[tile];
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        for (std::size_t j = i + 1; j < m; ++j) {
+          const double sim = CosineSimilarity(vectors[i], vectors[j]);
+          if (sim >= tau) {
+            out.push_back({static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j),
+                           static_cast<float>(sim)});
+          }
+        }
       }
+    });
+    for (const std::vector<SimilarPair>& out : tile_pairs) {
+      pairs.insert(pairs.end(), out.begin(), out.end());
     }
   }
   const std::size_t candidates = m < 2 ? 0 : m * (m - 1) / 2;
@@ -51,7 +70,7 @@ std::vector<SimilarPair> AllPairsAbove(const std::vector<Embedding>& vectors,
     stats->output_pairs = pairs.size();
     stats->seconds = timer.ElapsedSeconds();
   }
-  ReportPairSearch(span, m, candidates, pairs.size());
+  internal::ReportPairSearch(span, m, candidates, pairs.size());
   return pairs;
 }
 
@@ -81,6 +100,23 @@ std::vector<SimilarPair> LshPairsAbove(const std::vector<Embedding>& vectors,
                                        double tau,
                                        const LshPairFinderOptions& options,
                                        PairSearchStats* stats) {
+  Stopwatch timer;
+  const std::size_t m = vectors.size();
+  if (m < 2) {
+    if (stats != nullptr) *stats = {m, 0, 0, timer.ElapsedSeconds()};
+    return {};
+  }
+  SimHashIndex index(vectors[0].size(), options);
+  index.Add(vectors);
+  std::vector<SimilarPair> pairs = index.PairsAbove(vectors, tau, stats);
+  // PairsAbove times only the probe; report the full build+probe wall time.
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return pairs;
+}
+
+std::vector<SimilarPair> LshPairsAboveSerial(
+    const std::vector<Embedding>& vectors, double tau,
+    const LshPairFinderOptions& options, PairSearchStats* stats) {
   Stopwatch timer;
   telemetry::TraceSpan span("lsh.pairs_above");
   std::vector<SimilarPair> pairs;
@@ -155,7 +191,7 @@ std::vector<SimilarPair> LshPairsAbove(const std::vector<Embedding>& vectors,
     stats->output_pairs = pairs.size();
     stats->seconds = timer.ElapsedSeconds();
   }
-  ReportPairSearch(span, m, candidates, pairs.size());
+  internal::ReportPairSearch(span, m, candidates, pairs.size());
   return pairs;
 }
 

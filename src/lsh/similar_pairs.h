@@ -6,6 +6,7 @@
 
 #include "embedding/vector_ops.h"
 #include "lsh/simhash.h"
+#include "telemetry/trace.h"
 
 /// \file similar_pairs.h
 /// τ-similar pair discovery: the "roughly linear time" candidate generation
@@ -26,6 +27,11 @@ struct LshPairFinderOptions {
   int num_bits = 128;      ///< total signature bits
   int bands = 16;          ///< bands; rows per band = num_bits / bands
   std::uint64_t seed = 0x5151515151ULL;
+  /// Candidate-dedup shards for the parallel verification sweep; 0 = auto
+  /// (scales with the global thread pool). Never affects the result — pair
+  /// ownership is a pure function of the smaller pair id — only how the
+  /// dedup/verify work is partitioned.
+  int num_shards = 0;
 };
 
 /// Instrumentation returned by the finders (fed to the ablation bench).
@@ -36,23 +42,44 @@ struct PairSearchStats {
   double seconds = 0.0;
 };
 
-/// Exhaustive O(m²) baseline: every pair with cosine >= tau.
+/// Exhaustive O(m²) baseline: every pair with cosine >= tau. The upper
+/// triangle is swept in parallel row tiles whose outputs concatenate in
+/// tile order, so the result is identical to the serial (i asc, j asc)
+/// sweep for any thread count.
 std::vector<SimilarPair> AllPairsAbove(const std::vector<Embedding>& vectors,
                                        double tau,
                                        PairSearchStats* stats = nullptr);
 
 /// LSH-accelerated search. With well-chosen (num_bits, bands) this finds,
 /// with high probability, almost all pairs with cosine >= tau while
-/// verifying far fewer than m² candidates.
+/// verifying far fewer than m² candidates. Runs on the parallel sharded
+/// SimHashIndex engine (see lsh/simhash_index.h); output and stats (modulo
+/// `seconds`) are bit-identical to LshPairsAboveSerial for any
+/// PHOCUS_NUM_THREADS and shard count.
 std::vector<SimilarPair> LshPairsAbove(const std::vector<Embedding>& vectors,
                                        double tau,
                                        const LshPairFinderOptions& options = {},
                                        PairSearchStats* stats = nullptr);
 
+/// The single-threaded reference implementation of LshPairsAbove — the
+/// semantic spec the parallel engine is tested against (and the baseline
+/// BENCH_lsh.json measures speedup over). `options.num_shards` is ignored.
+std::vector<SimilarPair> LshPairsAboveSerial(
+    const std::vector<Embedding>& vectors, double tau,
+    const LshPairFinderOptions& options = {},
+    PairSearchStats* stats = nullptr);
+
 /// Picks a bands count whose per-band collision threshold
 /// (1 − θ/π)^{rows} ≈ 50% at cosine = tau, given the bit budget. Exposed so
 /// callers/benches can reproduce the auto-tuning.
 int SuggestBands(int num_bits, double tau);
+
+namespace internal {
+/// Flushes pair-search accounting into the telemetry registry (shared by
+/// the exhaustive, serial-LSH, and indexed-LSH finders).
+void ReportPairSearch(telemetry::TraceSpan& span, std::size_t vectors,
+                      std::size_t candidates, std::size_t outputs);
+}  // namespace internal
 
 }  // namespace phocus
 

@@ -100,10 +100,14 @@ const ArchivePlan& IncrementalArchiver::AddPhotos(
   } catch (...) {
     // Keep the archiver consistent: a failed replan (infeasible budget,
     // injected fault) must not leave appended photos in a corpus whose
-    // active plan has never seen them.
+    // active plan has never seen them. The LSH cache goes too — its
+    // entries for the rolled-back subsets would otherwise be trusted if a
+    // later append happens to reuse the same member id lists over
+    // different photos.
     corpus_.photos.resize(previous_photos);
     corpus_.subsets.resize(previous_subsets);
     corpus_.required = std::move(previous_required);
+    lsh_cache_.Clear();
     throw;
   }
   if (stats != nullptr) *stats = local_stats;
@@ -134,7 +138,7 @@ void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
   Stopwatch timer;
   const ParInstance instance =
       BuildInstance(corpus_, options_.archive.budget,
-                    options_.archive.representation);
+                    options_.archive.representation, &lsh_cache_);
   // Surface an unsatisfiable budget as the typed error (with the numbers a
   // caller needs to pick a feasible one) before generic validation reports
   // it as a plain CheckFailure.

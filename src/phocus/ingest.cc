@@ -1,6 +1,7 @@
 #include "phocus/ingest.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "imaging/quality.h"
 #include "telemetry/metrics.h"
@@ -83,9 +84,13 @@ Corpus AssembleCorpus(const std::string& name,
   corpus.name = name;
   corpus.photos = std::move(photos);
   for (const SubsetSpec& album : albums) {
+    std::unordered_set<PhotoId> members_seen;
+    members_seen.reserve(album.members.size());
     for (PhotoId p : album.members) {
       PHOCUS_CHECK(p < corpus.photos.size(),
                    "album member photo id out of range");
+      PHOCUS_CHECK(members_seen.insert(p).second,
+                   "duplicate member photo id in album '" + album.name + "'");
     }
   }
   corpus.subsets = std::move(albums);
@@ -94,6 +99,12 @@ Corpus AssembleCorpus(const std::string& name,
   }
   corpus.required = std::move(required);
   std::sort(corpus.required.begin(), corpus.required.end());
+  // A duplicated required id would be counted twice in C(S0) accounting
+  // downstream; reject it rather than silently keeping both copies.
+  PHOCUS_CHECK(std::adjacent_find(corpus.required.begin(),
+                                  corpus.required.end()) ==
+                   corpus.required.end(),
+               "duplicate required photo id");
   return corpus;
 }
 

@@ -4,6 +4,7 @@
 
 #include "embedding/context.h"
 #include "lsh/similar_pairs.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace phocus {
@@ -37,10 +38,74 @@ SubsetView GatherView(const Corpus& corpus, const SubsetSpec& spec,
   return view;
 }
 
+/// τ-similar pairs for one large subset, via the cache when possible.
+/// Reuse requires the stored configuration to match and the stored member
+/// list to be a prefix of the current one; then only the new members are
+/// hashed (the reuse the `lsh.signatures_reused` counter tracks) and the
+/// existing buckets are probed for pairs involving them. The union of
+/// cached and probed pairs is provably the from-scratch pair set, and the
+/// post-merge sort makes the two paths bit-identical.
+std::vector<SimilarPair> CachedLshPairs(LshIndexCache& cache,
+                                        std::size_t subset_position,
+                                        const SubsetSpec& spec,
+                                        const std::vector<Embedding>& embeddings,
+                                        double tau,
+                                        const LshPairFinderOptions& options) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  LshIndexCache::Entry& entry = cache.by_subset[subset_position];
+  const bool config_ok =
+      entry.index != nullptr && entry.tau == tau &&
+      entry.options.num_bits == options.num_bits &&
+      entry.options.bands == options.bands &&
+      entry.options.seed == options.seed &&
+      entry.index->dimension() == embeddings[0].size();
+  const bool prefix_ok =
+      config_ok && entry.members.size() <= spec.members.size() &&
+      std::equal(entry.members.begin(), entry.members.end(),
+                 spec.members.begin());
+  if (prefix_ok && entry.members.size() == spec.members.size()) {
+    registry.GetCounter("lsh.signatures_reused").Add(entry.members.size());
+    return entry.pairs;
+  }
+  if (prefix_ok) {
+    const std::uint32_t old_size =
+        static_cast<std::uint32_t>(entry.members.size());
+    registry.GetCounter("lsh.signatures_reused").Add(old_size);
+    entry.index->Add(embeddings);  // hashes only [old_size, m)
+    PairSearchStats probe_stats;
+    std::vector<SimilarPair> fresh =
+        entry.index->PairsAbove(embeddings, tau, &probe_stats, old_size);
+    const std::size_t cached_count = entry.pairs.size();
+    entry.pairs.insert(entry.pairs.end(), fresh.begin(), fresh.end());
+    // Both halves are (first, second)-sorted; the probe half may interleave
+    // with the cached one by `first`, so merge rather than sort.
+    std::inplace_merge(
+        entry.pairs.begin(),
+        entry.pairs.begin() + static_cast<std::ptrdiff_t>(cached_count),
+        entry.pairs.end(), [](const SimilarPair& x, const SimilarPair& y) {
+          return x.first != y.first ? x.first < y.first : x.second < y.second;
+        });
+    entry.candidate_pairs += probe_stats.candidate_pairs;
+    entry.members = spec.members;
+    return entry.pairs;
+  }
+  // Cold or invalidated: full rebuild.
+  entry.tau = tau;
+  entry.options = options;
+  entry.index = std::make_unique<SimHashIndex>(embeddings[0].size(), options);
+  entry.index->Add(embeddings);
+  PairSearchStats stats;
+  entry.pairs = entry.index->PairsAbove(embeddings, tau, &stats);
+  entry.candidate_pairs = stats.candidate_pairs;
+  entry.members = spec.members;
+  return entry.pairs;
+}
+
 }  // namespace
 
 ParInstance BuildInstance(const Corpus& corpus, Cost budget,
-                          const RepresentationOptions& options) {
+                          const RepresentationOptions& options,
+                          LshIndexCache* lsh_cache) {
   std::vector<Cost> costs;
   costs.reserve(corpus.photos.size());
   for (const CorpusPhoto& photo : corpus.photos) costs.push_back(photo.bytes);
@@ -53,7 +118,9 @@ ParInstance BuildInstance(const Corpus& corpus, Cost budget,
   const bool with_exif = options.exif_weight > 0.0;
   const bool sparsify = options.sparsify_tau > 0.0;
 
-  for (const SubsetSpec& spec : corpus.subsets) {
+  for (std::size_t spec_index = 0; spec_index < corpus.subsets.size();
+       ++spec_index) {
+    const SubsetSpec& spec = corpus.subsets[spec_index];
     Subset subset;
     subset.name = spec.name;
     subset.weight = spec.weight;
@@ -99,7 +166,10 @@ ParInstance BuildInstance(const Corpus& corpus, Cost budget,
       lsh.bands = SuggestBands(lsh.num_bits, options.sparsify_tau);
       lsh.seed = options.lsh_seed;
       const std::vector<SimilarPair> pairs =
-          LshPairsAbove(view.embeddings, options.sparsify_tau, lsh);
+          lsh_cache != nullptr
+              ? CachedLshPairs(*lsh_cache, spec_index, spec, view.embeddings,
+                               options.sparsify_tau, lsh)
+              : LshPairsAbove(view.embeddings, options.sparsify_tau, lsh);
       subset.sim_mode = Subset::SimMode::kSparse;
       // LSH pairs arrive in arbitrary order; collect rows, then flatten.
       std::vector<std::vector<std::pair<std::uint32_t, float>>> rows(m);

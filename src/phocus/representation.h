@@ -1,8 +1,14 @@
 #ifndef PHOCUS_PHOCUS_REPRESENTATION_H_
 #define PHOCUS_PHOCUS_REPRESENTATION_H_
 
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
 #include "core/instance.h"
 #include "datagen/corpus.h"
+#include "lsh/simhash_index.h"
 
 /// \file representation.h
 /// The Data Representation Module (§5.1, Figure 4): turns a photo corpus —
@@ -35,9 +41,37 @@ struct RepresentationOptions {
   std::uint64_t lsh_seed = 0xfeedULL;
 };
 
+/// Reusable LSH state for repeated BuildInstance calls over a growing
+/// corpus (the incremental archiver's replan loop). Keyed by subset
+/// *position* — the archiver only ever appends subsets, so position is a
+/// stable identity. An entry is reused when the stored configuration
+/// matches and the stored member list is a prefix of the subset's current
+/// members (photo ids are stable and embeddings immutable under append-only
+/// growth): an identical member list reuses the cached pairs outright; a
+/// grown one hashes only the new members and probes the existing buckets.
+/// Any mismatch rebuilds the entry from scratch — reuse is always
+/// bit-identical to a fresh build, never a behavior change.
+struct LshIndexCache {
+  struct Entry {
+    double tau = 0.0;
+    LshPairFinderOptions options;
+    std::vector<PhotoId> members;  ///< global ids, in subset order
+    std::unique_ptr<SimHashIndex> index;
+    std::vector<SimilarPair> pairs;  ///< verified pairs, local ids, sorted
+    std::size_t candidate_pairs = 0;
+  };
+  std::unordered_map<std::size_t, Entry> by_subset;
+
+  void Clear() { by_subset.clear(); }
+};
+
 /// Builds the PAR instance for `corpus` under storage budget `budget`.
+/// With `lsh_cache` non-null, large-subset LSH sparsification reuses (and
+/// extends) cached signature indexes instead of rehashing every member —
+/// the produced instance is bit-identical either way.
 ParInstance BuildInstance(const Corpus& corpus, Cost budget,
-                          const RepresentationOptions& options = {});
+                          const RepresentationOptions& options = {},
+                          LshIndexCache* lsh_cache = nullptr);
 
 /// Convenience: the Greedy-NCS surrogate (non-contextual SIM, dense).
 ParInstance BuildNonContextualInstance(const Corpus& corpus, Cost budget);

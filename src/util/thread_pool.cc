@@ -87,6 +87,7 @@ void ThreadPool::ParallelFor(std::size_t count,
   const std::size_t chunks = threads * 4;
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
   std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> abort{false};
 
   // Per-call completion state: concurrent ParallelFor calls (e.g. the UC
   // and CB CELF passes running side by side) each wait only on their own
@@ -95,17 +96,31 @@ void ThreadPool::ParallelFor(std::size_t count,
     std::mutex mutex;
     std::condition_variable done;
     std::size_t pending;
+    std::exception_ptr first_error;
   } completion;
   completion.pending = threads;
 
   for (std::size_t t = 0; t < threads; ++t) {
     Submit([&, chunk_size, count] {
-      for (;;) {
+      while (!abort.load(std::memory_order_relaxed)) {
         const std::size_t c = next_chunk.fetch_add(1);
         const std::size_t begin = c * chunk_size;
         if (begin >= count) break;
         const std::size_t end = std::min(count, begin + chunk_size);
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        try {
+          for (std::size_t i = begin; i < end; ++i) body(i);
+        } catch (...) {
+          // A body exception must never escape into WorkerLoop (which has
+          // no barrier and would std::terminate). Record the first one for
+          // the calling thread and abandon the remaining chunks; chunks
+          // already claimed by other workers still run to completion.
+          abort.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(completion.mutex);
+          if (!completion.first_error) {
+            completion.first_error = std::current_exception();
+          }
+          break;
+        }
       }
       std::lock_guard<std::mutex> lock(completion.mutex);
       if (--completion.pending == 0) completion.done.notify_all();
@@ -113,6 +128,7 @@ void ThreadPool::ParallelFor(std::size_t count,
   }
   std::unique_lock<std::mutex> lock(completion.mutex);
   completion.done.wait(lock, [&] { return completion.pending == 0; });
+  if (completion.first_error) std::rethrow_exception(completion.first_error);
 }
 
 ThreadPool& ThreadPool::Global() {

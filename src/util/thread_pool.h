@@ -45,6 +45,13 @@ class ThreadPool {
   /// worker or `count` is small; either way every index is visited exactly
   /// once, so callers may depend on it only for throughput, never for
   /// semantics.
+  ///
+  /// If `body` throws (e.g. a PHOCUS_CHECK failure), the first exception is
+  /// rethrown on the calling thread after every worker has drained — the
+  /// call never deadlocks and never terminates the process. Remaining
+  /// chunks are abandoned, but chunks already claimed by other workers run
+  /// to completion, so some indices past the throwing one may still be
+  /// visited; later exceptions are dropped.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& body);
 

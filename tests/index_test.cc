@@ -102,6 +102,20 @@ TEST_F(SearchEngineTest, LengthNormalizationCapsTfSpam) {
   EXPECT_LT(score4 / score2, 2.5);
 }
 
+TEST_F(SearchEngineTest, RepeatedQueryTermsScoreOnce) {
+  // BM25 query-frequency saturation with k3 = 0: "beach beach sunset" asks
+  // the same question as "beach sunset". Repeating a term must not double
+  // its contribution (it previously did, skewing rankings toward whichever
+  // term the user happened to stutter).
+  const auto deduped = engine_.Search("red shirt");
+  const auto repeated = engine_.Search("red red shirt red");
+  ASSERT_EQ(repeated.size(), deduped.size());
+  for (std::size_t i = 0; i < deduped.size(); ++i) {
+    EXPECT_EQ(repeated[i].doc, deduped[i].doc);
+    EXPECT_DOUBLE_EQ(repeated[i].score, deduped[i].score);
+  }
+}
+
 TEST(SearchEngineLifecycleTest, GuardsMisuse) {
   SearchEngine engine;
   engine.AddDocument(1, "a doc");

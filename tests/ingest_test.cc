@@ -84,6 +84,50 @@ TEST(IngestTest, AssembleRejectsOutOfRangeIds) {
   EXPECT_THROW(AssembleCorpus("c", photos, {}, {5}), CheckFailure);
 }
 
+TEST(IngestTest, AssembleRejectsDuplicateAlbumMembers) {
+  auto photos = IngestPhotos(MakeImages(3, 7), {"x", "y", "z"},
+                             std::vector<ExifMetadata>(3), {});
+  // A photo listed twice in one album would double its relevance mass.
+  SubsetSpec album;
+  album.name = "dupes";
+  album.weight = 1.0;
+  album.members = {0, 1, 0};
+  EXPECT_THROW(AssembleCorpus("c", photos, {album}), CheckFailure);
+  // The same photo in two different albums is fine.
+  const Corpus corpus = AssembleCorpus(
+      "c", photos, {MakeAlbum("a", 1.0, {0, 1}), MakeAlbum("b", 1.0, {1, 2})});
+  EXPECT_EQ(corpus.subsets.size(), 2u);
+}
+
+TEST(IngestTest, AssembleRejectsDuplicateRequiredIds) {
+  auto photos = IngestPhotos(MakeImages(2, 8), {"x", "y"},
+                             std::vector<ExifMetadata>(2), {});
+  EXPECT_THROW(AssembleCorpus("c", photos, {}, {1, 1}), CheckFailure);
+  EXPECT_THROW(AssembleCorpus("c", photos, {}, {0, 1, 0}), CheckFailure);
+  const Corpus corpus = AssembleCorpus("c", photos, {}, {1, 0});
+  EXPECT_EQ(corpus.required.size(), 2u);
+}
+
+TEST(IngestTest, BatchCheckFailurePropagatesFromWorkerThreads) {
+  // A zero byte count trips PHOCUS_CHECK inside the ParallelFor body; the
+  // failure must surface on the calling thread as a normal exception.
+  const int count = 33;
+  const std::vector<Image> images = MakeImages(count, 9);
+  std::vector<std::string> titles;
+  for (int i = 0; i < count; ++i) {
+    std::string title = "t";
+    title += std::to_string(i);
+    titles.push_back(std::move(title));
+  }
+  std::vector<Cost> bytes(count, 1000);
+  bytes[17] = 0;
+  IngestOptions options;
+  options.use_provided_bytes = true;
+  EXPECT_THROW(IngestPhotos(images, titles, std::vector<ExifMetadata>(count),
+                            bytes, options),
+               CheckFailure);
+}
+
 TEST(IngestTest, EndToEndDirectTaggingFlow) {
   // The full §5.1 "direct" mode: images in, albums in, archive plan out.
   const std::vector<Image> images = MakeImages(12, 6);

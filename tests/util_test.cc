@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "util/json.h"
 #include "util/logging.h"
@@ -376,6 +377,50 @@ TEST(ThreadPoolTest, SubmitAndWait) {
 TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyExceptionOnCaller) {
+  ThreadPool pool(4);
+  // Enough iterations to take the parallel path (>= 2 * threads) and to
+  // leave plenty of work queued when the throw happens.
+  const std::size_t count = 10000;
+  std::atomic<std::size_t> visited{0};
+  try {
+    pool.ParallelFor(count, [&](std::size_t i) {
+      visited++;
+      PHOCUS_CHECK(i != 137, "injected failure at index 137");
+    });
+    FAIL() << "expected CheckFailure to propagate to the calling thread";
+  } catch (const CheckFailure& failure) {
+    EXPECT_NE(std::string(failure.what()).find("injected failure"),
+              std::string::npos);
+  }
+  // The abort flag stops workers early: not every index runs.
+  EXPECT_LT(visited.load(), count);
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [](std::size_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // A failed ParallelFor must not wedge the pool or leak the abort state.
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsWhenManyBodiesThrow) {
+  ThreadPool pool(4);
+  // Every iteration throws; exactly one exception must surface, and it must
+  // be one of the thrown ones (not a broken_promise or a terminate).
+  EXPECT_THROW(pool.ParallelFor(
+                   500, [](std::size_t i) {
+                     throw std::runtime_error("fail " + std::to_string(i));
+                   }),
+               std::runtime_error);
 }
 
 TEST(LoggingTest, CheckFailureCarriesContext) {
