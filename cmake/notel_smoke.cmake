@@ -26,13 +26,13 @@ endif()
 message(STATUS "notel smoke: building service tests")
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${SMOKE_DIR} -j4
-          --target service_protocol_test service_test
+          --target service_protocol_test service_test observability_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "notel smoke: build failed")
 endif()
 
-foreach(test_binary service_protocol_test service_test)
+foreach(test_binary service_protocol_test service_test observability_test)
   message(STATUS "notel smoke: running ${test_binary}")
   execute_process(
     COMMAND ${SMOKE_DIR}/tests/${test_binary}

@@ -6,10 +6,12 @@
 #   fuzz      randomized fuzzing + seeded-corpus replay
 #   perf      oracle/candidate-complexity guards (solver_perf_smoke,
 #             lsh_perf_smoke)
+#   obs       the serving-observability surface: wire verbs, flight
+#             recorder, metric-name lint (scripts/lint_metrics.py)
 #   tsan      the scenario + concurrency tier rebuilt with
 #             -DPHOCUS_SANITIZE=thread
 #
-# Usage: scripts/check.sh [unit|scenario|fuzz|perf|tsan|all]   (default: all)
+# Usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|tsan|all]   (default: all)
 #
 # Environment: BUILD_DIR (default build), TSAN_DIR (default build-tsan),
 # JOBS (default nproc).
@@ -39,6 +41,12 @@ tier_scenario() { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" scenario; }
 tier_fuzz()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" fuzz; }
 tier_perf()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" perf; }
 
+tier_obs() {
+  python3 scripts/lint_metrics.py --root .
+  build_tree "$BUILD_DIR"
+  run_label "$BUILD_DIR" obs
+}
+
 tier_tsan() {
   build_tree "$TSAN_DIR" -DPHOCUS_SANITIZE=thread
   run_label "$TSAN_DIR" scenario
@@ -52,8 +60,10 @@ case "$TIER" in
   scenario) tier_scenario ;;
   fuzz)     tier_fuzz ;;
   perf)     tier_perf ;;
+  obs)      tier_obs ;;
   tsan)     tier_tsan ;;
   all)
+    python3 scripts/lint_metrics.py --root .
     build_tree "$BUILD_DIR"
     run_label "$BUILD_DIR" unit
     run_label "$BUILD_DIR" scenario
@@ -62,7 +72,7 @@ case "$TIER" in
     tier_tsan
     ;;
   *)
-    echo "usage: scripts/check.sh [unit|scenario|fuzz|perf|tsan|all]" >&2
+    echo "usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Lint metric names registered in src/ against the naming convention.
+
+Checks every literal name passed to GetCounter / GetGauge / GetHistogram:
+
+  1. format: lowercase dotted, `<module>.<component>...` — at least one dot,
+     each segment `[a-z][a-z0-9_]*`,
+  2. uniqueness: a name is registered as exactly one instrument kind
+     (the same name as both a counter and a histogram is almost always a
+     copy-paste bug),
+  3. documentation: the name is findable in docs/OBSERVABILITY.md — either
+     verbatim, or as a `<prefix.>` + `<suffix>` pair the way the naming
+     table lists families (`solver.celf.` + `lazy_hits`).
+
+Dynamically-built names (string concatenation) are checked by family: a
+literal fragment ending in `.` must be one of the known dynamic families
+below, and documented. Invoked by ctest (label `obs;lint`) and
+scripts/check.sh; exits non-zero with a report on any violation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+PREFIX_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\.$")
+GET_RE = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
+
+# Families whose full names only exist at runtime; each must still be
+# documented (as the prefix) in docs/OBSERVABILITY.md.
+DYNAMIC_FAMILIES = {
+    "service.endpoint.",  # service.endpoint.<verb>_ns
+    "failpoint.",         # failpoint.<name>.hits / .triggers
+}
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments (keeps string contents intact enough
+    for this lint: metric literals never contain comment markers)."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def call_argument(text, open_paren):
+    """The argument text of a call whose '(' sits at `open_paren`."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return text[open_paren + 1:]
+
+
+def scan_sources(src_root):
+    """Yields (path, line, kind, argument_text) per Get* call."""
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        text = strip_comments(path.read_text())
+        for match in GET_RE.finditer(text):
+            kind = match.group(1).lower()
+            line = text.count("\n", 0, match.start()) + 1
+            yield path, line, kind, call_argument(text, match.end() - 1)
+
+
+def documented(name, doc_text):
+    if name in doc_text:
+        return True
+    # The naming table lists families as `prefix.` + bare suffix.
+    parts = name.split(".")
+    for i in range(1, len(parts)):
+        prefix = ".".join(parts[:i]) + "."
+        suffix = ".".join(parts[i:])
+        if prefix in doc_text and suffix in doc_text:
+            return True
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/ and docs/)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+    doc_path = root / "docs" / "OBSERVABILITY.md"
+    doc_text = doc_path.read_text()
+
+    errors = []
+    kinds_by_name = {}
+
+    for path, line, kind, arg in scan_sources(root / "src"):
+        where = f"{path.relative_to(root)}:{line}"
+        literals = re.findall(r'"([^"]*)"', arg)
+        if not literals:
+            continue  # registry-internal forwarding of an identifier
+        single = re.fullmatch(r'\s*"([^"]*)"\s*', arg)
+        if single:
+            names, prefixes = [single.group(1)], []
+        else:
+            # Concatenation or a ternary: full-name fragments are checked as
+            # names, `x.`-shaped fragments as dynamic families.
+            names = [lit for lit in literals if NAME_RE.match(lit)]
+            prefixes = [lit for lit in literals if PREFIX_RE.match(lit)]
+            leftover = [lit for lit in literals
+                        if lit not in names and lit not in prefixes
+                        and not lit.startswith((".", "_"))]
+            for lit in leftover:
+                errors.append(f"{where}: unrecognized metric fragment "
+                              f'"{lit}" (not a name, suffix, or `family.` '
+                              "prefix)")
+        for name in names:
+            if not NAME_RE.match(name):
+                errors.append(f"{where}: metric name \"{name}\" is not "
+                              "lowercase-dotted <module>.<component>...")
+                continue
+            kinds_by_name.setdefault(name, {})[kind] = where
+            if not documented(name, doc_text):
+                errors.append(f"{where}: metric \"{name}\" is not "
+                              f"documented in {doc_path.relative_to(root)}")
+        for prefix in prefixes:
+            if prefix not in DYNAMIC_FAMILIES:
+                errors.append(f"{where}: dynamic metric family \"{prefix}\" "
+                              "is not in the lint's DYNAMIC_FAMILIES "
+                              "allowlist (scripts/lint_metrics.py)")
+            if prefix not in doc_text:
+                errors.append(f"{where}: dynamic metric family \"{prefix}\" "
+                              f"is not documented in "
+                              f"{doc_path.relative_to(root)}")
+
+    for name, kinds in sorted(kinds_by_name.items()):
+        if len(kinds) > 1:
+            sites = ", ".join(f"{kind} at {where}"
+                              for kind, where in sorted(kinds.items()))
+            errors.append(f"metric \"{name}\" is registered as more than "
+                          f"one instrument kind: {sites}")
+
+    if errors:
+        print(f"lint_metrics: {len(errors)} problem(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"lint_metrics: OK ({len(kinds_by_name)} literal metric names, "
+          f"{len(DYNAMIC_FAMILIES)} dynamic families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

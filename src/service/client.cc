@@ -1,10 +1,13 @@
 #include "service/client.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace phocus {
 namespace service {
@@ -21,7 +24,10 @@ ServiceClient::ServiceClient(const std::string& host, int port,
       port_(port),
       max_frame_bytes_(max_frame_bytes),
       socket_(ConnectTcp(host, port)),
-      decoder_(max_frame_bytes) {}
+      decoder_(max_frame_bytes),
+      // Request ids only need to be unique enough to correlate one client's
+      // logs with server-side spans; pid + per-connection counter is plenty.
+      request_tag_(StrFormat("c%d", static_cast<int>(::getpid()))) {}
 
 void ServiceClient::Reconnect() {
   socket_ = ConnectTcp(host_, port_);
@@ -30,7 +36,11 @@ void ServiceClient::Reconnect() {
 
 Json ServiceClient::Call(const std::string& endpoint, Json params) {
   const std::uint64_t id = next_id_++;
-  socket_.SendAll(EncodeFrame(MakeRequest(id, endpoint, std::move(params))));
+  last_request_id_ = StrFormat(
+      "%s-%llu", request_tag_.c_str(), static_cast<unsigned long long>(id));
+  Json request = MakeRequest(id, endpoint, std::move(params));
+  request.Set("request_id", last_request_id_);
+  socket_.SendAll(EncodeFrame(request));
   std::string frame;
   while (true) {
     const FrameDecoder::Status status = decoder_.Next(&frame);
@@ -46,6 +56,11 @@ Json ServiceClient::Call(const std::string& endpoint, Json params) {
   PHOCUS_CHECK(
       static_cast<std::uint64_t>(response.GetOr("id", 0).AsInt()) == id,
       "response id mismatch");
+  // Pre-request_id servers simply omit the echo; only a wrong echo is a
+  // protocol violation.
+  PHOCUS_CHECK(!response.Has("request_id") ||
+                   response.Get("request_id").AsString() == last_request_id_,
+               "response request_id mismatch");
   if (response.Get("ok").AsBool()) {
     return response.Get("result");
   }

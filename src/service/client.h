@@ -56,6 +56,9 @@ class ServiceClient {
 
   /// Sends one request and blocks for its response. Returns the `result`
   /// object of an ok response; throws ServiceError for error responses.
+  /// Every request carries a client-generated `request_id` (read it back
+  /// via last_request_id()); servers echo it on the response and attach it
+  /// to their per-request spans and slow-request log.
   Json Call(const std::string& endpoint, Json params);
   Json Call(const std::string& endpoint) { return Call(endpoint, Json::Object()); }
 
@@ -80,11 +83,17 @@ class ServiceClient {
   std::string CreateSession(Json corpus_spec);
   Json Plan(const std::string& session, const std::string& budget);
   Json Stats() { return Call("stats"); }
+  /// Observability verbs (control plane, never queued; docs/SERVICE.md).
+  Json Metrics() { return Call("metrics"); }
+  Json Healthz() { return Call("healthz"); }
+  Json DumpFlight() { return Call("dump_flight"); }
   bool Ping();
   void Shutdown() { Call("shutdown"); }
 
   const std::string& host() const { return host_; }
   int port() const { return port_; }
+  /// The request_id sent with the most recent Call.
+  const std::string& last_request_id() const { return last_request_id_; }
 
  private:
   std::string host_;
@@ -93,6 +102,8 @@ class ServiceClient {
   Socket socket_;
   FrameDecoder decoder_;
   std::uint64_t next_id_ = 1;
+  std::string request_tag_;
+  std::string last_request_id_;
 };
 
 }  // namespace service

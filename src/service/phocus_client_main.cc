@@ -8,13 +8,17 @@
 /// photos) so the one-liner works; pass --session=s-N to reuse one. See
 /// docs/SERVICE.md for the full protocol.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/client.h"
+#include "telemetry/export.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -80,6 +84,35 @@ void PrintPlanSummary(const Json& result) {
       plan.Get("online_bound").Get("certified_ratio").AsDouble());
 }
 
+/// Renders a `metrics` verb result as an aligned report: one server summary
+/// line, the full metric table, and service latency percentiles.
+void PrintMetricsReport(const Json& result) {
+  const Json& server = result.Get("server");
+  const Json& cache = server.Get("plan_cache");
+  std::printf(
+      "queue %lld/%lld   sessions %lld%s   plan cache %lld/%lld "
+      "(hits %lld, misses %lld)   slow requests logged: %zu\n",
+      static_cast<long long>(server.Get("queue_depth").AsInt()),
+      static_cast<long long>(server.Get("queue_capacity").AsInt()),
+      static_cast<long long>(server.Get("sessions").AsInt()),
+      server.Get("draining").AsBool() ? "   DRAINING" : "",
+      static_cast<long long>(cache.Get("size").AsInt()),
+      static_cast<long long>(cache.Get("capacity").AsInt()),
+      static_cast<long long>(cache.Get("hits").AsInt()),
+      static_cast<long long>(cache.Get("misses").AsInt()),
+      result.Get("slow_requests").size());
+  const phocus::telemetry::MetricsSnapshot snapshot =
+      phocus::telemetry::MetricsFromJson(result.Get("metrics"));
+  std::printf("\n%s", phocus::telemetry::MetricsToTable(snapshot)
+                          .Render("phocusd metrics")
+                          .c_str());
+  const phocus::TextTable latency =
+      phocus::telemetry::LatencyTable(snapshot, "service.");
+  if (latency.num_rows() > 0) {
+    std::printf("\n%s", latency.Render("service latency").c_str());
+  }
+}
+
 std::string EnsureSession(phocus::service::ServiceClient& client,
                           const Args& args) {
   if (args.Has("session")) return args.Get("session", "");
@@ -105,7 +138,14 @@ int Run(int argc, char** argv) {
         "  coverage --session=s-N [--top-k=K]\n"
         "  explain --session=s-N --photo=ID\n"
         "  archive --session=s-N --dir=PATH           cold set -> vault\n"
-        "  stats | shutdown\n");
+        "  stats [--watch=N] [--json]                 metrics table; --watch\n"
+        "                                             refreshes every N seconds\n"
+        "  metrics [--prometheus]                     snapshot (table or\n"
+        "                                             Prometheus exposition)\n"
+        "  healthz                                    drain/saturation probe;\n"
+        "                                             exit 0 only when ok\n"
+        "  dump-flight [--out=PATH]                   flight-recorder events\n"
+        "  shutdown\n");
     return 0;
   }
   phocus::service::ServiceClient client(
@@ -202,8 +242,59 @@ int Run(int argc, char** argv) {
     return 0;
   }
   if (args.command == "stats") {
-    const Json result = client.Stats();
-    std::printf("%s\n", result.Dump(1).c_str());
+    if (args.Has("json")) {
+      // The pre-observability raw dump, for scripts that scrape it.
+      std::printf("%s\n", client.Stats().Dump(1).c_str());
+      return 0;
+    }
+    const int watch_seconds = std::stoi(args.Get("watch", "0"));
+    while (true) {
+      const Json result = client.Metrics();
+      if (watch_seconds > 0) {
+        std::printf("\x1b[2J\x1b[H");  // clear screen, home cursor
+        std::printf("phocusd %s:%d   refresh %ds   (ctrl-c to stop)\n\n",
+                    client.host().c_str(), client.port(), watch_seconds);
+      }
+      PrintMetricsReport(result);
+      std::fflush(stdout);
+      if (watch_seconds <= 0) break;
+      std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+    }
+    return 0;
+  }
+  if (args.command == "metrics") {
+    const Json result = client.Metrics();
+    if (args.Has("prometheus")) {
+      std::printf("%s", phocus::telemetry::MetricsToPrometheus(
+                            phocus::telemetry::MetricsFromJson(
+                                result.Get("metrics")))
+                            .c_str());
+    } else {
+      PrintMetricsReport(result);
+    }
+    return 0;
+  }
+  if (args.command == "healthz") {
+    const Json result = client.Healthz();
+    const std::string status = result.Get("status").AsString();
+    std::printf("%s  queue=%lld/%lld saturation=%.2f sessions=%lld\n",
+                status.c_str(),
+                static_cast<long long>(result.Get("queue_depth").AsInt()),
+                static_cast<long long>(result.Get("queue_capacity").AsInt()),
+                result.Get("admission_saturation").AsDouble(),
+                static_cast<long long>(result.Get("sessions").AsInt()));
+    return status == "ok" ? 0 : 1;
+  }
+  if (args.command == "dump-flight") {
+    const Json result = client.DumpFlight();
+    if (args.Has("out")) {
+      const std::string path = args.Get("out", "flight.json");
+      phocus::WriteFile(path, result.Dump(1) + "\n");
+      std::printf("wrote %zu events to %s\n", result.Get("events").size(),
+                  path.c_str());
+    } else {
+      std::printf("%s\n", result.Dump(1).c_str());
+    }
     return 0;
   }
   if (args.command == "shutdown") {

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "service/server.h"
+#include "telemetry/flight_recorder.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -61,7 +62,12 @@ int main(int argc, char** argv) {
         "  --workers=N        solver worker threads; 0 = hardware (default 0)\n"
         "  --queue=N          admission bound on outstanding requests (default 64)\n"
         "  --cache=N          plan-cache capacity in plans (default 32)\n"
-        "  --deadline-ms=F    default per-request deadline; 0 = none\n");
+        "  --deadline-ms=F    default per-request deadline; 0 = none\n"
+        "  --slow-request-ms=F  log requests slower than this with their span\n"
+        "                     tree (default: $PHOCUS_SLOW_REQUEST_MS, else off)\n"
+        "  --flight-dump=PATH where a crash writes the flight-recorder events\n"
+        "                     (default: $PHOCUS_FLIGHT_DUMP, else\n"
+        "                     phocusd_flight.json)\n");
     return 0;
   }
 
@@ -82,10 +88,20 @@ int main(int argc, char** argv) {
     if (flags.count("deadline-ms")) {
       options.default_deadline_ms = std::stod(flags.at("deadline-ms"));
     }
+    if (flags.count("slow-request-ms")) {
+      options.slow_request_ms = std::stod(flags.at("slow-request-ms"));
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "bad flag value: %s\n", error.what());
     return 2;
   }
+
+  // Always-on flight recorder: if the daemon dies (std::terminate or a
+  // fatal signal), the last events land here as JSON.
+  std::string flight_dump = "phocusd_flight.json";
+  if (const char* env = std::getenv("PHOCUS_FLIGHT_DUMP")) flight_dump = env;
+  if (flags.count("flight-dump")) flight_dump = flags.at("flight-dump");
+  telemetry::FlightRecorder::InstallCrashHandler(flight_dump);
 
   try {
     service::ServiceServer server(options);

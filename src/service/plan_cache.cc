@@ -1,5 +1,7 @@
 #include "service/plan_cache.h"
 
+#include "service/protocol.h"
+#include "telemetry/flight_recorder.h"
 #include "util/failpoint.h"
 
 namespace phocus {
@@ -52,7 +54,13 @@ void PlanCache::Insert(const std::string& key,
   }
   lru_.push_front(Entry{key, std::move(plan)});
   index_[key] = lru_.begin();
+  // Flight events carry the key's hash, not the key: enough to correlate
+  // an insert with the eviction that displaced it without logging corpus
+  // fingerprints into the crash dump.
+  telemetry::FlightRecorder::Record("plan_cache.insert", "", Fnv64(key));
   while (lru_.size() > capacity_) {
+    telemetry::FlightRecorder::Record("plan_cache.evict", "",
+                                      Fnv64(lru_.back().key));
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }

@@ -1,11 +1,13 @@
 #include "service/server.h"
 
+#include <cstdlib>
 #include <future>
 
 #include "datagen/corpus_io.h"
 #include "datagen/ecommerce.h"
 #include "datagen/openimages.h"
 #include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -84,11 +86,43 @@ Json StatsToJson(const IncrementalUpdateStats& stats) {
   return out;
 }
 
+/// Flight-recorder slots store raw const char*, so dynamic endpoint names
+/// go through the process-lifetime intern table.
+const char* EndpointLiteral(const std::string& endpoint) {
+  return telemetry::InternedName(endpoint);
+}
+
 }  // namespace
+
+void SlowRequestLog::Add(Json record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+  while (records_.size() > kMaxRecords) records_.pop_front();
+}
+
+Json SlowRequestLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json out = Json::Array();
+  for (const Json& record : records_) out.Append(record);
+  return out;
+}
+
+std::size_t SlowRequestLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
 
 ServiceServer::ServiceServer(ServerOptions options)
     : options_(std::move(options)),
-      plan_cache_(options_.plan_cache_capacity) {}
+      plan_cache_(options_.plan_cache_capacity) {
+  slow_request_ms_ = options_.slow_request_ms;
+  if (slow_request_ms_ == 0.0) {
+    if (const char* env = std::getenv("PHOCUS_SLOW_REQUEST_MS")) {
+      slow_request_ms_ = std::strtod(env, nullptr);
+    }
+  }
+  if (slow_request_ms_ < 0.0) slow_request_ms_ = 0.0;
+}
 
 ServiceServer::~ServiceServer() {
   RequestShutdown();
@@ -114,7 +148,9 @@ void ServiceServer::RequestShutdown() {
     std::lock_guard<std::mutex> lock(shutdown_mutex_);
     shutdown_requested_ = true;
   }
-  draining_.store(true);
+  if (!draining_.exchange(true)) {
+    telemetry::FlightRecorder::Record("server.drain", "requested");
+  }
   shutdown_cv_.notify_all();
 }
 
@@ -154,6 +190,7 @@ void ServiceServer::FinishShutdown() {
     if (connection->thread.joinable()) connection->thread.join();
   }
   connections_.clear();
+  telemetry::FlightRecorder::Record("server.drain", "drained");
   PHOCUS_LOG(kInfo) << "phocusd drained and stopped";
 }
 
@@ -184,6 +221,10 @@ void ServiceServer::AcceptLoop() {
 }
 
 void ServiceServer::ServeConnection(Connection* connection) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  auto& bytes_in = registry.GetCounter("service.bytes_in");
+  auto& bytes_out = registry.GetCounter("service.bytes_out");
+  auto& respond_hist = registry.GetHistogram("service.respond_ns");
   FrameDecoder decoder(options_.max_frame_bytes);
   std::string chunk;
   try {
@@ -191,29 +232,57 @@ void ServiceServer::ServeConnection(Connection* connection) {
       std::string frame;
       const FrameDecoder::Status status = decoder.Next(&frame);
       if (status == FrameDecoder::Status::kTooLarge) {
-        connection->socket.SendAll(EncodeFrame(MakeErrorResponse(
+        const std::string encoded = EncodeFrame(MakeErrorResponse(
             0, ErrorCode::kFrameTooLarge,
-            StrFormat("frame exceeds %zu bytes", decoder.max_frame_bytes()))));
+            StrFormat("frame exceeds %zu bytes", decoder.max_frame_bytes())));
+        connection->socket.SendAll(encoded);
+        bytes_out.Add(encoded.size());
         break;
       }
       if (status == FrameDecoder::Status::kNeedMore) {
+        // Drain closes the connection only here, between requests: frames
+        // already buffered still get answers (a pipelined healthz observes
+        // the "draining" status deterministically), but we never block for
+        // new bytes once shutdown has begun.
+        if (draining_.load()) break;
         chunk.clear();
         if (!connection->socket.RecvSome(&chunk)) break;  // clean EOF
+        bytes_in.Add(chunk.size());
         decoder.Append(chunk);
         continue;
       }
       connection->busy.store(true);
+      RequestObservation observation;
       Json response;
       try {
-        response = Process(Json::Parse(frame));
+        response = Process(Json::Parse(frame), &observation);
+      } catch (const failpoint::InjectedCrash&) {
+        throw;  // simulated process death; the handler below plays it out
       } catch (const CheckFailure& failure) {
         // Unparseable request: no id to echo back.
         response = MakeErrorResponse(0, ErrorCode::kBadRequest, failure.what());
       }
-      connection->socket.SendAll(EncodeFrame(response));
+      const std::string encoded = EncodeFrame(response);
+      const Stopwatch respond_timer;
+      connection->socket.SendAll(encoded);
+      const std::uint64_t respond_ns = respond_timer.ElapsedNanos();
+      bytes_out.Add(encoded.size());
+      respond_hist.Record(static_cast<double>(respond_ns));
+      FinishObservation(&observation, respond_ns);
       connection->busy.store(false);
-      if (draining_.load()) break;
     }
+  } catch (const failpoint::InjectedCrash& crash) {
+    // A crash failpoint simulates this serving thread dying mid-request.
+    // Play the part: write the automatic flight dump exactly as the
+    // std::terminate hook would, then drop the connection with no response
+    // (the peer sees a dead server). This is the only place outside a
+    // scenario harness allowed to stop an InjectedCrash from propagating —
+    // letting it escape the connection thread would std::terminate the
+    // whole daemon for a fault that tests inject deliberately.
+    telemetry::FlightRecorder::Record("server.crash");
+    telemetry::FlightRecorder::WriteCrashDump();
+    PHOCUS_LOG(kError) << "injected crash on connection thread: "
+                       << crash.what();
   } catch (const CheckFailure&) {
     // Peer vanished mid-read or mid-write; nothing left to answer.
   }
@@ -224,26 +293,53 @@ void ServiceServer::ServeConnection(Connection* connection) {
   connection->done.store(true);
 }
 
-Json ServiceServer::Process(const Json& request) {
-  auto& registry = telemetry::MetricsRegistry::Current();
+Json ServiceServer::Process(const Json& request,
+                            RequestObservation* observation) {
   std::uint64_t id = 0;
   std::string endpoint;
+  std::string request_id;
   Json params = Json::Object();
   try {
     id = static_cast<std::uint64_t>(request.GetOr("id", 0).AsInt());
     endpoint = request.Get("endpoint").AsString();
+    request_id = request.GetOr("request_id", "").AsString();
     params = request.GetOr("params", Json::Object());
   } catch (const CheckFailure& failure) {
     return MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
   }
+  observation->endpoint = endpoint;
+  observation->request_id = request_id;
+  telemetry::FlightRecorder::Record("request.start",
+                                    EndpointLiteral(endpoint), id);
+  Json response = ProcessParsed(id, endpoint, params, request_id, observation);
+  telemetry::FlightRecorder::Record(
+      "request.end", EndpointLiteral(endpoint), id,
+      response.GetOr("ok", false).AsBool() ? 1 : 0);
+  // Echo the client's request id on every response shape (ok, rejection,
+  // typed error) so client-side logs correlate with server-side spans.
+  if (!request_id.empty()) response.Set("request_id", request_id);
+  return response;
+}
+
+Json ServiceServer::ProcessParsed(std::uint64_t id,
+                                  const std::string& endpoint,
+                                  const Json& params,
+                                  const std::string& request_id,
+                                  RequestObservation* observation) {
+  auto& registry = telemetry::MetricsRegistry::Current();
   registry.GetCounter("service.requests").Increment();
 
-  // Control-plane endpoints bypass the queue: health checks and shutdown
-  // must succeed even when the data plane is saturated.
+  // Control-plane endpoints bypass the queue: health checks, observability
+  // reads and shutdown must succeed even when the data plane is saturated.
   if (endpoint == "ping") {
     Json result = Json::Object();
     result.Set("pong", true);
     return MakeOkResponse(id, std::move(result));
+  }
+  if (endpoint == "healthz") return MakeOkResponse(id, HandleHealthz());
+  if (endpoint == "metrics") return MakeOkResponse(id, HandleMetrics());
+  if (endpoint == "dump_flight") {
+    return MakeOkResponse(id, telemetry::FlightRecorder::ToJson());
   }
   if (endpoint == "shutdown") {
     RequestShutdown();
@@ -255,6 +351,7 @@ Json ServiceServer::Process(const Json& request) {
   // Admission control: reject instead of queueing without bound.
   if (draining_.load()) {
     registry.GetCounter("service.rejected.shutting_down").Increment();
+    telemetry::FlightRecorder::Record("request.reject", "shutting_down", id);
     return MakeErrorResponse(id, ErrorCode::kShuttingDown,
                              "server is draining");
   }
@@ -266,6 +363,7 @@ Json ServiceServer::Process(const Json& request) {
     if (action.kind == failpoint::ActionKind::kError ||
         action.kind == failpoint::ActionKind::kShortWrite) {
       registry.GetCounter("service.rejected.overloaded").Increment();
+      telemetry::FlightRecorder::Record("request.reject", "overloaded", id);
       return MakeErrorResponse(id, ErrorCode::kOverloaded,
                                "injected admission rejection");
     }
@@ -275,6 +373,7 @@ Json ServiceServer::Process(const Json& request) {
   if (admitted >= options_.queue_capacity) {
     admitted_.fetch_sub(1);
     registry.GetCounter("service.rejected.overloaded").Increment();
+    telemetry::FlightRecorder::Record("request.reject", "overloaded", id);
     return MakeErrorResponse(
         id, ErrorCode::kOverloaded,
         StrFormat("request queue full (%zu outstanding)",
@@ -290,42 +389,77 @@ Json ServiceServer::Process(const Json& request) {
 
   std::promise<Json> promise;
   std::future<Json> future = promise.get_future();
-  pool_->Submit([this, &registry, &promise, &params, &endpoint, id,
-                 deadline_ms, enqueue_time] {
+  pool_->Submit([this, &registry, &promise, &params, &endpoint, &request_id,
+                 observation, id, deadline_ms, enqueue_time] {
     Json response;
     // Delay-only (an exception here would escape the pool task before
     // promise.set_value and wedge the caller): stretches the apparent
     // queue wait so tests can force deadline expiry deterministically.
     PHOCUS_FAILPOINT_DELAY_ONLY("server.queue_wait");
-    const double waited_ms =
-        std::chrono::duration<double, std::milli>(
+    const std::uint64_t waited_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - enqueue_time)
-            .count();
-    if (deadline_ms > 0.0 && waited_ms > deadline_ms) {
-      registry.GetCounter("service.rejected.deadline_exceeded").Increment();
-      response = MakeErrorResponse(
-          id, ErrorCode::kDeadlineExceeded,
-          StrFormat("request waited %.1fms past its %.1fms deadline",
-                    waited_ms - deadline_ms, deadline_ms));
-    } else {
-      Stopwatch timer;
-      try {
-        response = MakeOkResponse(id, Handle(endpoint, params));
-        registry.GetCounter("service.responses.ok").Increment();
-      } catch (const ServiceError& error) {
-        response = MakeErrorResponse(id, error.code(), error.what());
-      } catch (const InfeasibleBudgetError& error) {
-        response =
-            MakeErrorResponse(id, ErrorCode::kInfeasible, error.what());
-      } catch (const CheckFailure& failure) {
-        response =
-            MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
-      } catch (const std::exception& error) {
-        response = MakeErrorResponse(id, ErrorCode::kInternal, error.what());
+            .count());
+    const double waited_ms = static_cast<double>(waited_ns) / 1e6;
+    registry.GetHistogram("service.queue_wait_ns")
+        .Record(static_cast<double>(waited_ns));
+    observation->queue_wait_ms = waited_ms;
+    // Request-scoped tracing: roots finished on this thread inside the
+    // scope land in the request-local collector, so the request's span
+    // tree (cache lookup, solve, ...) is isolated from the process-global
+    // one and can be attached to the slow-request log.
+    telemetry::TraceCollector request_trace;
+    {
+      telemetry::ScopedTraceSink sink(&request_trace);
+      telemetry::TraceSpan request_span("service.request");
+      request_span.SetAttribute("endpoint", endpoint);
+      if (!request_id.empty()) {
+        request_span.SetAttribute("request_id", request_id);
       }
-      registry.GetHistogram("service.endpoint." + endpoint + "_ns")
-          .Record(static_cast<double>(timer.ElapsedNanos()));
+      if (deadline_ms > 0.0 && waited_ms > deadline_ms) {
+        registry.GetCounter("service.rejected.deadline_exceeded").Increment();
+        request_span.SetAttribute("deadline_expired", "true");
+        response = MakeErrorResponse(
+            id, ErrorCode::kDeadlineExceeded,
+            StrFormat("request waited %.1fms past its %.1fms deadline",
+                      waited_ms - deadline_ms, deadline_ms));
+      } else {
+        Stopwatch timer;
+        try {
+          response = MakeOkResponse(id, Handle(endpoint, params));
+          registry.GetCounter("service.responses.ok").Increment();
+        } catch (const ServiceError& error) {
+          response = MakeErrorResponse(id, error.code(), error.what());
+        } catch (const InfeasibleBudgetError& error) {
+          response =
+              MakeErrorResponse(id, ErrorCode::kInfeasible, error.what());
+        } catch (const CheckFailure& failure) {
+          response =
+              MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
+        } catch (const std::exception& error) {
+          response = MakeErrorResponse(id, ErrorCode::kInternal, error.what());
+        }
+        observation->handle_ms = timer.ElapsedMillis();
+        registry.GetHistogram("service.endpoint." + endpoint + "_ns")
+            .Record(static_cast<double>(timer.ElapsedNanos()));
+      }
     }
+    std::vector<telemetry::SpanRecord> roots = request_trace.Drain();
+    if (!roots.empty()) {
+      observation->tree = std::move(roots.front());
+      // The time between admission and this task starting, as a synthetic
+      // first child on the same timeline as the real spans.
+      telemetry::SpanRecord wait;
+      wait.name = "service.request.admission_wait";
+      wait.duration_ns = waited_ns;
+      wait.start_ns = observation->tree.start_ns > waited_ns
+                          ? observation->tree.start_ns - waited_ns
+                          : 0;
+      observation->tree.children.insert(observation->tree.children.begin(),
+                                        std::move(wait));
+      observation->traced = true;
+    }
+    observation->handled = true;
     if (!response.GetOr("ok", false).AsBool()) {
       registry.GetCounter("service.responses.error").Increment();
     }
@@ -335,6 +469,50 @@ Json ServiceServer::Process(const Json& request) {
   const std::size_t remaining = admitted_.fetch_sub(1) - 1;
   registry.GetGauge("service.queue_depth").Set(static_cast<double>(remaining));
   return response;
+}
+
+void ServiceServer::FinishObservation(RequestObservation* observation,
+                                      std::uint64_t respond_ns) {
+  if (!observation->handled || slow_request_ms_ <= 0.0) return;
+  const double respond_ms = static_cast<double>(respond_ns) / 1e6;
+  const double total_ms =
+      observation->queue_wait_ms + observation->handle_ms + respond_ms;
+  if (total_ms < slow_request_ms_) return;
+  telemetry::MetricsRegistry::Current()
+      .GetCounter("service.slow_requests")
+      .Increment();
+  if (observation->traced) {
+    // Response write happens after the request span closed; splice it into
+    // the tree as a trailing child so the breakdown reads
+    // admission wait -> handling -> respond.
+    telemetry::SpanRecord respond;
+    respond.name = "service.request.respond";
+    respond.duration_ns = respond_ns;
+    const std::uint64_t now_ns = telemetry::TraceNowNs();
+    respond.start_ns = now_ns > respond_ns ? now_ns - respond_ns : 0;
+    observation->tree.children.push_back(std::move(respond));
+  }
+  Json record = Json::Object();
+  record.Set("request_id", observation->request_id);
+  record.Set("endpoint", observation->endpoint);
+  record.Set("total_ms", total_ms);
+  record.Set("queue_wait_ms", observation->queue_wait_ms);
+  record.Set("handle_ms", observation->handle_ms);
+  record.Set("respond_ms", respond_ms);
+  std::vector<telemetry::SpanRecord> spans;
+  if (observation->traced) spans.push_back(observation->tree);
+  record.Set("spans", telemetry::SpansToJson(spans));
+  PHOCUS_LOG(kWarn) << "slow request " << observation->request_id << " ("
+                    << observation->endpoint << "): "
+                    << StrFormat("%.1fms total (queue %.1fms, handle %.1fms, "
+                                 "respond %.1fms), threshold %.1fms",
+                                 total_ms, observation->queue_wait_ms,
+                                 observation->handle_ms, respond_ms,
+                                 slow_request_ms_)
+                    << (spans.empty()
+                            ? std::string()
+                            : "\n" + telemetry::RenderSpanTree(spans));
+  slow_log_.Add(std::move(record));
 }
 
 std::shared_ptr<Session> ServiceServer::FindSession(const Json& params) const {
@@ -460,6 +638,51 @@ Json ServiceServer::HandleStats() {
   result.Set("metrics",
              telemetry::MetricsToJson(
                  telemetry::MetricsRegistry::Current().Snapshot()));
+  return result;
+}
+
+Json ServiceServer::HandleMetrics() {
+  Json server = Json::Object();
+  server.Set("queue_depth", admitted_.load());
+  server.Set("queue_capacity", options_.queue_capacity);
+  server.Set("sessions", sessions_.size());
+  server.Set("draining", draining_.load());
+  server.Set("slow_request_ms", slow_request_ms_);
+  Json cache = Json::Object();
+  cache.Set("size", plan_cache_.size());
+  cache.Set("capacity", plan_cache_.capacity());
+  cache.Set("hits", plan_cache_.hits());
+  cache.Set("misses", plan_cache_.misses());
+  server.Set("plan_cache", std::move(cache));
+  Json result = Json::Object();
+  result.Set("server", std::move(server));
+  result.Set("metrics",
+             telemetry::MetricsToJson(
+                 telemetry::MetricsRegistry::Current().Snapshot()));
+  result.Set("slow_requests", slow_log_.Snapshot());
+  return result;
+}
+
+Json ServiceServer::HandleHealthz() {
+  const std::size_t depth = admitted_.load();
+  const std::size_t capacity = options_.queue_capacity;
+  const double saturation =
+      capacity == 0 ? 1.0
+                    : static_cast<double>(depth) / static_cast<double>(capacity);
+  const bool draining = draining_.load();
+  Json result = Json::Object();
+  result.Set("status", draining      ? "draining"
+                       : saturation >= 1.0 ? "overloaded"
+                                           : "ok");
+  result.Set("draining", draining);
+  result.Set("queue_depth", depth);
+  result.Set("queue_capacity", capacity);
+  result.Set("admission_saturation", saturation);
+  result.Set("sessions", sessions_.size());
+  Json tele = Json::Object();
+  tele.Set("compiled", telemetry::kCompiled);
+  tele.Set("enabled", telemetry::Enabled());
+  result.Set("telemetry", std::move(tele));
   return result;
 }
 

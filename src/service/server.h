@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include "service/protocol.h"
 #include "service/session.h"
 #include "service/socket.h"
+#include "telemetry/trace.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +60,28 @@ struct ServerOptions {
   /// Enables the `debug_sleep` endpoint (deterministic queue-pressure and
   /// drain tests). Never enable in production.
   bool enable_debug_endpoints = false;
+  /// Requests slower than this (queue wait + handling + response write) are
+  /// logged with their span tree and kept in the slow-request log exposed by
+  /// the `metrics` verb. 0 reads PHOCUS_SLOW_REQUEST_MS from the
+  /// environment (absent = disabled); negative disables unconditionally.
+  double slow_request_ms = 0.0;
+};
+
+/// Bounded log of the most recent slow requests (each a JSON record with
+/// the request id, endpoint, timing breakdown, and span tree). Thread-safe;
+/// oldest entries fall off.
+class SlowRequestLog {
+ public:
+  static constexpr std::size_t kMaxRecords = 32;
+
+  void Add(Json record);
+  /// The stored records as a JSON array, oldest first.
+  Json Snapshot() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Json> records_;
 };
 
 class ServiceServer {
@@ -96,10 +120,30 @@ class ServiceServer {
     std::atomic<bool> done{false};
   };
 
+  /// What one handled request looked like, for the slow-request check and
+  /// log. Filled by Process for admitted data-plane requests; `tree` is the
+  /// request's span tree (service.request root) when tracing was on.
+  struct RequestObservation {
+    bool handled = false;
+    bool traced = false;
+    std::string endpoint;
+    std::string request_id;
+    double queue_wait_ms = 0.0;
+    double handle_ms = 0.0;
+    telemetry::SpanRecord tree;
+  };
+
   void AcceptLoop();
   void ServeConnection(Connection* connection);
-  /// Admission + queueing + execution of one request; returns the response.
-  Json Process(const Json& request);
+  /// Admission + queueing + execution of one request; returns the response
+  /// (with the client's request_id echoed) and fills `observation`.
+  Json Process(const Json& request, RequestObservation* observation);
+  Json ProcessParsed(std::uint64_t id, const std::string& endpoint,
+                     const Json& params, const std::string& request_id,
+                     RequestObservation* observation);
+  /// Slow-request check after the response hit the wire.
+  void FinishObservation(RequestObservation* observation,
+                         std::uint64_t respond_ns);
   /// Endpoint dispatch (runs on a worker thread).
   Json Handle(const std::string& endpoint, const Json& params);
   Json HandleCreateSession(const Json& params);
@@ -108,10 +152,15 @@ class ServiceServer {
   Json HandleSetBudget(const Json& params);
   Json HandleArchiveToVault(const Json& params);
   Json HandleStats();
+  /// Control-plane observability verbs (bypass admission; docs/SERVICE.md).
+  Json HandleMetrics();
+  Json HandleHealthz();
   std::shared_ptr<Session> FindSession(const Json& params) const;
   void FinishShutdown();
 
   ServerOptions options_;
+  double slow_request_ms_ = 0.0;
+  SlowRequestLog slow_log_;
   int port_ = 0;
   std::unique_ptr<ListenSocket> listener_;
   std::unique_ptr<ThreadPool> pool_;

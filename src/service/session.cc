@@ -11,6 +11,7 @@
 #include "service/protocol.h"
 #include "storage/archiver.h"
 #include "storage/vault.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -65,12 +66,19 @@ Session::PlanOutcome Session::Plan(const ArchiveOptions& options,
   const std::string key =
       FingerprintLocked() + "|" + CanonicalOptionsKey(options);
   PlanOutcome outcome;
-  if (cache != nullptr) {
-    outcome.plan = cache->Lookup(key);
+  {
+    // Under phocusd's per-request trace sink these become children of the
+    // service.request span (docs/OBSERVABILITY.md).
+    telemetry::TraceSpan span("service.session.cache_lookup");
+    if (cache != nullptr) {
+      outcome.plan = cache->Lookup(key);
+    }
+    span.SetAttribute("hit", outcome.plan != nullptr ? "true" : "false");
   }
   if (outcome.plan != nullptr) {
     outcome.from_cache = true;
   } else {
+    telemetry::TraceSpan span("service.session.solve");
     outcome.plan = std::make_shared<const ArchivePlan>(SolveLocked(options));
     if (cache != nullptr) cache->Insert(key, outcome.plan);
   }

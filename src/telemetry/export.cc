@@ -77,7 +77,56 @@ void RenderSpanLine(const SpanRecord& span, std::uint64_t root_duration,
   }
 }
 
+/// "service.endpoint.plan_ns" -> "phocus_service_endpoint_plan_ns".
+std::string PrometheusName(const std::string& name) {
+  std::string out = "phocus_";
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
+
+void SortSpans(std::vector<SpanRecord>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.name != b.name) return a.name < b.name;
+              return a.duration_ns < b.duration_ns;
+            });
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& counter : snapshot.counters) {
+    const std::string name = PrometheusName(counter.name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                     name.c_str(),
+                     static_cast<unsigned long long>(counter.value));
+  }
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    const std::string name = PrometheusName(gauge.name);
+    out += StrFormat("# TYPE %s gauge\n%s %g\n", name.c_str(), name.c_str(),
+                     gauge.value);
+  }
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    const std::string name = PrometheusName(histogram.name);
+    out += StrFormat("# TYPE %s summary\n", name.c_str());
+    out += StrFormat("%s{quantile=\"0.5\"} %g\n", name.c_str(),
+                     histogram.p50);
+    out += StrFormat("%s{quantile=\"0.9\"} %g\n", name.c_str(),
+                     histogram.p90);
+    out += StrFormat("%s{quantile=\"0.99\"} %g\n", name.c_str(),
+                     histogram.p99);
+    out += StrFormat("%s_sum %g\n", name.c_str(), histogram.sum);
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+  }
+  return out;
+}
 
 std::string HumanDuration(double nanos) {
   if (nanos < 1e3) return StrFormat("%.0fns", nanos);
@@ -132,7 +181,11 @@ Json TelemetryToJson(const MetricsSnapshot& snapshot,
   out.Set("counters", metrics.Get("counters"));
   out.Set("gauges", metrics.Get("gauges"));
   out.Set("histograms", metrics.Get("histograms"));
-  out.Set("spans", SpansToJson(spans));
+  // Metric maps are name-sorted by construction; sorting the span roots too
+  // makes the whole export independent of thread deposit order.
+  std::vector<SpanRecord> ordered = spans;
+  SortSpans(ordered);
+  out.Set("spans", SpansToJson(ordered));
   out.Set("dropped_spans", dropped_spans);
   return out;
 }

@@ -17,6 +17,18 @@
 namespace phocus {
 namespace telemetry {
 
+/// Sorts a span forest's roots by (start_ns, name, duration_ns) so exported
+/// snapshots do not depend on which worker thread deposited first; children
+/// keep their (deterministic, single-threaded) creation order.
+/// TelemetryToJson applies this, making exports diffable across runs.
+void SortSpans(std::vector<SpanRecord>& spans);
+
+/// Metrics snapshot in the Prometheus text exposition format: names
+/// prefixed `phocus_` with dots mapped to underscores, counters and gauges
+/// as single samples, histograms as summaries (quantile-labelled samples
+/// plus `_sum` / `_count`). Deterministic: snapshot order is name-sorted.
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
 /// Metrics snapshot as a JSON object:
 ///   {"counters": {name: value},
 ///    "gauges": {name: value},

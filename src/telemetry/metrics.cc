@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "telemetry/flight_recorder.h"
 #include "util/failpoint.h"
 
 namespace phocus {
@@ -25,7 +26,12 @@ const bool g_failpoint_sink_installed = [] {
         auto& registry = MetricsRegistry::Current();
         const std::string prefix = "failpoint." + std::string(name);
         registry.GetCounter(prefix + ".hits").Increment();
-        if (triggered) registry.GetCounter(prefix + ".triggers").Increment();
+        if (triggered) {
+          registry.GetCounter(prefix + ".triggers").Increment();
+          // Triggered faults are exactly the events a post-mortem flight
+          // dump should show; hits (evaluations) would drown them out.
+          FlightRecorder::Record("failpoint.trigger", InternedName(name));
+        }
       });
   return true;
 }();

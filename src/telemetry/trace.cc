@@ -27,6 +27,10 @@ std::uint64_t SinceEpochNs(Clock::time_point t) {
 /// TraceSpan objects; LIFO construction/destruction keeps them valid.
 thread_local std::vector<SpanRecord*> t_open_spans;
 
+/// Root-span sink override for this thread (see ScopedTraceSink). Null
+/// means the process-global collector.
+thread_local TraceCollector* t_sink = nullptr;
+
 }  // namespace
 
 std::size_t SpanRecord::TotalSpans() const {
@@ -82,6 +86,8 @@ void TraceSpan::Finish(SpanRecord* out) {
   if (out != nullptr) *out = *record_;
   if (!t_open_spans.empty()) {
     t_open_spans.back()->children.push_back(std::move(*record_));
+  } else if (t_sink != nullptr) {
+    t_sink->Deposit(std::move(*record_));
   } else {
     TraceCollector::Global().Deposit(std::move(*record_));
   }
@@ -118,6 +124,18 @@ void TraceCollector::Clear() {
 TraceCollector& TraceCollector::Global() {
   static TraceCollector* collector = new TraceCollector();
   return *collector;
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceCollector* collector)
+    : previous_(t_sink) {
+  t_sink = collector;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { t_sink = previous_; }
+
+std::uint64_t TraceNowNs() {
+  Epoch();  // latch before reading so the result is on the span timeline
+  return SinceEpochNs(Clock::now());
 }
 
 }  // namespace telemetry

@@ -99,6 +99,26 @@ class TraceCollector {
   std::atomic<std::uint64_t> dropped_{0};
 };
 
+/// Redirects root spans finished on *this thread* into `collector` for the
+/// scope's lifetime (nested scopes restore the previous sink). phocusd uses
+/// one per request on the worker thread, so a request's span tree lands in a
+/// request-local collector instead of the bounded process-global one.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceCollector* collector);
+  ~ScopedTraceSink();
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceCollector* previous_;
+};
+
+/// Nanoseconds on the steady clock since the process trace epoch (latched on
+/// first use). For building synthetic SpanRecords — e.g. phocusd's
+/// admission-wait span — on the same timeline as real spans.
+std::uint64_t TraceNowNs();
+
 }  // namespace telemetry
 }  // namespace phocus
 
