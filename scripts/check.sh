@@ -8,10 +8,13 @@
 #             lsh_perf_smoke)
 #   obs       the serving-observability surface: wire verbs, flight
 #             recorder, metric-name lint (scripts/lint_metrics.py)
+#   cluster   multi-process coordinator + phocusd shard topologies under
+#             chaos (tests/cluster_test.cc)
 #   tsan      the scenario + concurrency tier rebuilt with
 #             -DPHOCUS_SANITIZE=thread
 #
-# Usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|tsan|all]   (default: all)
+# Usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|cluster|tsan|all]
+# (default: all)
 #
 # Environment: BUILD_DIR (default build), TSAN_DIR (default build-tsan),
 # JOBS (default nproc).
@@ -40,6 +43,7 @@ tier_unit()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" unit; }
 tier_scenario() { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" scenario; }
 tier_fuzz()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" fuzz; }
 tier_perf()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" perf; }
+tier_cluster()  { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" cluster; }
 
 tier_obs() {
   python3 scripts/lint_metrics.py --root .
@@ -61,6 +65,7 @@ case "$TIER" in
   fuzz)     tier_fuzz ;;
   perf)     tier_perf ;;
   obs)      tier_obs ;;
+  cluster)  tier_cluster ;;
   tsan)     tier_tsan ;;
   all)
     python3 scripts/lint_metrics.py --root .
@@ -69,10 +74,12 @@ case "$TIER" in
     run_label "$BUILD_DIR" scenario
     run_label "$BUILD_DIR" fuzz
     run_label "$BUILD_DIR" perf
+    run_label "$BUILD_DIR" cluster
     tier_tsan
     ;;
   *)
-    echo "usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|tsan|all]" >&2
+    echo "usage: scripts/check.sh" \
+         "[unit|scenario|fuzz|perf|obs|cluster|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -92,6 +92,7 @@ def main():
 
     errors = []
     kinds_by_name = {}
+    undocumented = {}  # name -> first site, for the grouped summary
 
     for path, line, kind, arg in scan_sources(root / "src"):
         where = f"{path.relative_to(root)}:{line}"
@@ -122,6 +123,7 @@ def main():
             if not documented(name, doc_text):
                 errors.append(f"{where}: metric \"{name}\" is not "
                               f"documented in {doc_path.relative_to(root)}")
+                undocumented.setdefault(name, where)
         for prefix in prefixes:
             if prefix not in DYNAMIC_FAMILIES:
                 errors.append(f"{where}: dynamic metric family \"{prefix}\" "
@@ -143,6 +145,18 @@ def main():
         print(f"lint_metrics: {len(errors)} problem(s)")
         for error in errors:
             print(f"  {error}")
+        if undocumented:
+            # Grouped by family so a whole missing catalogue (e.g. a new
+            # `coordinator.*` subsystem) reads as one actionable list.
+            print(f"\nundocumented metric names "
+                  f"(add to {doc_path.relative_to(root)}):")
+            by_family = {}
+            for name in undocumented:
+                by_family.setdefault(name.split(".")[0], []).append(name)
+            for family, names in sorted(by_family.items()):
+                print(f"  {family}.*:")
+                for name in sorted(names):
+                    print(f"    {name}  (first seen {undocumented[name]})")
         return 1
     print(f"lint_metrics: OK ({len(kinds_by_name)} literal metric names, "
           f"{len(DYNAMIC_FAMILIES)} dynamic families)")

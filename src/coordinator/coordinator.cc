@@ -1,0 +1,607 @@
+#include "coordinator/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace coordinator {
+
+using service::ErrorCode;
+using service::MakeErrorResponse;
+using service::MakeOkResponse;
+using service::ServiceError;
+
+namespace {
+
+/// Session-scoped verbs the coordinator proxies, split by whether a blind
+/// retry is safe. Mutating verbs get exactly one attempt: a retry after a
+/// dropped response could apply an update twice.
+bool IsSessionVerb(const std::string& endpoint) {
+  return endpoint == "plan" || endpoint == "update" ||
+         endpoint == "set_budget" || endpoint == "coverage" ||
+         endpoint == "explain" || endpoint == "session_info" ||
+         endpoint == "archive_to_vault" || endpoint == "close_session";
+}
+
+bool IsIdempotentVerb(const std::string& endpoint) {
+  return endpoint == "plan" || endpoint == "coverage" ||
+         endpoint == "explain" || endpoint == "session_info";
+}
+
+int HealthRank(const std::string& status) {
+  if (status == "ok") return 0;
+  if (status == "overloaded") return 1;
+  if (status == "draining") return 2;
+  return 3;  // unknown states sort worst
+}
+
+const char* HealthName(int rank) {
+  switch (rank) {
+    case 0: return "ok";
+    case 1: return "overloaded";
+    case 2: return "draining";
+    default: return "unavailable";
+  }
+}
+
+double SumField(const Json& object, const char* key) {
+  return object.GetOr(key, 0.0).AsDouble();
+}
+
+}  // namespace
+
+void MergeMetricsJson(Json* into, const Json& from) {
+  for (const char* section : {"counters", "gauges"}) {
+    if (!from.Has(section)) continue;
+    Json merged = into->GetOr(section, Json::Object());
+    for (const auto& [name, value] : from.Get(section).entries()) {
+      merged.Set(name, merged.GetOr(name, 0.0).AsDouble() + value.AsDouble());
+    }
+    into->Set(section, std::move(merged));
+  }
+  if (!from.Has("histograms")) return;
+  Json merged = into->GetOr("histograms", Json::Object());
+  for (const auto& [name, hist] : from.Get("histograms").entries()) {
+    if (!merged.Has(name)) {
+      merged.Set(name, hist);
+      continue;
+    }
+    Json combined = merged.Get(name);
+    const double count = SumField(combined, "count") + SumField(hist, "count");
+    const double sum = SumField(combined, "sum") + SumField(hist, "sum");
+    combined.Set("count", count);
+    combined.Set("sum", sum);
+    combined.Set("mean", count > 0.0 ? sum / count : 0.0);
+    for (const char* quantile : {"p50", "p90", "p99", "max"}) {
+      combined.Set(quantile, std::max(SumField(combined, quantile),
+                                      SumField(hist, quantile)));
+    }
+    merged.Set(name, std::move(combined));
+  }
+  into->Set("histograms", std::move(merged));
+}
+
+CoordinatorServer::CoordinatorServer(CoordinatorOptions options)
+    : options_(std::move(options)), ring_(options_.virtual_nodes) {
+  PHOCUS_CHECK(!options_.shards.empty(),
+               "coordinator requires at least one shard");
+  for (const ShardAddress& shard : options_.shards) {
+    ring_.AddShard(shard.name);
+  }
+  ShardPoolOptions pool_options;
+  pool_options.unhealthy_after = options_.unhealthy_after;
+  pool_options.probe_backoff_ms = options_.probe_backoff_ms;
+  pool_options.probe_backoff_max_ms = options_.probe_backoff_max_ms;
+  pool_options.retry = options_.retry;
+  // Desynchronize retry storms: every shard connection jitters its backoff
+  // on its own seeded stream.
+  pool_options.retry.decorrelated_jitter = true;
+  if (pool_options.retry.jitter_seed == 0) {
+    pool_options.retry.jitter_seed = HashRing::HashKey("coordinator.retry");
+  }
+  pool_options.max_frame_bytes = options_.max_frame_bytes;
+  pool_options.now_ms = options_.now_ms;
+  pool_ = std::make_unique<ShardPool>(options_.shards, std::move(pool_options));
+}
+
+CoordinatorServer::~CoordinatorServer() {
+  RequestShutdown();
+  if (started_.load()) {
+    std::call_once(shutdown_once_, [this] { FinishShutdown(); });
+  }
+}
+
+void CoordinatorServer::Start() {
+  PHOCUS_CHECK(!started_.load(), "Start called twice");
+  listener_ =
+      std::make_unique<service::ListenSocket>(options_.host, options_.port);
+  port_ = listener_->port();
+  const std::size_t workers = options_.fanout_workers > 0
+                                  ? options_.fanout_workers
+                                  : options_.shards.size();
+  fanout_pool_ = std::make_unique<ThreadPool>(workers);
+  started_.store(true);
+  accept_thread_ = std::thread(&CoordinatorServer::AcceptLoop, this);
+  PHOCUS_LOG(kInfo) << "phocus_coordinator listening on " << options_.host
+                    << ":" << port_ << " fronting " << options_.shards.size()
+                    << " shard(s)";
+}
+
+void CoordinatorServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  if (!draining_.exchange(true)) {
+    telemetry::FlightRecorder::Record("coordinator.drain", "requested");
+  }
+  shutdown_cv_.notify_all();
+}
+
+void CoordinatorServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  if (started_.load()) {
+    std::call_once(shutdown_once_, [this] { FinishShutdown(); });
+  }
+}
+
+void CoordinatorServer::FinishShutdown() {
+  if (listener_ != nullptr) listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  while (true) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& connection : connections_) {
+        if (connection->done.load()) continue;
+        all_done = false;
+        if (!connection->busy.load()) connection->socket.ShutdownBoth();
+      }
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  connections_.clear();
+  telemetry::FlightRecorder::Record("coordinator.drain", "drained");
+  PHOCUS_LOG(kInfo) << "phocus_coordinator drained and stopped";
+}
+
+void CoordinatorServer::AcceptLoop() {
+  auto& connection_counter = telemetry::MetricsRegistry::Current().GetCounter(
+      "coordinator.connections");
+  while (true) {
+    service::Socket socket = listener_->Accept();
+    if (!socket.valid()) break;  // listener shut down
+    if (draining_.load()) continue;
+    connection_counter.Increment();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->socket = std::move(socket);
+    connection->thread =
+        std::thread(&CoordinatorServer::ServeConnection, this, connection);
+  }
+}
+
+void CoordinatorServer::ServeConnection(Connection* connection) {
+  service::FrameDecoder decoder(options_.max_frame_bytes);
+  std::string chunk;
+  try {
+    while (true) {
+      std::string frame;
+      const service::FrameDecoder::Status status = decoder.Next(&frame);
+      if (status == service::FrameDecoder::Status::kTooLarge) {
+        connection->socket.SendAll(service::EncodeFrame(MakeErrorResponse(
+            0, ErrorCode::kFrameTooLarge,
+            StrFormat("frame exceeds %zu bytes", decoder.max_frame_bytes()))));
+        break;
+      }
+      if (status == service::FrameDecoder::Status::kNeedMore) {
+        if (draining_.load()) break;
+        chunk.clear();
+        if (!connection->socket.RecvSome(&chunk)) break;  // clean EOF
+        decoder.Append(chunk);
+        continue;
+      }
+      connection->busy.store(true);
+      Json response;
+      try {
+        response = Process(Json::Parse(frame));
+      } catch (const failpoint::InjectedCrash&) {
+        throw;
+      } catch (const CheckFailure& failure) {
+        response = MakeErrorResponse(0, ErrorCode::kBadRequest, failure.what());
+      }
+      connection->socket.SendAll(service::EncodeFrame(response));
+      connection->busy.store(false);
+    }
+  } catch (const failpoint::InjectedCrash& crash) {
+    // Same contract as phocusd's connection threads: an injected crash
+    // kills this request's connection, not the whole coordinator.
+    telemetry::FlightRecorder::Record("coordinator.crash");
+    telemetry::FlightRecorder::WriteCrashDump();
+    PHOCUS_LOG(kError) << "injected crash on coordinator connection: "
+                       << crash.what();
+  } catch (const CheckFailure&) {
+    // Peer vanished mid-read or mid-write.
+  }
+  connection->socket.ShutdownBoth();
+  connection->busy.store(false);
+  connection->done.store(true);
+}
+
+Json CoordinatorServer::Process(const Json& request) {
+  std::uint64_t id = 0;
+  std::string endpoint;
+  std::string request_id;
+  Json params = Json::Object();
+  try {
+    id = static_cast<std::uint64_t>(request.GetOr("id", 0).AsInt());
+    endpoint = request.Get("endpoint").AsString();
+    request_id = request.GetOr("request_id", "").AsString();
+    params = request.GetOr("params", Json::Object());
+  } catch (const CheckFailure& failure) {
+    return MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
+  }
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("coordinator.requests").Increment();
+  Json response;
+  try {
+    response = Dispatch(id, endpoint, params, request_id);
+  } catch (const failpoint::InjectedCrash&) {
+    throw;
+  } catch (const ServiceError& error) {
+    response = MakeErrorResponse(id, error.code(), error.message());
+  } catch (const CheckFailure& failure) {
+    response = MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
+  } catch (const std::exception& error) {
+    response = MakeErrorResponse(id, ErrorCode::kInternal, error.what());
+  }
+  const bool succeeded = response.GetOr("ok", false).AsBool();
+  registry
+      .GetCounter(succeeded ? "coordinator.responses.ok"
+                            : "coordinator.responses.error")
+      .Increment();
+  // Echo the client's request id on every response shape, exactly as
+  // phocusd does — the same id now correlates client, coordinator and
+  // shard logs.
+  if (!request_id.empty()) response.Set("request_id", request_id);
+  return response;
+}
+
+Json CoordinatorServer::Dispatch(std::uint64_t id, const std::string& endpoint,
+                                 const Json& params,
+                                 const std::string& request_id) {
+  // Control plane first: health and observability verbs answer even while
+  // draining, mirroring phocusd.
+  if (endpoint == "ping") {
+    Json result = Json::Object();
+    result.Set("pong", true);
+    result.Set("role", "coordinator");
+    result.Set("shards", pool_->size());
+    return MakeOkResponse(id, std::move(result));
+  }
+  if (endpoint == "healthz") {
+    return MakeOkResponse(id, MergedHealthz(request_id));
+  }
+  if (endpoint == "metrics") {
+    return MakeOkResponse(id, MergedMetrics(request_id));
+  }
+  if (endpoint == "dump_flight") {
+    return MakeOkResponse(id, telemetry::FlightRecorder::ToJson());
+  }
+  if (endpoint == "shards") return MakeOkResponse(id, ShardsVerb());
+  if (endpoint == "shutdown") {
+    if (params.GetOr("shards", false).AsBool()) {
+      for (std::size_t i = 0; i < pool_->size(); ++i) {
+        try {
+          pool_->Call(i, "shutdown", Json::Object(), request_id,
+                      /*idempotent=*/false);
+        } catch (const CheckFailure&) {
+          // A shard that is already down needs no shutdown.
+        }
+      }
+    }
+    RequestShutdown();
+    Json result = Json::Object();
+    result.Set("draining", true);
+    return MakeOkResponse(id, std::move(result));
+  }
+
+  if (draining_.load()) {
+    return MakeErrorResponse(id, ErrorCode::kShuttingDown,
+                             "coordinator is draining");
+  }
+
+  if (endpoint == "stats") return MakeOkResponse(id, MergedStats(request_id));
+  if (endpoint == "create_session") {
+    return MakeOkResponse(id, RouteCreateSession(params, request_id));
+  }
+  if (IsSessionVerb(endpoint)) {
+    return MakeOkResponse(id, RouteSessionVerb(endpoint, params, request_id));
+  }
+  throw ServiceError(ErrorCode::kUnknownEndpoint,
+                     "unknown endpoint: " + endpoint);
+}
+
+bool CoordinatorServer::SplitScopedSession(const std::string& scoped,
+                                           std::string* shard,
+                                           std::string* local) {
+  const std::size_t slash = scoped.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= scoped.size()) {
+    return false;
+  }
+  *shard = scoped.substr(0, slash);
+  *local = scoped.substr(slash + 1);
+  return true;
+}
+
+void CoordinatorServer::ScopeSessionField(Json* result,
+                                          const std::string& shard) {
+  if (!result->Has("session")) return;
+  result->Set("session", shard + "/" + result->Get("session").AsString());
+}
+
+Json CoordinatorServer::RouteCreateSession(const Json& params,
+                                           const std::string& request_id) {
+  // The routing key pins a corpus to a shard: explicit `routing_key` when
+  // the client wants control (top-level or inside the corpus spec, e.g. to
+  // colocate related corpora), else the serialized corpus params —
+  // identical specs land on the same shard, so a re-created session finds
+  // its plan cache warm.
+  std::string key = params.GetOr("routing_key", "").AsString();
+  if (key.empty()) {
+    key = params.GetOr("corpus", Json::Object())
+              .GetOr("routing_key", "")
+              .AsString();
+  }
+  if (key.empty()) key = params.Dump();
+  const std::string& shard_name = ring_.ShardFor(key);
+  const std::size_t shard = pool_->IndexOf(shard_name);
+  telemetry::FlightRecorder::Record("coordinator.route",
+                                    telemetry::InternedName(shard_name),
+                                    shard);
+  const Stopwatch timer;
+  Json result = pool_->Call(shard, "create_session", params, request_id,
+                            /*idempotent=*/false);
+  telemetry::MetricsRegistry::Current()
+      .GetHistogram("coordinator.route_ns")
+      .Record(static_cast<double>(timer.ElapsedNanos()));
+  telemetry::MetricsRegistry::Current()
+      .GetCounter("coordinator.proxied")
+      .Increment();
+  ScopeSessionField(&result, shard_name);
+  return result;
+}
+
+Json CoordinatorServer::RouteSessionVerb(const std::string& endpoint,
+                                         const Json& params,
+                                         const std::string& request_id) {
+  std::string shard_name;
+  std::string local;
+  const std::string scoped = params.Get("session").AsString();
+  if (!SplitScopedSession(scoped, &shard_name, &local)) {
+    throw ServiceError(
+        ErrorCode::kUnknownSession,
+        StrFormat("session id '%s' is not scoped — expected <shard>/<id> "
+                  "as returned by create_session",
+                  scoped.c_str()));
+  }
+  const std::size_t shard = pool_->IndexOf(shard_name);
+  if (shard == ShardPool::npos) {
+    throw ServiceError(ErrorCode::kUnknownSession,
+                       StrFormat("session id '%s' names shard '%s', which is "
+                                 "not in this coordinator's shard map",
+                                 scoped.c_str(), shard_name.c_str()));
+  }
+  Json forwarded = params;
+  forwarded.Set("session", local);
+  telemetry::FlightRecorder::Record("coordinator.route",
+                                    telemetry::InternedName(shard_name),
+                                    shard);
+  const Stopwatch timer;
+  Json result = pool_->Call(shard, endpoint, std::move(forwarded), request_id,
+                            IsIdempotentVerb(endpoint));
+  telemetry::MetricsRegistry::Current()
+      .GetHistogram("coordinator.route_ns")
+      .Record(static_cast<double>(timer.ElapsedNanos()));
+  telemetry::MetricsRegistry::Current()
+      .GetCounter("coordinator.proxied")
+      .Increment();
+  ScopeSessionField(&result, shard_name);
+  return result;
+}
+
+std::vector<CoordinatorServer::ShardReply> CoordinatorServer::FanOut(
+    const std::string& endpoint, const Json& params,
+    const std::string& request_id) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  registry.GetCounter("coordinator.fanouts").Increment();
+  std::vector<ShardReply> replies(pool_->size());
+  const Stopwatch timer;
+  fanout_pool_->ParallelFor(pool_->size(), [&](std::size_t shard) {
+    try {
+      replies[shard].result =
+          pool_->Call(shard, endpoint, params, request_id, /*idempotent=*/true);
+      replies[shard].ok = true;
+    } catch (const failpoint::InjectedCrash&) {
+      throw;
+    } catch (const CheckFailure& failure) {
+      replies[shard].error = failure.what();
+    }
+  });
+  registry.GetHistogram("coordinator.fanout_ns")
+      .Record(static_cast<double>(timer.ElapsedNanos()));
+  std::size_t failed = 0;
+  for (const ShardReply& reply : replies) {
+    if (!reply.ok) ++failed;
+  }
+  if (failed > 0) registry.GetCounter("coordinator.fanout.partial").Increment();
+  telemetry::FlightRecorder::Record("coordinator.fanout",
+                                    telemetry::InternedName(endpoint),
+                                    replies.size() - failed, failed);
+  return replies;
+}
+
+Json CoordinatorServer::MergedHealthz(const std::string& request_id) {
+  const std::vector<ShardReply> replies =
+      FanOut("healthz", Json::Object(), request_id);
+  Json shards = Json::Array();
+  int worst = -1;
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    Json entry = Json::Object();
+    entry.Set("shard", pool_->address(i).name);
+    if (replies[i].ok) {
+      ++reachable;
+      const std::string status =
+          replies[i].result.GetOr("status", "ok").AsString();
+      worst = std::max(worst, HealthRank(status));
+      entry.Set("status", status);
+      entry.Set("queue_depth", replies[i].result.GetOr("queue_depth", 0.0));
+      entry.Set("sessions", replies[i].result.GetOr("sessions", 0.0));
+    } else {
+      entry.Set("status", "unavailable");
+      entry.Set("error", replies[i].error);
+    }
+    entry.Set("healthy", pool_->healthy(i));
+    shards.Append(std::move(entry));
+  }
+  const bool degraded = reachable < replies.size();
+  Json result = Json::Object();
+  if (draining_.load()) {
+    result.Set("status", "draining");
+  } else if (reachable == 0) {
+    result.Set("status", "unavailable");
+  } else {
+    result.Set("status", HealthName(std::max(worst, 0)));
+  }
+  result.Set("degraded", degraded);
+  result.Set("shards", std::move(shards));
+  Json self = Json::Object();
+  self.Set("role", "coordinator");
+  self.Set("draining", draining_.load());
+  self.Set("shards_total", replies.size());
+  self.Set("shards_reachable", reachable);
+  result.Set("coordinator", std::move(self));
+  Json tele = Json::Object();
+  tele.Set("compiled", telemetry::kCompiled);
+  tele.Set("enabled", telemetry::Enabled());
+  result.Set("telemetry", std::move(tele));
+  return result;
+}
+
+Json CoordinatorServer::MergedMetrics(const std::string& request_id) {
+  const std::vector<ShardReply> replies =
+      FanOut("metrics", Json::Object(), request_id);
+  Json merged = telemetry::MetricsToJson(
+      telemetry::MetricsRegistry::Current().Snapshot());
+  double queue_depth = 0.0;
+  double sessions = 0.0;
+  Json slow = Json::Array();
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].ok) continue;
+    ++reachable;
+    MergeMetricsJson(&merged, replies[i].result.GetOr("metrics", Json::Object()));
+    const Json server = replies[i].result.GetOr("server", Json::Object());
+    queue_depth += SumField(server, "queue_depth");
+    sessions += SumField(server, "sessions");
+    for (const Json& record :
+         replies[i].result.GetOr("slow_requests", Json::Array()).items()) {
+      Json tagged = record;
+      tagged.Set("shard", pool_->address(i).name);
+      slow.Append(std::move(tagged));
+    }
+  }
+  Json server = Json::Object();
+  server.Set("role", "coordinator");
+  server.Set("shards", replies.size());
+  server.Set("shards_reachable", reachable);
+  server.Set("draining", draining_.load());
+  server.Set("queue_depth", queue_depth);
+  server.Set("sessions", sessions);
+  Json result = Json::Object();
+  result.Set("server", std::move(server));
+  result.Set("metrics", std::move(merged));
+  result.Set("slow_requests", std::move(slow));
+  result.Set("degraded", reachable < replies.size());
+  result.Set("shard_health", pool_->StatusJson());
+  return result;
+}
+
+Json CoordinatorServer::MergedStats(const std::string& request_id) {
+  const std::vector<ShardReply> replies =
+      FanOut("stats", Json::Object(), request_id);
+  double queue_depth = 0.0;
+  double queue_capacity = 0.0;
+  double sessions = 0.0;
+  double cache_size = 0.0;
+  double cache_capacity = 0.0;
+  double cache_hits = 0.0;
+  double cache_misses = 0.0;
+  Json merged = telemetry::MetricsToJson(
+      telemetry::MetricsRegistry::Current().Snapshot());
+  std::size_t reachable = 0;
+  for (const ShardReply& reply : replies) {
+    if (!reply.ok) continue;
+    ++reachable;
+    queue_depth += SumField(reply.result, "queue_depth");
+    queue_capacity += SumField(reply.result, "queue_capacity");
+    sessions += SumField(reply.result, "sessions");
+    const Json cache = reply.result.GetOr("plan_cache", Json::Object());
+    cache_size += SumField(cache, "size");
+    cache_capacity += SumField(cache, "capacity");
+    cache_hits += SumField(cache, "hits");
+    cache_misses += SumField(cache, "misses");
+    MergeMetricsJson(&merged, reply.result.GetOr("metrics", Json::Object()));
+  }
+  Json result = Json::Object();
+  result.Set("queue_depth", queue_depth);
+  result.Set("queue_capacity", queue_capacity);
+  result.Set("sessions", sessions);
+  Json cache = Json::Object();
+  cache.Set("size", cache_size);
+  cache.Set("capacity", cache_capacity);
+  cache.Set("hits", cache_hits);
+  cache.Set("misses", cache_misses);
+  result.Set("plan_cache", std::move(cache));
+  result.Set("metrics", std::move(merged));
+  result.Set("degraded", reachable < replies.size());
+  result.Set("shard_health", pool_->StatusJson());
+  return result;
+}
+
+Json CoordinatorServer::ShardsVerb() const {
+  Json result = Json::Object();
+  result.Set("virtual_nodes", ring_.virtual_nodes());
+  result.Set("shards", pool_->StatusJson());
+  return result;
+}
+
+}  // namespace coordinator
+}  // namespace phocus

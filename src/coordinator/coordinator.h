@@ -1,0 +1,174 @@
+#ifndef PHOCUS_COORDINATOR_COORDINATOR_H_
+#define PHOCUS_COORDINATOR_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coordinator/hash_ring.h"
+#include "coordinator/shard_pool.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+/// \file coordinator.h
+/// phocus_coordinator: a stateless router in front of N phocusd shards.
+/// It speaks the same length-prefixed JSON protocol as phocusd on both
+/// sides, so existing clients (phocus_client, ServiceClient) point at the
+/// coordinator unchanged.
+///
+/// Routing (docs/COORDINATOR.md):
+///
+///  - `create_session` picks the owning shard by consistent-hashing the
+///    request's routing key (`params.routing_key`, else the canonical dump
+///    of the corpus params) on the HashRing, then rewrites the shard-local
+///    session id `s-N` to the scoped form `<shard>/s-N`,
+///  - every session-scoped verb (plan, update, set_budget, coverage,
+///    explain, session_info, archive_to_vault, close_session) parses the
+///    scoped id back into (shard, local id) and proxies directly — the
+///    coordinator holds no session table,
+///  - `stats`, `metrics` and `healthz` fan out to every shard in parallel
+///    and merge: counters sum, health rolls up to the worst shard state,
+///    and unreachable shards flip `degraded: true` instead of failing the
+///    whole call,
+///  - shard failures flow through ShardPool's health machine; requests for
+///    a shard that is down surface the typed `shard_unavailable` error.
+///
+/// The coordinator is observable the same way phocusd is: `coordinator.*`
+/// metrics (docs/OBSERVABILITY.md), flight-recorder events for routing,
+/// fan-out and shard state transitions, and request_id propagation from
+/// the client through to the owning shard.
+
+namespace phocus {
+namespace coordinator {
+
+struct CoordinatorOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via port().
+  int port = 0;
+  /// The phocusd shards to front. At least one.
+  std::vector<ShardAddress> shards;
+  /// Ring points per shard (HashRing).
+  std::size_t virtual_nodes = 64;
+  /// ShardPool health machine (see shard_pool.h).
+  int unhealthy_after = 3;
+  double probe_backoff_ms = 100.0;
+  double probe_backoff_max_ms = 5000.0;
+  /// Retry for idempotent proxied calls. `decorrelated_jitter` is forced on
+  /// (seeded per shard index) so a retry storm against a struggling shard
+  /// desynchronizes instead of thundering.
+  service::RetryPolicy retry;
+  std::size_t max_frame_bytes = service::kDefaultMaxFrameBytes;
+  /// Fan-out worker threads; 0 sizes to the shard count.
+  std::size_t fanout_workers = 0;
+  /// Injectable clock for the shard health machine (tests).
+  std::function<double()> now_ms;
+};
+
+class CoordinatorServer {
+ public:
+  explicit CoordinatorServer(CoordinatorOptions options);
+  ~CoordinatorServer();
+
+  CoordinatorServer(const CoordinatorServer&) = delete;
+  CoordinatorServer& operator=(const CoordinatorServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Throws CheckFailure when
+  /// the address is unavailable.
+  void Start();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// Graceful drain, same contract as ServiceServer: stop accepting, finish
+  /// in-flight requests, then Wait() returns.
+  void RequestShutdown();
+  void Wait();
+
+  /// The routing ring and shard health pool, exposed for tests and the
+  /// `shards` verb.
+  const HashRing& ring() const { return ring_; }
+  ShardPool& pool() { return *pool_; }
+
+  /// Splits a scoped session id "<shard>/<local>" at the first slash
+  /// (shard names contain colons, never slashes). Returns false when the
+  /// id has no scope prefix.
+  static bool SplitScopedSession(const std::string& scoped, std::string* shard,
+                                 std::string* local);
+
+ private:
+  struct Connection {
+    service::Socket socket;
+    std::thread thread;
+    std::atomic<bool> busy{false};
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Parses and dispatches one request frame; always returns a response
+  /// with the client's id and request_id echoed.
+  Json Process(const Json& request);
+  Json Dispatch(std::uint64_t id, const std::string& endpoint,
+                const Json& params, const std::string& request_id);
+
+  /// Single-shard proxying.
+  Json RouteCreateSession(const Json& params, const std::string& request_id);
+  Json RouteSessionVerb(const std::string& endpoint, const Json& params,
+                        const std::string& request_id);
+  /// Rewrites a shard-local `session` field to the scoped form in place.
+  static void ScopeSessionField(Json* result, const std::string& shard);
+
+  /// Fan-out + merge.
+  struct ShardReply {
+    bool ok = false;
+    Json result;          ///< valid when ok
+    std::string error;    ///< human-readable when !ok
+  };
+  /// Calls `endpoint` on every shard in parallel; one entry per shard.
+  std::vector<ShardReply> FanOut(const std::string& endpoint,
+                                 const Json& params,
+                                 const std::string& request_id);
+  Json MergedHealthz(const std::string& request_id);
+  Json MergedMetrics(const std::string& request_id);
+  Json MergedStats(const std::string& request_id);
+  Json ShardsVerb() const;
+
+  CoordinatorOptions options_;
+  HashRing ring_;
+  std::unique_ptr<ShardPool> pool_;
+  std::unique_ptr<ThreadPool> fanout_pool_;
+
+  int port_ = 0;
+  std::unique_ptr<service::ListenSocket> listener_;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::once_flag shutdown_once_;
+  void FinishShutdown();
+};
+
+/// Merges one phocusd metrics snapshot (the `{counters, gauges, histograms}`
+/// shape of MetricsToJson) into `into`: counters and gauges sum; histogram
+/// count/sum add, max takes the max, and the percentile fields (p50/p90/p99)
+/// take the per-shard max — a deliberate worst-case approximation, since
+/// true quantiles cannot be recovered from summaries. Exposed for tests.
+void MergeMetricsJson(Json* into, const Json& from);
+
+}  // namespace coordinator
+}  // namespace phocus
+
+#endif  // PHOCUS_COORDINATOR_COORDINATOR_H_

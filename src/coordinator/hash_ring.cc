@@ -1,0 +1,66 @@
+#include "coordinator/hash_ring.h"
+
+#include "service/protocol.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace coordinator {
+
+HashRing::HashRing(std::size_t virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  PHOCUS_CHECK(virtual_nodes_ > 0, "virtual_nodes must be positive");
+}
+
+std::uint64_t HashRing::HashKey(std::string_view key) {
+  // FNV-1a alone clusters badly on short, similar strings ("shard-2#17"):
+  // its upper bits avalanche poorly, and ring placement uses the full
+  // 64-bit value. Running the digest through a splitmix64-style finalizer
+  // restores uniformity (balance is pinned by the ring tests).
+  std::uint64_t hash = service::Fnv64(key);
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+void HashRing::AddShard(const std::string& name) {
+  PHOCUS_CHECK(!name.empty(), "shard name must be non-empty");
+  if (shards_.insert(name).second) Rebuild();
+}
+
+bool HashRing::RemoveShard(const std::string& name) {
+  if (shards_.erase(name) == 0) return false;
+  Rebuild();
+  return true;
+}
+
+void HashRing::Rebuild() {
+  // Canonical construction from the sorted shard set: iterating shards_ in
+  // order and keeping the first owner of a collided point makes the mapping
+  // independent of Add/Remove call order.
+  ring_.clear();
+  for (const std::string& shard : shards_) {
+    for (std::size_t replica = 0; replica < virtual_nodes_; ++replica) {
+      const std::uint64_t point =
+          HashKey(StrFormat("%s#%zu", shard.c_str(), replica));
+      ring_.emplace(point, shard);  // emplace: keep the existing owner
+    }
+  }
+}
+
+const std::string& HashRing::ShardFor(std::string_view key) const {
+  PHOCUS_CHECK(!ring_.empty(), "hash ring has no shards");
+  const std::uint64_t point = HashKey(key);
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::string> HashRing::shard_names() const {
+  return std::vector<std::string>(shards_.begin(), shards_.end());
+}
+
+}  // namespace coordinator
+}  // namespace phocus

@@ -1,0 +1,68 @@
+#ifndef PHOCUS_COORDINATOR_HASH_RING_H_
+#define PHOCUS_COORDINATOR_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file hash_ring.h
+/// Consistent-hash ring with virtual nodes: the coordinator's routing
+/// function from a corpus/session routing key to the shard that owns it.
+///
+/// Each shard contributes `virtual_nodes` points on a 64-bit ring (the
+/// FNV-1a hash of "<shard>#<replica>"); a key routes to the first shard
+/// point clockwise from the key's hash. Properties the tests pin down
+/// (tests/coordinator_test.cc):
+///
+///  - deterministic: the mapping is a pure function of the shard set and
+///    the virtual-node count — identical across processes and runs, and
+///    independent of the order shards were added or removed in (the ring
+///    is rebuilt canonically from the sorted shard set on every change),
+///  - stable under membership change: removing one of N shards moves only
+///    the keys that shard owned (~1/N of them); adding a shard steals
+///    ~1/(N+1) — nothing else reshuffles,
+///  - balanced: with enough virtual nodes (the default 64 per shard) the
+///    per-shard key share stays within a small factor of 1/N.
+
+namespace phocus {
+namespace coordinator {
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t virtual_nodes = 64);
+
+  /// Adds / removes one shard by name. Idempotent; Remove returns false if
+  /// the shard was not present. Both rebuild the ring canonically, so the
+  /// resulting mapping never depends on call order.
+  void AddShard(const std::string& name);
+  bool RemoveShard(const std::string& name);
+
+  /// The owning shard for a key. Requires a non-empty ring.
+  const std::string& ShardFor(std::string_view key) const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t virtual_nodes() const { return virtual_nodes_; }
+  /// Shard names, sorted.
+  std::vector<std::string> shard_names() const;
+
+  /// The ring's hash (FNV-1a 64), exposed so tests and tooling can reason
+  /// about placement without a ring instance.
+  static std::uint64_t HashKey(std::string_view key);
+
+ private:
+  void Rebuild();
+
+  std::size_t virtual_nodes_;
+  std::set<std::string> shards_;
+  /// ring point -> shard name; ties (64-bit collisions) resolve to the
+  /// lexicographically smallest name, keeping the mapping order-free.
+  std::map<std::uint64_t, std::string> ring_;
+};
+
+}  // namespace coordinator
+}  // namespace phocus
+
+#endif  // PHOCUS_COORDINATOR_HASH_RING_H_

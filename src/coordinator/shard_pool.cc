@@ -1,0 +1,236 @@
+#include "coordinator/shard_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "telemetry/flight_recorder.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace phocus {
+namespace coordinator {
+
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::vector<ShardAddress> ParseShardList(std::string_view list) {
+  std::vector<ShardAddress> shards;
+  for (const std::string& entry : Split(std::string(list), ',')) {
+    const std::string trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    const std::size_t colon = trimmed.rfind(':');
+    PHOCUS_CHECK(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < trimmed.size(),
+                 StrFormat("bad shard address '%s': expected host:port",
+                           trimmed.c_str()));
+    ShardAddress address;
+    address.name = trimmed;
+    address.host = trimmed.substr(0, colon);
+    try {
+      address.port = std::stoi(trimmed.substr(colon + 1));
+    } catch (const std::exception&) {
+      PHOCUS_CHECK(false, StrFormat("bad shard port in '%s'", trimmed.c_str()));
+    }
+    PHOCUS_CHECK(address.port > 0 && address.port < 65536,
+                 StrFormat("shard port out of range in '%s'", trimmed.c_str()));
+    shards.push_back(std::move(address));
+  }
+  return shards;
+}
+
+ShardPool::ShardPool(std::vector<ShardAddress> shards, ShardPoolOptions options)
+    : options_(std::move(options)),
+      failures_counter_(telemetry::MetricsRegistry::Current().GetCounter(
+          "coordinator.shard.failures")),
+      reinstated_counter_(telemetry::MetricsRegistry::Current().GetCounter(
+          "coordinator.shard.reinstated")),
+      unhealthy_gauge_(telemetry::MetricsRegistry::Current().GetGauge(
+          "coordinator.shard.unhealthy")) {
+  PHOCUS_CHECK(!shards.empty(), "shard pool requires at least one shard");
+  PHOCUS_CHECK(options_.unhealthy_after > 0, "unhealthy_after must be >= 1");
+  for (ShardAddress& address : shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->address = std::move(address);
+    shards_.push_back(std::move(shard));
+  }
+  unhealthy_gauge_.Set(0.0);
+}
+
+const ShardAddress& ShardPool::address(std::size_t shard) const {
+  PHOCUS_CHECK(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->address;
+}
+
+std::size_t ShardPool::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->address.name == name) return i;
+  }
+  return npos;
+}
+
+double ShardPool::Now() const {
+  return options_.now_ms ? options_.now_ms() : SteadyNowMs();
+}
+
+Json ShardPool::Call(std::size_t shard_index, const std::string& endpoint,
+                     Json params, const std::string& request_id,
+                     bool idempotent) {
+  PHOCUS_CHECK(shard_index < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[shard_index];
+  // Held across the wire call: requests to the same shard serialize over its
+  // one connection while distinct shards proceed in parallel.
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  const double now = Now();
+  if (!shard.healthy && now < shard.next_probe_ms) {
+    telemetry::MetricsRegistry::Current()
+        .GetCounter("coordinator.rejected.shard_unavailable")
+        .Increment();
+    throw service::ServiceError(
+        service::ErrorCode::kShardUnavailable,
+        StrFormat("shard %s is unhealthy (next probe in %.0f ms)",
+                  shard.address.name.c_str(), shard.next_probe_ms - now));
+  }
+
+  try {
+    if (!shard.client) {
+      shard.client = std::make_unique<service::ServiceClient>(
+          shard.address.host, shard.address.port, options_.max_frame_bytes);
+    }
+    Json result = idempotent
+                      ? shard.client->CallIdempotent(endpoint, std::move(params),
+                                                     options_.retry, request_id)
+                      : shard.client->Call(endpoint, std::move(params),
+                                           request_id);
+    if (shard.consecutive_failures > 0 || !shard.healthy) Reinstate(shard);
+    return result;
+  } catch (const service::ServiceError&) {
+    // A typed error frame proves the shard process is alive and parsing
+    // requests — it clears the failure streak and reinstates.
+    if (shard.consecutive_failures > 0 || !shard.healthy) Reinstate(shard);
+    throw;
+  } catch (const failpoint::InjectedCrash&) {
+    throw;  // only scenario harnesses may absorb an injected crash
+  } catch (const CheckFailure& failure) {
+    shard.client.reset();  // force a fresh dial next attempt
+    RecordFailure(shard, Now());
+    telemetry::MetricsRegistry::Current()
+        .GetCounter("coordinator.rejected.shard_unavailable")
+        .Increment();
+    throw service::ServiceError(
+        service::ErrorCode::kShardUnavailable,
+        StrFormat("shard %s unreachable: %s", shard.address.name.c_str(),
+                  failure.what()));
+  }
+}
+
+void ShardPool::RecordFailure(Shard& shard, double now) {
+  ++shard.transport_failures;
+  failures_counter_.Increment();
+  if (shard.healthy) {
+    ++shard.consecutive_failures;
+    if (shard.consecutive_failures >= options_.unhealthy_after) {
+      shard.healthy = false;
+      shard.backoff_ms = options_.probe_backoff_ms;
+      shard.next_probe_ms = now + shard.backoff_ms;
+      UpdateUnhealthyGauge();
+      telemetry::FlightRecorder::Record(
+          "coordinator.shard_state",
+          telemetry::InternedName(shard.address.name),
+          /*arg0=*/0, static_cast<std::uint64_t>(shard.backoff_ms));
+      PHOCUS_LOG(kWarn) << "shard " << shard.address.name
+                        << " marked unhealthy after "
+                        << shard.consecutive_failures
+                        << " consecutive transport failures";
+    }
+  } else {
+    // Failed probe: double the backoff up to the cap and reschedule.
+    shard.backoff_ms =
+        std::min(shard.backoff_ms * 2.0, options_.probe_backoff_max_ms);
+    shard.next_probe_ms = now + shard.backoff_ms;
+  }
+}
+
+void ShardPool::Reinstate(Shard& shard) {
+  const bool was_unhealthy = !shard.healthy;
+  shard.healthy = true;
+  shard.consecutive_failures = 0;
+  shard.backoff_ms = 0.0;
+  shard.next_probe_ms = 0.0;
+  if (was_unhealthy) {
+    ++shard.reinstatements;
+    reinstated_counter_.Increment();
+    UpdateUnhealthyGauge();
+    telemetry::FlightRecorder::Record(
+        "coordinator.shard_state",
+        telemetry::InternedName(shard.address.name),
+        /*arg0=*/1);
+    PHOCUS_LOG(kInfo) << "shard " << shard.address.name << " reinstated";
+  }
+}
+
+void ShardPool::UpdateUnhealthyGauge() const {
+  std::size_t unhealthy = 0;
+  for (const auto& shard : shards_) {
+    // Racy read is fine: the gauge is advisory and settles immediately.
+    if (!shard->healthy) ++unhealthy;
+  }
+  unhealthy_gauge_.Set(static_cast<double>(unhealthy));
+}
+
+bool ShardPool::healthy(std::size_t shard) const {
+  PHOCUS_CHECK(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->healthy.load(std::memory_order_relaxed);
+}
+
+std::size_t ShardPool::healthy_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (healthy(i)) ++count;
+  }
+  return count;
+}
+
+ShardPool::ShardStatus ShardPool::status(std::size_t shard_index) const {
+  PHOCUS_CHECK(shard_index < shards_.size(), "shard index out of range");
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ShardStatus status;
+  status.name = shard.address.name;
+  status.healthy = shard.healthy;
+  status.consecutive_failures = shard.consecutive_failures;
+  status.transport_failures = shard.transport_failures;
+  status.reinstatements = shard.reinstatements;
+  status.backoff_ms = shard.backoff_ms;
+  status.next_probe_ms = shard.next_probe_ms;
+  return status;
+}
+
+Json ShardPool::StatusJson() const {
+  Json shards = Json::Array();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardStatus status_i = status(i);
+    Json entry = Json::Object();
+    entry.Set("shard", Json(status_i.name));
+    entry.Set("healthy", Json(status_i.healthy));
+    entry.Set("consecutive_failures",
+              Json(static_cast<double>(status_i.consecutive_failures)));
+    entry.Set("transport_failures",
+              Json(static_cast<double>(status_i.transport_failures)));
+    entry.Set("backoff_ms", Json(status_i.backoff_ms));
+    shards.Append(std::move(entry));
+  }
+  return shards;
+}
+
+}  // namespace coordinator
+}  // namespace phocus

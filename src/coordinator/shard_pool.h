@@ -1,0 +1,134 @@
+#ifndef PHOCUS_COORDINATOR_SHARD_POOL_H_
+#define PHOCUS_COORDINATOR_SHARD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "telemetry/metrics.h"
+#include "util/json.h"
+
+/// \file shard_pool.h
+/// The coordinator's view of its phocusd shards: one entry per shard
+/// holding a lazily-dialed ServiceClient plus a health state machine.
+///
+/// Health model (docs/COORDINATOR.md):
+///
+///  - a shard starts healthy; every call that completes at the transport
+///    level (an ok response *or* a typed error response — either proves the
+///    process is alive) resets its failure streak,
+///  - `unhealthy_after` consecutive transport failures (dial refused,
+///    connection dropped mid-call, retries exhausted) mark it unhealthy,
+///  - an unhealthy shard fails fast: calls throw the typed
+///    `shard_unavailable` error without touching the network, except that
+///    once the capped-exponential probe backoff has elapsed the next call
+///    is let through as a probe — success reinstates the shard, failure
+///    doubles the backoff (up to `probe_backoff_max_ms`),
+///  - all timing flows through the injectable `now_ms` clock and the retry
+///    policy's `sleep_fn`, so scenario tests run the whole recover/reinstate
+///    cycle in zero wall-clock time.
+///
+/// Transitions are mirrored into the `coordinator.shard.*` metrics and
+/// `coordinator.shard_state` flight-recorder events.
+
+namespace phocus {
+namespace coordinator {
+
+struct ShardAddress {
+  std::string name;  ///< ring / session-prefix identity, e.g. "127.0.0.1:7411"
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "host:port,host:port,..." into addresses named after themselves.
+std::vector<ShardAddress> ParseShardList(std::string_view list);
+
+struct ShardPoolOptions {
+  /// Consecutive transport failures before a shard is marked unhealthy.
+  int unhealthy_after = 3;
+  /// First probe delay after a shard goes unhealthy; doubles per failed
+  /// probe up to the cap.
+  double probe_backoff_ms = 100.0;
+  double probe_backoff_max_ms = 5000.0;
+  /// Per-call retry for idempotent proxy calls (transport failures redial;
+  /// decorrelated jitter is enabled per shard by the coordinator).
+  service::RetryPolicy retry;
+  std::size_t max_frame_bytes = service::kDefaultMaxFrameBytes;
+  /// Monotonic clock in milliseconds; null = steady_clock. Tests inject a
+  /// FakeClock so probe schedules are deterministic.
+  std::function<double()> now_ms;
+};
+
+class ShardPool {
+ public:
+  ShardPool(std::vector<ShardAddress> shards, ShardPoolOptions options);
+
+  std::size_t size() const { return shards_.size(); }
+  const ShardAddress& address(std::size_t shard) const;
+  /// Index of the shard named `name`; npos when unknown.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t IndexOf(std::string_view name) const;
+
+  /// Executes one request against `shard`. Idempotent calls retry per the
+  /// pool's policy; non-idempotent ones get a single attempt. Typed shard
+  /// errors propagate as-is (they prove liveness); transport failures are
+  /// folded into the health machine and surface as the typed
+  /// `shard_unavailable` ServiceError. Calls against the same shard
+  /// serialize; different shards proceed in parallel.
+  Json Call(std::size_t shard, const std::string& endpoint, Json params,
+            const std::string& request_id, bool idempotent);
+
+  bool healthy(std::size_t shard) const;
+  std::size_t healthy_count() const;
+
+  struct ShardStatus {
+    std::string name;
+    bool healthy = true;
+    int consecutive_failures = 0;
+    std::uint64_t transport_failures = 0;
+    std::uint64_t reinstatements = 0;
+    double backoff_ms = 0.0;       ///< current probe backoff (unhealthy only)
+    double next_probe_ms = 0.0;    ///< clock time of the next allowed probe
+  };
+  ShardStatus status(std::size_t shard) const;
+  /// Per-shard states as a JSON array (the `shards` verb and health rollups).
+  Json StatusJson() const;
+
+ private:
+  struct Shard {
+    ShardAddress address;
+    mutable std::mutex mutex;
+    std::unique_ptr<service::ServiceClient> client;
+    /// Atomic so the unhealthy gauge and healthy() can read across shards
+    /// without taking every shard's mutex; writes happen under `mutex`.
+    std::atomic<bool> healthy{true};
+    int consecutive_failures = 0;
+    std::uint64_t transport_failures = 0;
+    std::uint64_t reinstatements = 0;
+    double backoff_ms = 0.0;
+    double next_probe_ms = 0.0;
+  };
+
+  double Now() const;
+  void RecordFailure(Shard& shard, double now);
+  void Reinstate(Shard& shard);
+  void UpdateUnhealthyGauge() const;
+
+  ShardPoolOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  telemetry::Counter& failures_counter_;
+  telemetry::Counter& reinstated_counter_;
+  telemetry::Gauge& unhealthy_gauge_;
+};
+
+}  // namespace coordinator
+}  // namespace phocus
+
+#endif  // PHOCUS_COORDINATOR_SHARD_POOL_H_

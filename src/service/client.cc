@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace phocus {
@@ -34,10 +35,14 @@ void ServiceClient::Reconnect() {
   decoder_ = FrameDecoder(max_frame_bytes_);
 }
 
-Json ServiceClient::Call(const std::string& endpoint, Json params) {
+Json ServiceClient::Call(const std::string& endpoint, Json params,
+                         const std::string& request_id) {
   const std::uint64_t id = next_id_++;
-  last_request_id_ = StrFormat(
-      "%s-%llu", request_tag_.c_str(), static_cast<unsigned long long>(id));
+  last_request_id_ =
+      request_id.empty()
+          ? StrFormat("%s-%llu", request_tag_.c_str(),
+                      static_cast<unsigned long long>(id))
+          : request_id;
   Json request = MakeRequest(id, endpoint, std::move(params));
   request.Set("request_id", last_request_id_);
   socket_.SendAll(EncodeFrame(request));
@@ -70,14 +75,18 @@ Json ServiceClient::Call(const std::string& endpoint, Json params) {
 }
 
 Json ServiceClient::CallIdempotent(const std::string& endpoint, Json params,
-                                   const RetryPolicy& policy) {
+                                   const RetryPolicy& policy,
+                                   const std::string& request_id) {
   PHOCUS_CHECK(policy.max_attempts >= 1, "max_attempts must be at least 1");
+  // Decorrelated-jitter stream (only advanced when the policy enables it);
+  // the seed fully determines the schedule, so tests replay it exactly.
+  Rng jitter_rng(policy.jitter_seed);
   double backoff_ms = policy.initial_backoff_ms;
   for (int attempt = 1;; ++attempt) {
     bool redial = false;
     try {
       if (!socket_.valid()) Reconnect();
-      return Call(endpoint, params);  // params copied: retries resend it
+      return Call(endpoint, params, request_id);  // params copied for resend
     } catch (const ServiceError& error) {
       if (attempt >= policy.max_attempts || !IsRetryableError(error.code())) {
         throw;
@@ -89,6 +98,15 @@ Json ServiceClient::CallIdempotent(const std::string& endpoint, Json params,
       redial = true;
     }
     if (redial) socket_.Close();
+    if (policy.decorrelated_jitter) {
+      // Decorrelated jitter: next wait ~ U[initial, 3 * previous wait],
+      // capped. Breaks up retry synchronization across clients while each
+      // seeded stream stays reproducible bit-for-bit.
+      const double lo = policy.initial_backoff_ms;
+      const double hi =
+          std::min(policy.max_backoff_ms, std::max(lo, 3.0 * backoff_ms));
+      backoff_ms = hi <= lo ? lo : jitter_rng.Uniform(lo, hi);
+    }
     if (backoff_ms > 0.0) {
       if (policy.sleep_fn) {
         policy.sleep_fn(backoff_ms);
@@ -97,8 +115,10 @@ Json ServiceClient::CallIdempotent(const std::string& endpoint, Json params,
             std::chrono::duration<double, std::milli>(backoff_ms));
       }
     }
-    backoff_ms = std::min(backoff_ms * policy.backoff_multiplier,
-                          policy.max_backoff_ms);
+    if (!policy.decorrelated_jitter) {
+      backoff_ms = std::min(backoff_ms * policy.backoff_multiplier,
+                            policy.max_backoff_ms);
+    }
   }
 }
 

@@ -36,6 +36,15 @@ struct RetryPolicy {
   /// Sleep hook; tests inject a recorder so no wall-clock time passes.
   /// Null means really sleep.
   std::function<void(double ms)> sleep_fn;
+  /// Decorrelated jitter: when enabled, each wait is drawn uniformly from
+  /// [initial_backoff_ms, min(max_backoff_ms, 3 * previous wait)] instead
+  /// of the multiplicative schedule above, so N clients hammering a
+  /// recovering server spread their retries out instead of synchronizing
+  /// into storms. The draw comes from a seeded xoshiro stream: equal seeds
+  /// replay the exact same schedule (tests stay deterministic), distinct
+  /// seeds decorrelate. Off by default.
+  bool decorrelated_jitter = false;
+  std::uint64_t jitter_seed = 0;
 };
 
 /// True for error codes an idempotent retry can help with (transient
@@ -56,10 +65,14 @@ class ServiceClient {
 
   /// Sends one request and blocks for its response. Returns the `result`
   /// object of an ok response; throws ServiceError for error responses.
-  /// Every request carries a client-generated `request_id` (read it back
-  /// via last_request_id()); servers echo it on the response and attach it
-  /// to their per-request spans and slow-request log.
-  Json Call(const std::string& endpoint, Json params);
+  /// Every request carries a `request_id` (read it back via
+  /// last_request_id()); servers echo it on the response and attach it to
+  /// their per-request spans and slow-request log. By default the id is
+  /// client-generated; a proxy forwarding someone else's request passes
+  /// that caller's id as `request_id` instead, so one id traces the call
+  /// end-to-end (client -> coordinator -> shard).
+  Json Call(const std::string& endpoint, Json params,
+            const std::string& request_id = "");
   Json Call(const std::string& endpoint) { return Call(endpoint, Json::Object()); }
 
   /// Like Call, but retries per `policy`: a transport failure drops the
@@ -68,7 +81,8 @@ class ServiceClient {
   /// attempt's failure propagates unchanged. Use only for idempotent
   /// endpoints.
   Json CallIdempotent(const std::string& endpoint, Json params,
-                      const RetryPolicy& policy = {});
+                      const RetryPolicy& policy = {},
+                      const std::string& request_id = "");
   Json CallIdempotent(const std::string& endpoint) {
     return CallIdempotent(endpoint, Json::Object());
   }

@@ -7,6 +7,11 @@
 /// `plan` without --session creates a demo session first (400 generated
 /// photos) so the one-liner works; pass --session=s-N to reuse one. See
 /// docs/SERVICE.md for the full protocol.
+///
+/// The same client drives a sharded cluster: point --endpoint (or
+/// --host/--port) at a phocus_coordinator and every command works
+/// unchanged — sessions come back scoped (`<shard>/s-N`), and healthz /
+/// stats / metrics report the merged cluster view (docs/COORDINATOR.md).
 
 #include <chrono>
 #include <cstdio>
@@ -85,26 +90,42 @@ void PrintPlanSummary(const Json& result) {
 }
 
 /// Renders a `metrics` verb result as an aligned report: one server summary
-/// line, the full metric table, and service latency percentiles.
+/// line, the full metric table, and service latency percentiles. Handles
+/// both shapes: a single phocusd (plan-cache block) and a coordinator's
+/// merged cluster view (shard roll-up, possibly degraded).
 void PrintMetricsReport(const Json& result) {
-  const Json& server = result.Get("server");
-  const Json& cache = server.Get("plan_cache");
-  std::printf(
-      "queue %lld/%lld   sessions %lld%s   plan cache %lld/%lld "
-      "(hits %lld, misses %lld)   slow requests logged: %zu\n",
-      static_cast<long long>(server.Get("queue_depth").AsInt()),
-      static_cast<long long>(server.Get("queue_capacity").AsInt()),
-      static_cast<long long>(server.Get("sessions").AsInt()),
-      server.Get("draining").AsBool() ? "   DRAINING" : "",
-      static_cast<long long>(cache.Get("size").AsInt()),
-      static_cast<long long>(cache.Get("capacity").AsInt()),
-      static_cast<long long>(cache.Get("hits").AsInt()),
-      static_cast<long long>(cache.Get("misses").AsInt()),
-      result.Get("slow_requests").size());
+  const Json server = result.Get("server");
+  if (server.Has("shards")) {
+    std::printf(
+        "coordinator: %lld/%lld shards reachable%s%s   queue %lld   "
+        "sessions %lld   slow requests logged: %zu\n",
+        static_cast<long long>(server.Get("shards_reachable").AsInt()),
+        static_cast<long long>(server.Get("shards").AsInt()),
+        result.GetOr("degraded", false).AsBool() ? "   DEGRADED" : "",
+        server.GetOr("draining", false).AsBool() ? "   DRAINING" : "",
+        static_cast<long long>(server.GetOr("queue_depth", 0).AsInt()),
+        static_cast<long long>(server.GetOr("sessions", 0).AsInt()),
+        result.GetOr("slow_requests", Json::Array()).size());
+  } else {
+    const Json cache = server.GetOr("plan_cache", Json::Object());
+    std::printf(
+        "queue %lld/%lld   sessions %lld%s   plan cache %lld/%lld "
+        "(hits %lld, misses %lld)   slow requests logged: %zu\n",
+        static_cast<long long>(server.Get("queue_depth").AsInt()),
+        static_cast<long long>(server.Get("queue_capacity").AsInt()),
+        static_cast<long long>(server.Get("sessions").AsInt()),
+        server.Get("draining").AsBool() ? "   DRAINING" : "",
+        static_cast<long long>(cache.GetOr("size", 0).AsInt()),
+        static_cast<long long>(cache.GetOr("capacity", 0).AsInt()),
+        static_cast<long long>(cache.GetOr("hits", 0).AsInt()),
+        static_cast<long long>(cache.GetOr("misses", 0).AsInt()),
+        result.Get("slow_requests").size());
+  }
   const phocus::telemetry::MetricsSnapshot snapshot =
       phocus::telemetry::MetricsFromJson(result.Get("metrics"));
   std::printf("\n%s", phocus::telemetry::MetricsToTable(snapshot)
-                          .Render("phocusd metrics")
+                          .Render(server.Has("shards") ? "cluster metrics"
+                                                       : "phocusd metrics")
                           .c_str());
   const phocus::TextTable latency =
       phocus::telemetry::LatencyTable(snapshot, "service.");
@@ -129,7 +150,10 @@ int Run(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   if (args.command.empty() || args.command == "help") {
     std::printf(
-        "phocus_client [--host=H] [--port=P] COMMAND [flags]\n"
+        "phocus_client [--host=H] [--port=P | --endpoint=H:P] COMMAND "
+        "[flags]\n"
+        "  (point --endpoint at a phocus_coordinator for the merged\n"
+        "   cluster view; healthz exits non-zero if any shard is down)\n"
         "  ping                                     liveness probe\n"
         "  create [--kind=openimages|ecommerce] [--photos=N] [--seed=S]\n"
         "  plan --budget=25MB [--session=s-N] [--tau=V] [--exif-weight=V]\n"
@@ -148,8 +172,21 @@ int Run(int argc, char** argv) {
         "  shutdown\n");
     return 0;
   }
-  phocus::service::ServiceClient client(
-      args.Get("host", "127.0.0.1"), std::stoi(args.Get("port", "7411")));
+  std::string host = args.Get("host", "127.0.0.1");
+  int port = std::stoi(args.Get("port", "7411"));
+  if (args.Has("endpoint")) {
+    // --endpoint=HOST:PORT, handy for pointing one flag at a coordinator.
+    const std::string endpoint = args.Get("endpoint", "");
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+      std::fprintf(stderr, "--endpoint wants HOST:PORT, got '%s'\n",
+                   endpoint.c_str());
+      return 2;
+    }
+    host = endpoint.substr(0, colon);
+    port = std::stoi(endpoint.substr(colon + 1));
+  }
+  phocus::service::ServiceClient client(host, port);
 
   if (args.command == "ping") {
     std::printf("%s\n", client.Ping() ? "pong" : "no pong");
@@ -252,7 +289,7 @@ int Run(int argc, char** argv) {
       const Json result = client.Metrics();
       if (watch_seconds > 0) {
         std::printf("\x1b[2J\x1b[H");  // clear screen, home cursor
-        std::printf("phocusd %s:%d   refresh %ds   (ctrl-c to stop)\n\n",
+        std::printf("%s:%d   refresh %ds   (ctrl-c to stop)\n\n",
                     client.host().c_str(), client.port(), watch_seconds);
       }
       PrintMetricsReport(result);
@@ -277,6 +314,35 @@ int Run(int argc, char** argv) {
   if (args.command == "healthz") {
     const Json result = client.Healthz();
     const std::string status = result.Get("status").AsString();
+    if (result.Has("coordinator")) {
+      // Merged cluster view: the top-level status is already the worst
+      // shard's state, so the exit code reflects the whole cluster.
+      const Json& self = result.Get("coordinator");
+      const bool degraded = result.GetOr("degraded", false).AsBool();
+      std::printf(
+          "%s  shards=%lld/%lld%s%s\n", status.c_str(),
+          static_cast<long long>(self.Get("shards_reachable").AsInt()),
+          static_cast<long long>(self.Get("shards_total").AsInt()),
+          degraded ? "  DEGRADED" : "",
+          self.GetOr("draining", false).AsBool() ? "  DRAINING" : "");
+      for (const Json& shard : result.Get("shards").items()) {
+        if (shard.Has("error")) {
+          std::printf("  %-24s %-12s %s\n",
+                      shard.Get("shard").AsString().c_str(),
+                      shard.Get("status").AsString().c_str(),
+                      shard.Get("error").AsString().c_str());
+        } else {
+          std::printf("  %-24s %-12s queue=%lld sessions=%lld\n",
+                      shard.Get("shard").AsString().c_str(),
+                      shard.Get("status").AsString().c_str(),
+                      static_cast<long long>(
+                          shard.GetOr("queue_depth", 0).AsInt()),
+                      static_cast<long long>(
+                          shard.GetOr("sessions", 0).AsInt()));
+        }
+      }
+      return (status == "ok" && !degraded) ? 0 : 1;
+    }
     std::printf("%s  queue=%lld/%lld saturation=%.2f sessions=%lld\n",
                 status.c_str(),
                 static_cast<long long>(result.Get("queue_depth").AsInt()),

@@ -65,6 +65,8 @@ int main(int argc, char** argv) {
         "  --deadline-ms=F    default per-request deadline; 0 = none\n"
         "  --slow-request-ms=F  log requests slower than this with their span\n"
         "                     tree (default: $PHOCUS_SLOW_REQUEST_MS, else off)\n"
+        "  --debug            enable debug endpoints (debug_sleep,\n"
+        "                     debug_failpoint); never in production\n"
         "  --flight-dump=PATH where a crash writes the flight-recorder events\n"
         "                     (default: $PHOCUS_FLIGHT_DUMP, else\n"
         "                     phocusd_flight.json)\n");
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
     if (flags.count("slow-request-ms")) {
       options.slow_request_ms = std::stod(flags.at("slow-request-ms"));
     }
+    if (flags.count("debug")) options.enable_debug_endpoints = true;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "bad flag value: %s\n", error.what());
     return 2;

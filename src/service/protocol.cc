@@ -49,6 +49,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kShardUnavailable: return "shard_unavailable";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";
@@ -60,7 +61,7 @@ ErrorCode ErrorCodeFromName(std::string_view name) {
       ErrorCode::kUnknownSession,  ErrorCode::kInfeasible,
       ErrorCode::kOverloaded,      ErrorCode::kDeadlineExceeded,
       ErrorCode::kShuttingDown,    ErrorCode::kFrameTooLarge,
-      ErrorCode::kInternal};
+      ErrorCode::kShardUnavailable, ErrorCode::kInternal};
   for (ErrorCode code : kAll) {
     if (ErrorCodeName(code) == name) return code;
   }

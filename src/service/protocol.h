@@ -76,6 +76,7 @@ enum class ErrorCode {
   kDeadlineExceeded, ///< request expired before a worker could start it
   kShuttingDown,     ///< server is draining; no new work accepted
   kFrameTooLarge,    ///< peer sent a frame above the size cap
+  kShardUnavailable, ///< coordinator: the owning shard is down or unreachable
   kInternal,         ///< unexpected server-side failure
 };
 
@@ -88,11 +89,16 @@ class ServiceError : public CheckFailure {
  public:
   ServiceError(ErrorCode code, const std::string& message)
       : CheckFailure(std::string(ErrorCodeName(code)) + ": " + message),
-        code_(code) {}
+        code_(code),
+        message_(message) {}
   ErrorCode code() const { return code_; }
+  /// The message without the code prefix that what() carries — use this
+  /// when re-wrapping into an error response, or the prefix doubles.
+  const std::string& message() const { return message_; }
 
  private:
   ErrorCode code_;
+  std::string message_;
 };
 
 /// Message builders.

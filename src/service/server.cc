@@ -347,6 +347,39 @@ Json ServiceServer::ProcessParsed(std::uint64_t id,
     result.Set("draining", true);
     return MakeOkResponse(id, std::move(result));
   }
+  if (endpoint == "debug_failpoint" && options_.enable_debug_endpoints) {
+    // Remote failpoint control for chaos tests driving phocusd as a
+    // subprocess (tests/cluster_test.cc): arm or disarm named failpoints
+    // over the wire. Control-plane on purpose — it must work while
+    // `server.admission` faults are armed, and during a drain, so a
+    // scenario can always disarm what it armed.
+    try {
+      Json result = Json::Object();
+      if (params.GetOr("deactivate_all", false).AsBool()) {
+        failpoint::DeactivateAll();
+        result.Set("armed", Json::Array());
+        return MakeOkResponse(id, std::move(result));
+      }
+      if (params.Has("seed")) {
+        failpoint::SetSeed(
+            static_cast<std::uint64_t>(params.Get("seed").AsInt()));
+      }
+      const std::string name = params.Get("name").AsString();
+      if (params.GetOr("deactivate", false).AsBool()) {
+        result.Set("deactivated", failpoint::Deactivate(name));
+      } else {
+        failpoint::Configure(name, params.Get("spec").AsString());
+      }
+      Json armed = Json::Array();
+      for (const std::string& armed_name : failpoint::ArmedNames()) {
+        armed.Append(armed_name);
+      }
+      result.Set("armed", std::move(armed));
+      return MakeOkResponse(id, std::move(result));
+    } catch (const CheckFailure& failure) {
+      return MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
+    }
+  }
 
   // Admission control: reject instead of queueing without bound.
   if (draining_.load()) {
@@ -429,7 +462,7 @@ Json ServiceServer::ProcessParsed(std::uint64_t id,
           response = MakeOkResponse(id, Handle(endpoint, params));
           registry.GetCounter("service.responses.ok").Increment();
         } catch (const ServiceError& error) {
-          response = MakeErrorResponse(id, error.code(), error.what());
+          response = MakeErrorResponse(id, error.code(), error.message());
         } catch (const InfeasibleBudgetError& error) {
           response =
               MakeErrorResponse(id, ErrorCode::kInfeasible, error.what());

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coordinator/coordinator.h"
+#include "coordinator/shard_pool.h"
+#include "datagen/openimages.h"
+#include "phocus/system.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "tests/scenario_support.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+/// \file cluster_test.cc
+/// Multi-process cluster tests (ctest label: cluster): real phocusd shard
+/// subprocesses behind a coordinator, chaos-tested with the PR-4 failpoint
+/// machinery. Every scenario is deterministic — shard death is a signal or
+/// an armed `crash` failpoint, probe schedules run on a FakeClock, and
+/// retries sleep through an injected recorder, never the wall clock.
+///
+/// The scenarios from docs/COORDINATOR.md:
+///  - byte-identical plans through a full subprocess topology
+///    (client -> phocus_coordinator -> phocusd x3),
+///  - shard crash mid-plan -> typed shard_unavailable, degraded fan-out
+///    with the survivors' merged data, automatic reinstatement after the
+///    failpoint is disarmed and the probe backoff elapses,
+///  - SIGKILL + restart on the same port -> reinstatement,
+///  - socket.connect faults affect new dials only (warm connections serve),
+///  - graceful drain of a single shard degrades fan-out without failing it.
+
+#ifndef PHOCUS_PHOCUSD_BINARY
+#error "PHOCUS_PHOCUSD_BINARY must be defined by the build"
+#endif
+#ifndef PHOCUS_COORDINATOR_BINARY
+#error "PHOCUS_COORDINATOR_BINARY must be defined by the build"
+#endif
+
+namespace phocus {
+namespace coordinator {
+namespace {
+
+using scenario::FakeClock;
+using scenario::PhocusdSubprocess;
+using service::ErrorCode;
+using service::ServiceClient;
+using service::ServiceError;
+
+Json CorpusSpec(std::uint64_t seed) {
+  Json spec = Json::Object();
+  spec.Set("kind", "openimages");
+  spec.Set("num_photos", 60);
+  spec.Set("seed", seed);
+  return spec;
+}
+
+constexpr Cost kTestBudget = 1'500'000;
+
+std::string ExpectedPlanDump(std::uint64_t seed) {
+  OpenImagesOptions options;
+  options.num_photos = 60;
+  options.seed = seed;
+  PhocusSystem system(GenerateOpenImagesCorpus(options));
+  ArchiveOptions archive_options;
+  archive_options.budget = kTestBudget;
+  return service::PlanToJson(system.PlanArchive(archive_options)).Dump();
+}
+
+std::unique_ptr<PhocusdSubprocess> LaunchShard() {
+  PhocusdSubprocess::Options options;
+  options.binary = PHOCUS_PHOCUSD_BINARY;
+  options.debug_endpoints = true;
+  auto shard = std::make_unique<PhocusdSubprocess>(std::move(options));
+  shard->Start();
+  return shard;
+}
+
+/// Cluster fixture: N phocusd subprocesses plus an in-process
+/// CoordinatorServer whose health machine runs on a FakeClock, so probe
+/// and reinstatement schedules advance without wall-clock time.
+class ClusterTest : public ::testing::Test {
+ protected:
+  void StartCluster(std::size_t num_shards) {
+    std::vector<ShardAddress> addresses;
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(LaunchShard());
+      ShardAddress address;
+      address.host = shards_.back()->host();
+      address.port = shards_.back()->port();
+      address.name = shards_.back()->name();
+      addresses.push_back(std::move(address));
+    }
+    CoordinatorOptions options;
+    options.shards = addresses;
+    options.retry.max_attempts = 2;
+    options.retry.sleep_fn = clock_.Sleeper();
+    options.unhealthy_after = 1;
+    options.probe_backoff_ms = 100.0;
+    options.now_ms = clock_.NowFn();
+    coordinator_ = std::make_unique<CoordinatorServer>(std::move(options));
+    coordinator_->Start();
+  }
+
+  ServiceClient Connect() {
+    return ServiceClient("127.0.0.1", coordinator_->port());
+  }
+
+  /// A routing key the ring sends to `shard_name` (deterministic search).
+  std::string KeyFor(const std::string& shard_name) {
+    for (int i = 0; i < 4096; ++i) {
+      const std::string key = StrFormat("pin-%d", i);
+      if (coordinator_->ring().ShardFor(key) == shard_name) return key;
+    }
+    ADD_FAILURE() << "no routing key found for " << shard_name;
+    return "";
+  }
+
+  Json SpecPinnedTo(const std::string& shard_name, std::uint64_t seed) {
+    Json spec = CorpusSpec(seed);
+    spec.Set("routing_key", KeyFor(shard_name));
+    return spec;
+  }
+
+  void TearDown() override {
+    failpoint::DeactivateAll();
+    if (coordinator_ != nullptr) {
+      coordinator_->RequestShutdown();
+      coordinator_->Wait();
+    }
+    for (auto& shard : shards_) {
+      if (shard->alive()) shard->Kill();
+    }
+  }
+
+  FakeClock clock_;
+  std::vector<std::unique_ptr<PhocusdSubprocess>> shards_;
+  std::unique_ptr<CoordinatorServer> coordinator_;
+};
+
+TEST(FullClusterTest, SubprocessTopologyServesByteIdenticalPlans) {
+  // The whole topology as separate processes: three phocusd shards and the
+  // real phocus_coordinator binary fronting them.
+  std::vector<std::unique_ptr<PhocusdSubprocess>> shards;
+  std::vector<std::string> names;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(LaunchShard());
+    names.push_back(shards.back()->name());
+  }
+  PhocusdSubprocess::Options coordinator_options;
+  coordinator_options.binary = PHOCUS_COORDINATOR_BINARY;
+  coordinator_options.debug_endpoints = false;
+  coordinator_options.extra_flags = {"--shards=" + Join(names, ",")};
+  PhocusdSubprocess coordinator(std::move(coordinator_options));
+  coordinator.Start();
+
+  ServiceClient client("127.0.0.1", coordinator.port());
+  EXPECT_TRUE(client.Ping());
+
+  for (const std::uint64_t seed : {11u, 12u}) {
+    const std::string session = client.CreateSession(CorpusSpec(seed));
+    EXPECT_NE(session.find('/'), std::string::npos)
+        << "coordinator must scope session ids";
+    Json params = Json::Object();
+    params.Set("session", session);
+    params.Set("budget", kTestBudget);
+    const Json response = client.Call("plan", std::move(params));
+    EXPECT_EQ(response.Get("plan").Dump(), ExpectedPlanDump(seed))
+        << "seed " << seed;
+  }
+
+  const Json health = client.Healthz();
+  EXPECT_EQ(health.Get("status").AsString(), "ok");
+  EXPECT_FALSE(health.Get("degraded").AsBool());
+  const Json stats = client.Stats();
+  EXPECT_EQ(stats.Get("sessions").AsInt(), 2);
+
+  // Broadcast shutdown: the coordinator drains itself and every shard.
+  Json shutdown_params = Json::Object();
+  shutdown_params.Set("shards", true);
+  const Json draining = client.Call("shutdown", std::move(shutdown_params));
+  EXPECT_TRUE(draining.Get("draining").AsBool());
+  for (auto& shard : shards) {
+    shard->WaitExit();
+    EXPECT_FALSE(shard->alive());
+  }
+  coordinator.WaitExit();
+}
+
+TEST_F(ClusterTest, ShardCrashMidPlanIsTypedDegradedAndReinstates) {
+  StartCluster(2);
+  ServiceClient client = Connect();
+  const std::string victim = shards_[0]->name();
+  const std::string survivor = shards_[1]->name();
+
+  // A session pinned to the victim shard, planned once while healthy.
+  const std::string session = client.CreateSession(SpecPinnedTo(victim, 11));
+  Json plan_params = Json::Object();
+  plan_params.Set("session", session);
+  plan_params.Set("budget", kTestBudget);
+  EXPECT_EQ(client.Call("plan", Json(plan_params)).Get("plan").Dump(),
+            ExpectedPlanDump(11));
+
+  // Arm a crash on the victim's admission path: its connection thread dies
+  // mid-request, deterministically, while the daemon itself survives.
+  {
+    ServiceClient chaos(shards_[0]->host(), shards_[0]->port());
+    Json arm = Json::Object();
+    arm.Set("name", "server.admission");
+    arm.Set("spec", "crash");
+    chaos.Call("debug_failpoint", std::move(arm));
+  }
+
+  // Plan mid-crash: every attempt loses its connection, retries exhaust
+  // (on the fake clock), and the coordinator answers the typed error.
+  try {
+    client.Call("plan", Json(plan_params));
+    FAIL() << "expected shard_unavailable";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kShardUnavailable);
+  }
+  EXPECT_FALSE(clock_.sleeps_ms().empty()) << "retries must use the fake clock";
+
+  // Fan-out degrades: the victim is down, the survivor's data merges.
+  const Json health = client.Healthz();
+  EXPECT_TRUE(health.Get("degraded").AsBool());
+  EXPECT_EQ(health.Get("coordinator").Get("shards_reachable").AsInt(), 1);
+  for (const Json& entry : health.Get("shards").items()) {
+    if (entry.Get("shard").AsString() == victim) {
+      EXPECT_EQ(entry.Get("status").AsString(), "unavailable");
+      EXPECT_FALSE(entry.Get("healthy").AsBool());
+    } else {
+      EXPECT_EQ(entry.Get("shard").AsString(), survivor);
+      EXPECT_EQ(entry.Get("status").AsString(), "ok");
+    }
+  }
+
+  // Recovery: disarm the failpoint (control-plane verb — it works while
+  // the admission fault is armed), advance past the probe backoff, and the
+  // next request probes, succeeds and reinstates the shard. The session
+  // survived: only connection threads crashed, not the daemon.
+  {
+    ServiceClient chaos(shards_[0]->host(), shards_[0]->port());
+    Json disarm = Json::Object();
+    disarm.Set("deactivate_all", true);
+    chaos.Call("debug_failpoint", std::move(disarm));
+  }
+  clock_.Advance(200.0);
+  const Json replan = client.Call("plan", Json(plan_params));
+  EXPECT_EQ(replan.Get("plan").Dump(), ExpectedPlanDump(11));
+  const std::size_t victim_index = coordinator_->pool().IndexOf(victim);
+  EXPECT_TRUE(coordinator_->pool().healthy(victim_index));
+  EXPECT_EQ(coordinator_->pool().status(victim_index).reinstatements, 1u);
+  EXPECT_FALSE(client.Healthz().Get("degraded").AsBool());
+}
+
+TEST_F(ClusterTest, KilledShardReinstatesAfterRestartOnSamePort) {
+  StartCluster(2);
+  ServiceClient client = Connect();
+  const std::string victim = shards_[1]->name();
+
+  // Warm every shard connection, then kill one hard.
+  EXPECT_FALSE(client.Healthz().Get("degraded").AsBool());
+  shards_[1]->Kill();
+  EXPECT_FALSE(shards_[1]->alive());
+
+  EXPECT_TRUE(client.Healthz().Get("degraded").AsBool());
+  const std::size_t victim_index = coordinator_->pool().IndexOf(victim);
+  EXPECT_FALSE(coordinator_->pool().healthy(victim_index));
+
+  // While the shard is down and the backoff has not elapsed, requests for
+  // it fail fast with the typed error — no dial.
+  try {
+    client.CreateSession(SpecPinnedTo(victim, 21));
+    FAIL() << "expected shard_unavailable";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kShardUnavailable);
+  }
+
+  // Restart on the same port; past the probe backoff the shard reinstates
+  // automatically on the next request that needs it.
+  shards_[1]->Start();
+  EXPECT_EQ(shards_[1]->name(), victim);
+  clock_.Advance(1000.0);
+  const std::string session = client.CreateSession(SpecPinnedTo(victim, 21));
+  EXPECT_NE(session.find(victim + "/"), std::string::npos);
+  EXPECT_TRUE(coordinator_->pool().healthy(victim_index));
+  EXPECT_FALSE(client.Healthz().Get("degraded").AsBool());
+}
+
+TEST_F(ClusterTest, ConnectFaultAffectsNewDialsOnly) {
+  StartCluster(2);
+  ServiceClient client = Connect();
+  const std::string cold = shards_[0]->name();
+  const std::string warm = shards_[1]->name();
+
+  // Warm only the second shard: one session routed there.
+  const std::string session = client.CreateSession(SpecPinnedTo(warm, 31));
+  Json plan_params = Json::Object();
+  plan_params.Set("session", session);
+  plan_params.Set("budget", kTestBudget);
+
+  // Fault every NEW dial in the coordinator's process. The warm
+  // connection keeps serving; the cold shard becomes unreachable.
+  failpoint::Configure("socket.connect", "error");
+  try {
+    client.CreateSession(SpecPinnedTo(cold, 32));
+    FAIL() << "expected shard_unavailable";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kShardUnavailable);
+  }
+  EXPECT_EQ(client.Call("plan", Json(plan_params)).Get("plan").Dump(),
+            ExpectedPlanDump(31));
+  failpoint::Deactivate("socket.connect");
+
+  // With the fault gone and the backoff elapsed, the cold shard dials
+  // fine and reinstates.
+  clock_.Advance(1000.0);
+  const std::string recovered =
+      client.CreateSession(SpecPinnedTo(cold, 32));
+  EXPECT_NE(recovered.find(cold + "/"), std::string::npos);
+  EXPECT_FALSE(client.Healthz().Get("degraded").AsBool());
+}
+
+TEST_F(ClusterTest, DrainedShardDegradesFanOutUntilGone) {
+  StartCluster(3);
+  ServiceClient client = Connect();
+  EXPECT_FALSE(client.Healthz().Get("degraded").AsBool());
+
+  // One session on a survivor, so merged stats stay meaningful.
+  const std::string survivor = shards_[2]->name();
+  client.CreateSession(SpecPinnedTo(survivor, 41));
+
+  // Gracefully drain one shard to completion (SIGTERM, blocks until the
+  // process exits). Fan-out keeps answering with the survivors' data.
+  shards_[0]->Terminate();
+  EXPECT_FALSE(shards_[0]->alive());
+
+  const Json health = client.Healthz();
+  EXPECT_TRUE(health.Get("degraded").AsBool());
+  EXPECT_EQ(health.Get("coordinator").Get("shards_reachable").AsInt(), 2);
+
+  const Json stats = client.Stats();
+  EXPECT_TRUE(stats.Get("degraded").AsBool());
+  EXPECT_EQ(stats.Get("sessions").AsInt(), 1);
+
+  const Json metrics = client.Metrics();
+  EXPECT_TRUE(metrics.Get("degraded").AsBool());
+  EXPECT_EQ(metrics.Get("server").Get("shards_reachable").AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace coordinator
+}  // namespace phocus

@@ -1,9 +1,18 @@
 #include "tests/scenario_support.h"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace phocus {
 namespace scenario {
@@ -37,6 +46,107 @@ CrashRecoveryResult RunWithCrashRecovery(
   failpoint::DeactivateAll();
   result.reopened = std::make_unique<ArchiveVault>(directory);
   return result;
+}
+
+PhocusdSubprocess::PhocusdSubprocess(Options options)
+    : options_(std::move(options)) {
+  PHOCUS_CHECK(!options_.binary.empty(), "phocusd binary path required");
+}
+
+PhocusdSubprocess::~PhocusdSubprocess() {
+  if (pid_ > 0) Kill();
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+void PhocusdSubprocess::Start() {
+  PHOCUS_CHECK(pid_ < 0, "phocusd subprocess already running");
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+  int pipe_fds[2];
+  PHOCUS_CHECK(::pipe(pipe_fds) == 0, "pipe failed");
+
+  std::vector<std::string> args;
+  args.push_back(options_.binary);
+  args.push_back("--host=" + host_);
+  // First launch binds an ephemeral port; restarts reuse it so the shard
+  // comes back at the address the coordinator already routes to
+  // (ListenSocket sets SO_REUSEADDR, so the rebind is immediate).
+  args.push_back(StrFormat("--port=%d", port_));
+  if (options_.debug_endpoints) args.push_back("--debug");
+  for (const std::string& flag : options_.extra_flags) args.push_back(flag);
+
+  const int pid = ::fork();
+  PHOCUS_CHECK(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child: stdout -> pipe, then exec the daemon.
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv phocusd");
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  pid_ = pid;
+  stdout_fd_ = pipe_fds[0];
+
+  // Port discovery: read the child's stdout until the listening line.
+  std::string banner;
+  char buffer[256];
+  while (banner.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(stdout_fd_, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    banner.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::string marker = "listening on " + host_ + ":";
+  const std::size_t at = banner.find(marker);
+  PHOCUS_CHECK(at != std::string::npos,
+               "phocusd did not announce a listening port; stdout: " + banner);
+  const int announced = std::atoi(banner.c_str() + at + marker.size());
+  PHOCUS_CHECK(announced > 0, "failed to parse phocusd port from: " + banner);
+  PHOCUS_CHECK(port_ == 0 || port_ == announced,
+               "phocusd restarted on an unexpected port");
+  port_ = announced;
+  // Keep stdout_fd_ open: the daemon may block on a full pipe otherwise if
+  // it logs enough, and holding it lets a future reader drain it. The pipe
+  // capacity is far above what phocusd writes to stdout (one line).
+}
+
+std::string PhocusdSubprocess::name() const {
+  return StrFormat("%s:%d", host_.c_str(), port_);
+}
+
+void PhocusdSubprocess::Kill() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  Reap();
+}
+
+void PhocusdSubprocess::Terminate() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGTERM);
+  Reap();
+}
+
+void PhocusdSubprocess::WaitExit() { Reap(); }
+
+bool PhocusdSubprocess::alive() {
+  if (pid_ <= 0) return false;
+  const int rc = ::waitpid(pid_, nullptr, WNOHANG);
+  if (rc == pid_) pid_ = -1;  // exited; reaped now
+  return pid_ > 0;
+}
+
+void PhocusdSubprocess::Reap() {
+  if (pid_ <= 0) return;
+  ::waitpid(pid_, nullptr, 0);
+  pid_ = -1;
 }
 
 }  // namespace scenario

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,22 +31,95 @@ SocketPair MakeSocketPair();
 /// A fake monotonic clock. Sleeper() returns a callback with the
 /// RetryPolicy::sleep_fn signature that advances the clock and records the
 /// requested duration instead of sleeping, so backoff schedules are
-/// asserted on exactly, in zero wall-clock time.
+/// asserted on exactly, in zero wall-clock time. NowFn() returns a callback
+/// with the ShardPoolOptions::now_ms signature, so probe/backoff schedules
+/// run off the same fake timeline. Thread-safe: coordinator tests read the
+/// clock from fan-out worker threads while the test thread advances it.
 class FakeClock {
  public:
   std::function<void(double)> Sleeper() {
     return [this](double ms) {
+      std::lock_guard<std::mutex> lock(mutex_);
       now_ms_ += ms;
       sleeps_ms_.push_back(ms);
     };
   }
 
-  double now_ms() const { return now_ms_; }
-  const std::vector<double>& sleeps_ms() const { return sleeps_ms_; }
+  std::function<double()> NowFn() {
+    return [this] { return now_ms(); };
+  }
+
+  /// Moves the clock forward without recording a sleep (e.g. "time passes
+  /// while the shard is down" in probe-backoff scenarios).
+  void Advance(double ms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ms_ += ms;
+  }
+
+  double now_ms() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_ms_;
+  }
+  std::vector<double> sleeps_ms() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sleeps_ms_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   double now_ms_ = 0.0;
   std::vector<double> sleeps_ms_;
+};
+
+/// A phocusd shard running as a real child process, for multi-process
+/// cluster tests (tests/cluster_test.cc). Launches the daemon with an
+/// ephemeral port, discovers the bound port from the "phocusd listening on
+/// host:port" stdout line, and offers the failure controls chaos scenarios
+/// need: SIGKILL (crash), SIGTERM (graceful drain), and restart on the
+/// same port to exercise shard reinstatement. The destructor kills any
+/// still-running child.
+class PhocusdSubprocess {
+ public:
+  struct Options {
+    std::string binary;            ///< path to the phocusd executable
+    bool debug_endpoints = true;   ///< pass --debug (debug_failpoint verb)
+    std::vector<std::string> extra_flags;
+  };
+
+  explicit PhocusdSubprocess(Options options);
+  ~PhocusdSubprocess();
+
+  PhocusdSubprocess(const PhocusdSubprocess&) = delete;
+  PhocusdSubprocess& operator=(const PhocusdSubprocess&) = delete;
+
+  /// Forks and execs the daemon, blocks until the listening line appears
+  /// on its stdout. First launch uses --port=0; relaunches reuse the
+  /// discovered port so the shard comes back at the same address.
+  void Start();
+
+  int port() const { return port_; }
+  const std::string& host() const { return host_; }
+  /// The ring/shard-map name, "host:port" (valid after Start).
+  std::string name() const;
+
+  /// SIGKILL — simulated shard crash. Reaps the child.
+  void Kill();
+  /// SIGTERM — graceful drain. Reaps the child (blocks until it exits).
+  void Terminate();
+  /// Blocks until the child exits on its own (e.g. after a `shutdown`
+  /// request) and reaps it.
+  void WaitExit();
+  /// True while the child process is running.
+  bool alive();
+
+ private:
+  void Reap();
+
+  Options options_;
+  std::string host_ = "127.0.0.1";
+  int port_ = 0;
+  int pid_ = -1;
+  int stdout_fd_ = -1;
 };
 
 /// Outcome of RunWithCrashRecovery: whether the injected fault fired, its
