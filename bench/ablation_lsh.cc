@@ -105,6 +105,8 @@ int RunLshSmoke(std::size_t max_candidates) {
 /// embeddings. gain_evals carries candidate_pairs (the cosine verifications
 /// — the machine-independent oracle count) and score carries output_pairs.
 void RunBenchRecords(const std::vector<Embedding>& vectors, double tau) {
+  bench::SetBenchFixture(StrFormat("corpus_embeddings_m%zu_tau%.2f",
+                                   vectors.size(), tau));
   const std::size_t m = vectors.size();
   LshPairFinderOptions options;
   options.num_bits = 512;

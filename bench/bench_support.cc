@@ -8,6 +8,7 @@
 #include "core/baselines.h"
 #include "core/celf.h"
 #include "core/objective.h"
+#include "kernels/kernels.h"
 #include "phocus/representation.h"
 #include "telemetry/export.h"
 #include "util/json.h"
@@ -48,7 +49,21 @@ void MaybeExportCsv(const std::string& stem, const TextTable& table) {
 namespace {
 std::string g_telemetry_out;  // empty = no dump requested
 std::string g_bench_json;    // empty = no bench JSON requested
+std::string g_bench_fixture = "unspecified";
 std::vector<BenchRecord> g_bench_records;
+std::vector<KernelBenchRecord> g_kernel_records;
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return StrFormat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return StrFormat("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
 }  // namespace
 
 void ParseBenchFlags(int* argc, char** argv) {
@@ -79,6 +94,12 @@ void RecordBenchResult(const BenchRecord& record) {
   g_bench_records.push_back(record);
 }
 
+void RecordKernelBenchResult(const KernelBenchRecord& record) {
+  g_kernel_records.push_back(record);
+}
+
+void SetBenchFixture(const std::string& fixture) { g_bench_fixture = fixture; }
+
 bool BenchJsonRequested() { return !g_bench_json.empty(); }
 
 void ExportBenchJsonIfRequested(const std::string& bench_name) {
@@ -88,6 +109,15 @@ void ExportBenchJsonIfRequested(const std::string& bench_name) {
   root.Set("bench", Json(bench_name));
   root.Set("threads",
            Json(static_cast<std::uint64_t>(ThreadPool::Global().num_threads())));
+  {
+    Json meta = Json::Object();
+    meta.Set("isa", Json(kernels::ActiveIsaName()));
+    const char* threads_env = std::getenv("PHOCUS_NUM_THREADS");
+    meta.Set("threads_env", Json(threads_env != nullptr ? threads_env : ""));
+    meta.Set("compiler", Json(CompilerString()));
+    meta.Set("fixture", Json(g_bench_fixture));
+    root.Set("meta", std::move(meta));
+  }
   Json results = Json::Array();
   for (const BenchRecord& record : g_bench_records) {
     Json row = Json::Object();
@@ -100,6 +130,23 @@ void ExportBenchJsonIfRequested(const std::string& bench_name) {
     results.Append(std::move(row));
   }
   root.Set("results", std::move(results));
+  if (!g_kernel_records.empty()) {
+    Json kernel_results = Json::Array();
+    for (const KernelBenchRecord& record : g_kernel_records) {
+      Json row = Json::Object();
+      row.Set("op", Json(record.op));
+      row.Set("isa", Json(record.isa));
+      row.Set("calls", Json(static_cast<std::uint64_t>(record.calls)));
+      row.Set("work_per_call",
+              Json(static_cast<std::uint64_t>(record.work_per_call)));
+      row.Set("wall_seconds", Json(record.wall_seconds));
+      if (record.speedup_vs_scalar > 0.0) {
+        row.Set("speedup_vs_scalar", Json(record.speedup_vs_scalar));
+      }
+      kernel_results.Append(std::move(row));
+    }
+    root.Set("kernel_results", std::move(kernel_results));
+  }
   try {
     WriteFile(g_bench_json, root.Dump(1) + "\n");
   } catch (const CheckFailure& e) {

@@ -101,14 +101,39 @@ struct BenchRecord {
 /// Queues one record for ExportBenchJsonIfRequested().
 void RecordBenchResult(const BenchRecord& record);
 
+/// One kernel micro-measurement (BENCH_kernels.json). `work_per_call` is the
+/// machine-independent work unit of the op (elements, multiply-accumulates,
+/// blocks, or words — see kernels::OpCounts); wall numbers are honest
+/// 1-CPU times on the measuring machine.
+struct KernelBenchRecord {
+  std::string op;    ///< kernel name, e.g. "simhash_signature"
+  std::string isa;   ///< table measured, "scalar" or "avx2"
+  std::size_t calls = 0;            ///< timed iterations
+  std::size_t work_per_call = 0;    ///< machine-independent units per call
+  double wall_seconds = 0.0;        ///< total for all iterations
+  double speedup_vs_scalar = 0.0;   ///< 0 when this row IS the scalar row
+};
+
+/// Queues one kernel record; exported under "kernel_results".
+void RecordKernelBenchResult(const KernelBenchRecord& record);
+
+/// Names the measurement fixture stamped into the exported JSON's meta
+/// block (e.g. "sparse_n6000_seed42"). Call before
+/// ExportBenchJsonIfRequested; defaults to "unspecified".
+void SetBenchFixture(const std::string& fixture);
+
 /// True when --bench-json=FILE was given; benches use this to decide
 /// whether to run their measurement fixtures.
 bool BenchJsonRequested();
 
 /// Writes the queued records if --bench-json was given:
 ///   {"format": "phocus-bench", "bench": <name>, "threads": N,
+///    "meta": {"isa": ..., "threads_env": ..., "compiler": ..., "fixture": ...},
 ///    "results": [{solver, photos, subsets, wall_seconds, gain_evals,
-///                 score}, ...]}
+///                 score}, ...],
+///    "kernel_results": [...]}            // only when kernel records queued
+/// The meta block makes checked-in BENCH_*.json self-describing: which
+/// kernel table produced it, the thread pin, and the toolchain.
 /// Call once at the end of main(). No-op otherwise.
 void ExportBenchJsonIfRequested(const std::string& bench_name);
 

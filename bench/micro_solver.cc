@@ -107,6 +107,7 @@ int RunSolverBench() {
   const std::size_t n = 6000;
   bench::PrintHeader("micro_solver --solver-bench",
                      "solver core perf trajectory (BENCH_solver.json)");
+  bench::SetBenchFixture("sparse_n6000_seed42");
   const ParInstance instance = MakeSparseInstance(n, 42);
 
   CelfOptions sequential;

@@ -1,9 +1,15 @@
-# Cross-thread-count determinism check (ctest script mode).
+# Cross-thread-count / cross-kernel-ISA determinism check (ctest script
+# mode).
 #
 # Runs BINARY (a deterministic-output main such as plan_determinism_main or
-# lsh_determinism_main) with PHOCUS_NUM_THREADS=1, =4, and unset (the
-# hardware default) and fails unless all three emitted outputs are
-# byte-identical. Usage:
+# lsh_determinism_main) under every PHOCUS_KERNELS value the binary
+# advertises (`--list-kernels`, one name per line — "scalar" plus "avx2"
+# when the machine has it) crossed with PHOCUS_NUM_THREADS=1, =4, and unset
+# (the hardware default), and fails unless ALL emitted outputs are
+# byte-identical. That is the kernel layer's determinism contract: the
+# scalar and AVX2 builds use the same fixed-order blocked reductions, so a
+# plan does not depend on the thread count or on which ISA computed it.
+# Usage:
 #
 #   cmake -DBINARY=<determinism main> -DOUT_DIR=<scratch dir> \
 #         -P plan_determinism.cmake
@@ -17,36 +23,56 @@ endif()
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 
+execute_process(
+  COMMAND "${BINARY}" --list-kernels
+  OUTPUT_VARIABLE kernels_raw
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} --list-kernels failed (rc=${rc})")
+endif()
+string(STRIP "${kernels_raw}" kernels_raw)
+string(REPLACE "\n" ";" kernel_modes "${kernels_raw}")
+if(kernel_modes STREQUAL "")
+  message(FATAL_ERROR "${BINARY} --list-kernels reported no kernel tables")
+endif()
+
 set(baseline "")
 set(baseline_name "")
-foreach(threads IN ITEMS 1 4 default)
-  if(threads STREQUAL "default")
-    unset(ENV{PHOCUS_NUM_THREADS})
-  else()
-    set(ENV{PHOCUS_NUM_THREADS} "${threads}")
-  endif()
-  set(out "${OUT_DIR}/plan_threads_${threads}.json")
-  execute_process(
-    COMMAND "${BINARY}"
-    OUTPUT_FILE "${out}"
-    RESULT_VARIABLE rc)
-  if(NOT rc EQUAL 0)
-    message(FATAL_ERROR
-      "${BINARY} failed with PHOCUS_NUM_THREADS=${threads} (rc=${rc})")
-  endif()
-  if(baseline STREQUAL "")
-    set(baseline "${out}")
-    set(baseline_name "${threads}")
-  else()
-    execute_process(
-      COMMAND ${CMAKE_COMMAND} -E compare_files "${baseline}" "${out}"
-      RESULT_VARIABLE diff)
-    if(NOT diff EQUAL 0)
-      message(FATAL_ERROR
-        "output differs between PHOCUS_NUM_THREADS=${baseline_name} "
-        "and PHOCUS_NUM_THREADS=${threads}: ${baseline} vs ${out}")
+foreach(kernels IN LISTS kernel_modes)
+  set(ENV{PHOCUS_KERNELS} "${kernels}")
+  foreach(threads IN ITEMS 1 4 default)
+    if(threads STREQUAL "default")
+      unset(ENV{PHOCUS_NUM_THREADS})
+    else()
+      set(ENV{PHOCUS_NUM_THREADS} "${threads}")
     endif()
-  endif()
+    set(out "${OUT_DIR}/plan_${kernels}_threads_${threads}.json")
+    execute_process(
+      COMMAND "${BINARY}"
+      OUTPUT_FILE "${out}"
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "${BINARY} failed with PHOCUS_KERNELS=${kernels} "
+        "PHOCUS_NUM_THREADS=${threads} (rc=${rc})")
+    endif()
+    if(baseline STREQUAL "")
+      set(baseline "${out}")
+      set(baseline_name "${kernels}/${threads}")
+    else()
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files "${baseline}" "${out}"
+        RESULT_VARIABLE diff)
+      if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+          "output differs between kernels/threads ${baseline_name} "
+          "and ${kernels}/${threads}: ${baseline} vs ${out}")
+      endif()
+    endif()
+  endforeach()
 endforeach()
+unset(ENV{PHOCUS_KERNELS})
 
-message(STATUS "outputs byte-identical across thread counts 1, 4, default")
+message(STATUS
+  "outputs byte-identical across kernels {${kernel_modes}} x threads "
+  "{1, 4, default}")

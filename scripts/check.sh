@@ -4,8 +4,10 @@
 #   unit      the default gtest suites
 #   scenario  failpoint fault-injection + determinism scenarios
 #   fuzz      randomized fuzzing + seeded-corpus replay
-#   perf      oracle/candidate-complexity guards (solver_perf_smoke,
-#             lsh_perf_smoke)
+#   perf      the perf wall: every *_perf_smoke machine-independent
+#             complexity guard (solver_perf_smoke, lsh_perf_smoke,
+#             kernels_perf_smoke) run in an explicitly-Release tree, plus
+#             the BENCH_*.json lint (scripts/lint_bench_json.py)
 #   obs       the serving-observability surface: wire verbs, flight
 #             recorder, metric-name lint (scripts/lint_metrics.py)
 #   cluster   multi-process coordinator + phocusd shard topologies under
@@ -42,8 +44,18 @@ run_label() {
 tier_unit()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" unit; }
 tier_scenario() { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" scenario; }
 tier_fuzz()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" fuzz; }
-tier_perf()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" perf; }
 tier_cluster()  { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" cluster; }
+
+# Perf wall: the *_perf_smoke guards enforce machine-independent operation
+# counters, but their wall-clock side reports are only honest from an
+# optimized tree, so the build type is pinned explicitly rather than
+# inherited from whatever the tree was last configured as.
+tier_perf() {
+  python3 scripts/lint_bench_json.py --root .
+  build_tree "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+  (cd "$BUILD_DIR" && ctest -R '_perf_smoke$' --output-on-failure -j "$JOBS")
+  run_label "$BUILD_DIR" perf
+}
 
 tier_obs() {
   python3 scripts/lint_metrics.py --root .
@@ -69,6 +81,7 @@ case "$TIER" in
   tsan)     tier_tsan ;;
   all)
     python3 scripts/lint_metrics.py --root .
+    python3 scripts/lint_bench_json.py --root .
     build_tree "$BUILD_DIR"
     run_label "$BUILD_DIR" unit
     run_label "$BUILD_DIR" scenario

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Lint the checked-in BENCH_*.json perf-trajectory files.
+
+Every BENCH_*.json at the repo root must:
+  * parse as JSON,
+  * declare format == "phocus-bench" and a non-empty bench name,
+  * carry the meta block bench_support stamps ({isa, threads_env, compiler,
+    fixture}, all strings, isa one of the known kernel tables, fixture not
+    left at "unspecified"),
+  * contain a non-empty "results" or "kernel_results" array whose rows have
+    the stable schema fields.
+
+This keeps the trend files diffable across commits: a regenerated file that
+silently lost its metadata (e.g. produced by a stale binary) fails here
+instead of in a review.
+
+Usage: lint_bench_json.py --root <repo root>
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+KNOWN_ISAS = {"scalar", "avx2"}
+
+RESULT_FIELDS = {"solver", "photos", "subsets", "wall_seconds", "gain_evals",
+                 "score"}
+KERNEL_RESULT_FIELDS = {"op", "isa", "calls", "work_per_call", "wall_seconds"}
+
+
+def lint_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return ["%s: does not parse: %s" % (path, exc)]
+
+    def err(msg):
+        errors.append("%s: %s" % (path, msg))
+
+    if doc.get("format") != "phocus-bench":
+        err("format must be 'phocus-bench', got %r" % doc.get("format"))
+    if not doc.get("bench"):
+        err("missing bench name")
+
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        err("missing meta block (regenerate with a current binary)")
+    else:
+        for key in ("isa", "threads_env", "compiler", "fixture"):
+            if not isinstance(meta.get(key), str):
+                err("meta.%s missing or not a string" % key)
+        if meta.get("isa") not in KNOWN_ISAS:
+            err("meta.isa %r not one of %s" % (meta.get("isa"),
+                                               sorted(KNOWN_ISAS)))
+        if meta.get("fixture") in (None, "", "unspecified"):
+            err("meta.fixture unset — the producing bench must call "
+                "SetBenchFixture")
+
+    results = doc.get("results", [])
+    kernel_results = doc.get("kernel_results", [])
+    if not isinstance(results, list) or not isinstance(kernel_results, list):
+        err("results/kernel_results must be arrays")
+        return errors
+    if not results and not kernel_results:
+        err("no results or kernel_results rows")
+    for i, row in enumerate(results):
+        missing = RESULT_FIELDS - set(row)
+        if missing:
+            err("results[%d] missing fields: %s" % (i, sorted(missing)))
+    for i, row in enumerate(kernel_results):
+        missing = KERNEL_RESULT_FIELDS - set(row)
+        if missing:
+            err("kernel_results[%d] missing fields: %s" % (i, sorted(missing)))
+        if row.get("isa") not in KNOWN_ISAS:
+            err("kernel_results[%d].isa %r unknown" % (i, row.get("isa")))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.root, "BENCH_*.json")))
+    if not paths:
+        print("lint_bench_json: no BENCH_*.json files under %s" % args.root,
+              file=sys.stderr)
+        return 1
+    errors = []
+    for path in paths:
+        errors.extend(lint_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print("lint_bench_json: %d file(s) OK: %s"
+              % (len(paths), ", ".join(os.path.basename(p) for p in paths)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 
 namespace phocus {
@@ -46,34 +47,80 @@ void ObjectiveEvaluator::Reset() {
 
 namespace {
 
-/// Applies `visit(local_j, sim_with_p)` for every member j of `subset` whose
-/// similarity to the member at `local_p` is nonzero (including j == local_p
-/// with similarity 1).
-template <typename Visitor>
-void ForEachSimilar(const Subset& subset, std::uint32_t local_p,
-                    Visitor&& visit) {
+/// The member at local_p always counts with similarity 1 (the diagonal of
+/// every sim mode). Same arithmetic as one kernel gain element with sim = 1.
+double DiagGain(double rel, float best) {
+  const double d = 1.0 - static_cast<double>(best);
+  return d > 0.0 ? rel * d : 0.0;
+}
+
+/// Unweighted gain of adding the member at `local_p` to one subset: kernel
+/// gain scans over the best-sim arena slice, with the dense row split
+/// around the diagonal. The caller applies `subset.weight` once per
+/// membership (hoisted out of the inner loops).
+double MembershipGain(const Subset& subset, std::uint32_t local_p,
+                      const float* best) {
   const std::size_t m = subset.size();
+  const std::size_t lp = local_p;
+  const double* rel = subset.relevance.data();
   switch (subset.sim_mode) {
     case Subset::SimMode::kUniform:
-      for (std::uint32_t j = 0; j < m; ++j) visit(j, 1.0f);
-      return;
+      return kernels::GainScanUniform(rel, best, m);
     case Subset::SimMode::kDense: {
-      const float* row = &subset.dense_sim[static_cast<std::size_t>(local_p) * m];
-      for (std::uint32_t j = 0; j < m; ++j) {
-        const float s = (j == local_p) ? 1.0f : row[j];
-        if (s > 0.0f) visit(j, s);
-      }
-      return;
+      const float* row = &subset.dense_sim[lp * m];
+      double sum = kernels::GainScan(row, rel, best, lp);
+      sum += DiagGain(rel[lp], best[lp]);
+      sum += kernels::GainScan(row + lp + 1, rel + lp + 1, best + lp + 1,
+                               m - lp - 1);
+      return sum;
     }
     case Subset::SimMode::kSparse: {
-      visit(local_p, 1.0f);
       const SparseSimRow row = subset.sparse_row(local_p);
-      for (std::uint32_t k = 0; k < row.size; ++k) {
-        visit(row.indices[k], row.values[k]);
-      }
-      return;
+      return DiagGain(rel[lp], best[lp]) +
+             kernels::GainScanSparse(row.indices, row.values, row.size, rel,
+                                     best);
     }
   }
+  return 0.0;
+}
+
+/// Mutating variant of MembershipGain: additionally raises best[j] to the
+/// contributed similarity wherever it gained. The diagonal is applied
+/// before the sparse row scan, matching the historical visit order.
+double MembershipAdd(const Subset& subset, std::uint32_t local_p,
+                     float* best) {
+  const std::size_t m = subset.size();
+  const std::size_t lp = local_p;
+  const double* rel = subset.relevance.data();
+  switch (subset.sim_mode) {
+    case Subset::SimMode::kUniform:
+      return kernels::GainUpdateUniform(rel, best, m);
+    case Subset::SimMode::kDense: {
+      const float* row = &subset.dense_sim[lp * m];
+      double sum = kernels::GainUpdate(row, rel, best, lp);
+      sum += DiagGain(rel[lp], best[lp]);
+      if (1.0f > best[lp]) best[lp] = 1.0f;
+      sum += kernels::GainUpdate(row + lp + 1, rel + lp + 1, best + lp + 1,
+                                 m - lp - 1);
+      return sum;
+    }
+    case Subset::SimMode::kSparse: {
+      double sum = DiagGain(rel[lp], best[lp]);
+      if (1.0f > best[lp]) best[lp] = 1.0f;
+      const SparseSimRow row = subset.sparse_row(local_p);
+      sum += kernels::GainScanSparse(row.indices, row.values, row.size, rel,
+                                     best);
+      // No AVX2 scatter exists, so the raise is a separate scalar pass.
+      // Row indices are unique, so the scan above never reads a slot this
+      // pass already raised.
+      for (std::uint32_t k = 0; k < row.size; ++k) {
+        const std::uint32_t j = row.indices[k];
+        if (row.values[k] > best[j]) best[j] = row.values[k];
+      }
+      return sum;
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -85,13 +132,7 @@ double ObjectiveEvaluator::GainOf(PhotoId p) const {
   for (const Membership& membership : instance_->memberships(p)) {
     const Subset& subset = instance_->subset(membership.subset);
     const float* best = best_sim_.data() + instance_->member_offset(membership.subset);
-    ForEachSimilar(subset, membership.local_index,
-                   [&](std::uint32_t j, float sim) {
-                     if (sim > best[j]) {
-                       gain += subset.weight * subset.relevance[j] *
-                               (static_cast<double>(sim) - best[j]);
-                     }
-                   });
+    gain += subset.weight * MembershipGain(subset, membership.local_index, best);
   }
   return gain;
 }
@@ -104,14 +145,7 @@ double ObjectiveEvaluator::Add(PhotoId p) {
   for (const Membership& membership : instance_->memberships(p)) {
     const Subset& subset = instance_->subset(membership.subset);
     float* best = best_sim_.data() + instance_->member_offset(membership.subset);
-    ForEachSimilar(subset, membership.local_index,
-                   [&](std::uint32_t j, float sim) {
-                     if (sim > best[j]) {
-                       gain += subset.weight * subset.relevance[j] *
-                               (static_cast<double>(sim) - best[j]);
-                       best[j] = sim;
-                     }
-                   });
+    gain += subset.weight * MembershipAdd(subset, membership.local_index, best);
   }
   selected_[p] = true;
   ++num_selected_;
@@ -124,11 +158,7 @@ double ObjectiveEvaluator::SubsetScore(SubsetId q) const {
   PHOCUS_CHECK(q < instance_->num_subsets(), "subset id out of range");
   const Subset& subset = instance_->subset(q);
   const float* best = best_sim_.data() + instance_->member_offset(q);
-  double score = 0.0;
-  for (std::size_t j = 0; j < subset.size(); ++j) {
-    score += subset.relevance[j] * best[j];
-  }
-  return score;
+  return kernels::WeightedSum(subset.relevance.data(), best, subset.size());
 }
 
 double ObjectiveEvaluator::Evaluate(const ParInstance& instance,

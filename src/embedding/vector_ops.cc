@@ -2,23 +2,18 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 
 namespace phocus {
 
 double Dot(const Embedding& a, const Embedding& b) {
   PHOCUS_CHECK(a.size() == b.size(), "vector dimension mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * b[i];
-  }
-  return acc;
+  return kernels::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm(const Embedding& a) {
-  double acc = 0.0;
-  for (float v : a) acc += static_cast<double>(v) * v;
-  return std::sqrt(acc);
+  return std::sqrt(kernels::SquaredNorm(a.data(), a.size()));
 }
 
 double CosineSimilarity(const Embedding& a, const Embedding& b) {
@@ -30,24 +25,20 @@ double CosineSimilarity(const Embedding& a, const Embedding& b) {
 
 double EuclideanDistance(const Embedding& a, const Embedding& b) {
   PHOCUS_CHECK(a.size() == b.size(), "vector dimension mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(kernels::SquaredDistance(a.data(), b.data(), a.size()));
 }
 
 void NormalizeInPlace(Embedding& a) {
   const double norm = Norm(a);
   if (norm == 0.0) return;
   const float inv = static_cast<float>(1.0 / norm);
-  for (float& v : a) v *= inv;
+  kernels::ScaleInPlace(a.data(), a.size(), inv);
 }
 
 void AppendWeighted(Embedding& head, const Embedding& tail, float weight) {
-  head.reserve(head.size() + tail.size());
-  for (float v : tail) head.push_back(v * weight);
+  const std::size_t old_size = head.size();
+  head.resize(old_size + tail.size());
+  kernels::ScaleInto(head.data() + old_size, tail.data(), tail.size(), weight);
 }
 
 }  // namespace phocus

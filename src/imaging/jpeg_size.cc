@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "imaging/ops.h"
+#include "kernels/kernels.h"
 #include "util/logging.h"
 
 namespace phocus {
@@ -54,23 +56,29 @@ int MagnitudeBits(int v) {
   return bits;
 }
 
+/// Scales a base quantization table for `quality`, once per plane (this
+/// used to run per coefficient per block). `qtab` feeds the quantize
+/// kernel's float division; `qint` the exact integer dequantization.
+void BuildQuantTables(const int quant[64], int quality, float qtab[64],
+                      int qint[64]) {
+  for (int i = 0; i < 64; ++i) {
+    qint[i] = ScaleQuant(quant[i], quality);
+    qtab[i] = static_cast<float>(qint[i]);
+  }
+}
+
 /// Estimates entropy-coded bits for one quantized 8×8 block: for each
 /// nonzero AC coefficient we charge its magnitude-category bits plus an
 /// average 4-bit run/size Huffman prefix; the DC delta is charged similarly.
-double BlockBits(const float dct[64], const int quant[64], int quality,
-                 int* dc_out, int prev_dc) {
-  double bits = 0.0;
-  int dc = 0;
-  for (int i = 0; i < 64; ++i) {
-    const int q = ScaleQuant(quant[i], quality);
-    const int coefficient =
-        static_cast<int>(std::lround(dct[i] / static_cast<float>(q)));
-    if (i == 0) {
-      dc = coefficient;
-      const int delta = dc - prev_dc;
-      bits += 4.0 + MagnitudeBits(delta);  // DC size code + amplitude
-    } else if (coefficient != 0) {
-      bits += 4.0 + MagnitudeBits(coefficient);  // run/size prefix + amplitude
+double BlockBits(const float dct[64], const float qtab[64], int* dc_out,
+                 int prev_dc) {
+  std::int32_t coefficients[64];
+  kernels::QuantizeBlock8x8(dct, qtab, coefficients);
+  const int dc = static_cast<int>(coefficients[0]);
+  double bits = 4.0 + MagnitudeBits(dc - prev_dc);  // DC size code + amplitude
+  for (int i = 1; i < 64; ++i) {
+    if (coefficients[i] != 0) {
+      bits += 4.0 + MagnitudeBits(coefficients[i]);  // run/size + amplitude
     }
   }
   bits += 4.0;  // end-of-block marker
@@ -92,6 +100,9 @@ void ExtractBlock(const Plane& plane, int bx, int by, float out[64]) {
 double PlaneBits(const Plane& plane, const int quant[64], int quality) {
   const int blocks_x = (plane.width() + 7) / 8;
   const int blocks_y = (plane.height() + 7) / 8;
+  float qtab[64];
+  int qint[64];
+  BuildQuantTables(quant, quality, qtab, qint);
   double bits = 0.0;
   int prev_dc = 0;
   float block[64];
@@ -101,7 +112,7 @@ double PlaneBits(const Plane& plane, const int quant[64], int quality) {
       ExtractBlock(plane, bx, by, block);
       ForwardDct8x8(block, dct);
       int dc = 0;
-      bits += BlockBits(dct, quant, quality, &dc, prev_dc);
+      bits += BlockBits(dct, qtab, &dc, prev_dc);
       prev_dc = dc;
     }
   }
@@ -130,27 +141,10 @@ const float (*DctCosTable())[8] {
 
 void ForwardDct8x8(const float input[64], float output[64]) {
   // Separable DCT-II with orthonormal scaling (matches JPEG conventions up
-  // to the standard x4 factor folded into the basis constants below).
-  const float(*cos_table)[8] = DctCosTable();
-  float temp[64];
-  // Rows.
-  for (int y = 0; y < 8; ++y) {
-    for (int k = 0; k < 8; ++k) {
-      float acc = 0.0f;
-      for (int n = 0; n < 8; ++n) acc += input[y * 8 + n] * cos_table[k][n];
-      const float alpha = (k == 0) ? 0.353553391f : 0.5f;  // sqrt(1/8), sqrt(2/8)
-      temp[y * 8 + k] = alpha * acc;
-    }
-  }
-  // Columns.
-  for (int x = 0; x < 8; ++x) {
-    for (int k = 0; k < 8; ++k) {
-      float acc = 0.0f;
-      for (int n = 0; n < 8; ++n) acc += temp[n * 8 + x] * cos_table[k][n];
-      const float alpha = (k == 0) ? 0.353553391f : 0.5f;
-      output[k * 8 + x] = alpha * acc;
-    }
-  }
+  // to the standard x4 factor folded into the basis constants). The kernel
+  // layer's scalar and AVX2 builds both reproduce the historical per-lane
+  // mul+add order, so the output is unchanged bit for bit.
+  kernels::ForwardDct8x8(input, output);
 }
 
 void InverseDct8x8(const float input[64], float output[64]) {
@@ -186,15 +180,18 @@ namespace {
 void RoundTripPlane(Plane& plane, const int quant[64], int quality) {
   const int blocks_x = (plane.width() + 7) / 8;
   const int blocks_y = (plane.height() + 7) / 8;
+  float qtab[64];
+  int qint[64];
+  BuildQuantTables(quant, quality, qtab, qint);
   float block[64], dct[64], back[64];
+  std::int32_t coefficients[64];
   for (int by = 0; by < blocks_y; ++by) {
     for (int bx = 0; bx < blocks_x; ++bx) {
       ExtractBlock(plane, bx, by, block);
       ForwardDct8x8(block, dct);
+      kernels::QuantizeBlock8x8(dct, qtab, coefficients);
       for (int i = 0; i < 64; ++i) {
-        const int q = ScaleQuant(quant[i], quality);
-        dct[i] = static_cast<float>(
-            std::lround(dct[i] / static_cast<float>(q)) * q);
+        dct[i] = static_cast<float>(coefficients[i] * qint[i]);
       }
       InverseDct8x8(dct, back);
       for (int y = 0; y < 8; ++y) {

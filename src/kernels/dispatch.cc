@@ -1,0 +1,145 @@
+#include "kernels/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "kernels/table_impl.h"
+#include "util/logging.h"
+
+namespace phocus {
+namespace kernels {
+
+const KernelTable& ScalarTable() { return internal::ScalarTableImpl(); }
+
+bool Avx2CompiledIn() {
+#if PHOCUS_KERNELS_BUILD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+bool CpuHasAvx2() {
+#if PHOCUS_KERNELS_BUILD_AVX2
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelTable* Avx2Table() {
+#if PHOCUS_KERNELS_BUILD_AVX2
+  if (CpuHasAvx2()) return &internal::Avx2TableImpl();
+#endif
+  return nullptr;
+}
+
+const KernelTable& ResolveTable(const char* env_value) {
+  if (env_value == nullptr || env_value[0] == '\0') {
+    const KernelTable* avx2 = Avx2Table();
+    return avx2 != nullptr ? *avx2 : ScalarTable();
+  }
+  if (std::strcmp(env_value, "scalar") == 0) return ScalarTable();
+  if (std::strcmp(env_value, "avx2") == 0) {
+    const KernelTable* avx2 = Avx2Table();
+    PHOCUS_CHECK(avx2 != nullptr,
+                 "PHOCUS_KERNELS=avx2 but the AVX2 kernel build is "
+                 "unavailable (not compiled in, or the CPU lacks AVX2/FMA)");
+    return *avx2;
+  }
+  PHOCUS_CHECK(false, std::string("unknown PHOCUS_KERNELS value '") +
+                          env_value + "' (expected 'scalar' or 'avx2')");
+  return ScalarTable();  // unreachable
+}
+
+const KernelTable& Active() {
+  // Resolved once per process: the dispatch decision (like the thread-pool
+  // width) must not change mid-run, or mixed-mode reductions would break
+  // the determinism contract.
+  static const KernelTable& table = ResolveTable(std::getenv("PHOCUS_KERNELS"));
+  return table;
+}
+
+const char* ActiveIsaName() { return Active().name; }
+
+// ---------------------------------------------------------------------------
+// Operation counters
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+OpCountCells& Cells() {
+  static OpCountCells cells;
+  return cells;
+}
+
+}  // namespace internal
+
+void SetOpCountingEnabled(bool enabled) {
+  internal::Cells().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool OpCountingEnabled() {
+  return internal::Cells().enabled.load(std::memory_order_relaxed);
+}
+
+OpCounts SnapshotOpCounts() {
+  internal::OpCountCells& cells = internal::Cells();
+  OpCounts counts;
+  counts.dot_elems = cells.dot_elems.load(std::memory_order_relaxed);
+  counts.scale_elems = cells.scale_elems.load(std::memory_order_relaxed);
+  counts.gain_elems = cells.gain_elems.load(std::memory_order_relaxed);
+  counts.simhash_macs = cells.simhash_macs.load(std::memory_order_relaxed);
+  counts.dct_blocks = cells.dct_blocks.load(std::memory_order_relaxed);
+  counts.quant_blocks = cells.quant_blocks.load(std::memory_order_relaxed);
+  counts.hamming_words = cells.hamming_words.load(std::memory_order_relaxed);
+  return counts;
+}
+
+void ResetOpCounts() {
+  internal::OpCountCells& cells = internal::Cells();
+  cells.dot_elems.store(0, std::memory_order_relaxed);
+  cells.scale_elems.store(0, std::memory_order_relaxed);
+  cells.gain_elems.store(0, std::memory_order_relaxed);
+  cells.simhash_macs.store(0, std::memory_order_relaxed);
+  cells.dct_blocks.store(0, std::memory_order_relaxed);
+  cells.quant_blocks.store(0, std::memory_order_relaxed);
+  cells.hamming_words.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Shared DCT basis
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+const DctTables& GetDctTables() {
+  // Function-local static: thread-safe one-time init (size estimation runs
+  // on the pool). Compiled in this ISA-flag-free TU so scalar and AVX2
+  // builds share bit-identical constants.
+  static const DctTables tables = [] {
+    DctTables t;
+    for (int k = 0; k < 8; ++k) {
+      for (int n = 0; n < 8; ++n) {
+        const float c =
+            static_cast<float>(std::cos((2 * n + 1) * k * M_PI / 16.0));
+        t.cos_kn[k][n] = c;
+        t.cos_nk[n][k] = c;
+      }
+      t.alpha[k] = (k == 0) ? 0.353553391f : 0.5f;  // sqrt(1/8), sqrt(2/8)
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace phocus

@@ -1,0 +1,39 @@
+#ifndef PHOCUS_KERNELS_TABLE_IMPL_H_
+#define PHOCUS_KERNELS_TABLE_IMPL_H_
+
+#include "kernels/kernels.h"
+
+/// \file table_impl.h
+/// Internal: wiring between the dispatch translation unit and the per-ISA
+/// implementation translation units.
+
+namespace phocus {
+namespace kernels {
+namespace internal {
+
+/// Defined in kernels_scalar.cc.
+const KernelTable& ScalarTableImpl();
+
+#if PHOCUS_KERNELS_BUILD_AVX2
+/// Defined in kernels_avx2.cc (only compiled when the toolchain supports
+/// -mavx2). Callable regardless of CPU — callers gate on CPUID.
+const KernelTable& Avx2TableImpl();
+#endif
+
+/// Shared DCT basis constants (defined in dispatch.cc, which is compiled
+/// without ISA flags, so both builds read the same values). `cos_kn[k][n]`
+/// is the DCT-II basis cos((2n+1)kπ/16); `cos_nk` is its transpose for the
+/// AVX2 row pass; `alpha` the orthonormal scale factors.
+struct DctTables {
+  alignas(32) float cos_kn[8][8];
+  alignas(32) float cos_nk[8][8];
+  alignas(32) float alpha[8];
+};
+
+const DctTables& GetDctTables();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace phocus
+
+#endif  // PHOCUS_KERNELS_TABLE_IMPL_H_

@@ -1,8 +1,8 @@
 #include "lsh/simhash.h"
 
-#include <bit>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -18,30 +18,24 @@ SimHasher::SimHasher(std::size_t dimension, int num_bits, std::uint64_t seed)
 }
 
 SimHashSignature SimHasher::Signature(const Embedding& vector) const {
-  PHOCUS_CHECK(vector.size() == dimension_, "SimHasher dimension mismatch");
-  SimHashSignature signature(words_per_signature(), 0);
-  for (int bit = 0; bit < num_bits_; ++bit) {
-    const float* hyperplane = &hyperplanes_[static_cast<std::size_t>(bit) * dimension_];
-    double dot = 0.0;
-    for (std::size_t i = 0; i < dimension_; ++i) {
-      dot += static_cast<double>(hyperplane[i]) * vector[i];
-    }
-    if (dot >= 0.0) {
-      signature[static_cast<std::size_t>(bit) / 64] |=
-          (1ULL << (static_cast<std::size_t>(bit) % 64));
-    }
-  }
+  SimHashSignature signature;
+  SignatureInto(vector, &signature);
   return signature;
+}
+
+void SimHasher::SignatureInto(const Embedding& vector,
+                              SimHashSignature* signature) const {
+  PHOCUS_CHECK(vector.size() == dimension_, "SimHasher dimension mismatch");
+  signature->resize(words_per_signature());
+  kernels::SimHashSignature(hyperplanes_.data(),
+                            static_cast<std::size_t>(num_bits_), vector.data(),
+                            dimension_, signature->data());
 }
 
 int SimHasher::HammingDistance(const SimHashSignature& a,
                                const SimHashSignature& b) {
   PHOCUS_CHECK(a.size() == b.size(), "signature length mismatch");
-  int distance = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    distance += std::popcount(a[i] ^ b[i]);
-  }
-  return distance;
+  return kernels::Hamming(a.data(), b.data(), a.size());
 }
 
 double SimHasher::EstimateCosine(int hamming, int num_bits) {

@@ -27,6 +27,12 @@ class SimHasher {
   /// Computes the packed signature of a vector.
   SimHashSignature Signature(const Embedding& vector) const;
 
+  /// In-place variant: resizes `*signature` to words_per_signature() and
+  /// overwrites it. Lets batch hashers (SimHashIndex ingest, the serial
+  /// pair scan) reuse preallocated slots instead of paying one heap
+  /// allocation per vector.
+  void SignatureInto(const Embedding& vector, SimHashSignature* signature) const;
+
   int num_bits() const { return num_bits_; }
   std::size_t dimension() const { return dimension_; }
   std::size_t words_per_signature() const {

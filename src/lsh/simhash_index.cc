@@ -62,8 +62,10 @@ void SimHashIndex::Add(const std::vector<Embedding>& vectors) {
   span.SetAttribute("indexed", static_cast<std::uint64_t>(vectors.size()));
 
   signatures_.resize(vectors.size());
+  // SignatureInto hashes straight into the preallocated slot — the fan-out
+  // does no per-vector allocation beyond the slot's word resize.
   ThreadPool::Global().ParallelFor(added, [&](std::size_t k) {
-    signatures_[old_size + k] = hasher_.Signature(vectors[old_size + k]);
+    hasher_.SignatureInto(vectors[old_size + k], &signatures_[old_size + k]);
   });
   telemetry::MetricsRegistry::Current()
       .GetCounter("lsh.signatures_computed")

@@ -137,7 +137,7 @@ std::vector<SimilarPair> LshPairsAboveSerial(
   const SimHasher hasher(vectors[0].size(), options.num_bits, options.seed);
   std::vector<SimHashSignature> signatures(m);
   for (std::size_t i = 0; i < m; ++i) {
-    signatures[i] = hasher.Signature(vectors[i]);
+    hasher.SignatureInto(vectors[i], &signatures[i]);
   }
 
   // Extract `rows` consecutive bits starting at bit offset `begin`.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "embedding/vector_ops.h"
+#include "kernels/kernels.h"
 #include "lsh/similar_pairs.h"
 #include "util/rng.h"
 
@@ -55,7 +56,14 @@ void PrintPairs(const char* label, const std::vector<phocus::SimilarPair>& pairs
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list-kernels") == 0) {
+    // The driver script (cmake/plan_determinism.cmake) sweeps
+    // PHOCUS_KERNELS over every table this machine can run.
+    std::puts("scalar");
+    if (phocus::kernels::Avx2Table() != nullptr) std::puts("avx2");
+    return 0;
+  }
   const std::vector<phocus::Embedding> vectors = MakeVectors();
   for (double tau : {0.7, 0.85}) {
     phocus::LshPairFinderOptions options;

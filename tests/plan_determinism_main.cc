@@ -1,6 +1,8 @@
 #include <cstdio>
+#include <cstring>
 
 #include "datagen/openimages.h"
+#include "kernels/kernels.h"
 #include "phocus/system.h"
 #include "service/protocol.h"
 
@@ -12,7 +14,14 @@
 /// run is byte-identical — the solver's cross-thread-count determinism
 /// guarantee, checked through the whole PhocusSystem path.
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list-kernels") == 0) {
+    // The driver script (cmake/plan_determinism.cmake) sweeps
+    // PHOCUS_KERNELS over every table this machine can run.
+    std::puts("scalar");
+    if (phocus::kernels::Avx2Table() != nullptr) std::puts("avx2");
+    return 0;
+  }
   phocus::OpenImagesOptions corpus_options;
   corpus_options.num_photos = 150;
   corpus_options.seed = 17;
