@@ -127,6 +127,11 @@ void ExportBenchJsonIfRequested(const std::string& bench_name) {
     row.Set("wall_seconds", Json(record.wall_seconds));
     row.Set("gain_evals", Json(static_cast<std::uint64_t>(record.gain_evals)));
     row.Set("score", Json(record.score));
+    if (record.streaming) {
+      row.Set("replans", Json(static_cast<std::uint64_t>(record.replans)));
+      row.Set("drift_evals",
+              Json(static_cast<std::uint64_t>(record.drift_evals)));
+    }
     results.Append(std::move(row));
   }
   root.Set("results", std::move(results));

@@ -96,6 +96,11 @@ struct BenchRecord {
   double wall_seconds = 0.0;  ///< end-to-end solve wall time
   std::size_t gain_evals = 0; ///< oracle calls (machine-independent)
   double score = 0.0;         ///< G(S) of the returned solution
+  /// Streaming-ingest rows (BENCH_streaming.json) only; emitted when the
+  /// mode ran at least one replan decision. Machine-independent.
+  std::size_t replans = 0;      ///< replans executed over the stream
+  std::size_t drift_evals = 0;  ///< drift-bound evaluations over the stream
+  bool streaming = false;       ///< emit the two counters above
 };
 
 /// Queues one record for ExportBenchJsonIfRequested().

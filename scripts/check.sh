@@ -10,12 +10,16 @@
 #             the BENCH_*.json lint (scripts/lint_bench_json.py)
 #   obs       the serving-observability surface: wire verbs, flight
 #             recorder, metric-name lint (scripts/lint_metrics.py)
+#   streaming the streaming-ingest scenario matrix: drift-bound soundness,
+#             bursty replan accounting, backpressure, crash-during-flush
+#             recovery, and the cross-kernel/thread determinism sweep
+#             (tests/streaming_test.cc, streaming_determinism)
 #   cluster   multi-process coordinator + phocusd shard topologies under
 #             chaos (tests/cluster_test.cc)
-#   tsan      the scenario + concurrency tier rebuilt with
+#   tsan      the scenario + streaming + concurrency tiers rebuilt with
 #             -DPHOCUS_SANITIZE=thread
 #
-# Usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|cluster|tsan|all]
+# Usage: scripts/check.sh [unit|scenario|fuzz|perf|obs|streaming|cluster|tsan|all]
 # (default: all)
 #
 # Environment: BUILD_DIR (default build), TSAN_DIR (default build-tsan),
@@ -41,10 +45,11 @@ run_label() {
   (cd "$dir" && ctest -L "$label" --output-on-failure -j "$JOBS")
 }
 
-tier_unit()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" unit; }
-tier_scenario() { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" scenario; }
-tier_fuzz()     { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" fuzz; }
-tier_cluster()  { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" cluster; }
+tier_unit()      { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" unit; }
+tier_scenario()  { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" scenario; }
+tier_fuzz()      { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" fuzz; }
+tier_streaming() { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" streaming; }
+tier_cluster()   { build_tree "$BUILD_DIR"; run_label "$BUILD_DIR" cluster; }
 
 # Perf wall: the *_perf_smoke guards enforce machine-independent operation
 # counters, but their wall-clock side reports are only honest from an
@@ -66,6 +71,9 @@ tier_obs() {
 tier_tsan() {
   build_tree "$TSAN_DIR" -DPHOCUS_SANITIZE=thread
   run_label "$TSAN_DIR" scenario
+  # The streaming suite drives concurrent ingests against phocusd sessions
+  # (replans racing ingest), so it earns a TSan pass of its own.
+  run_label "$TSAN_DIR" streaming
   (cd "$TSAN_DIR" && \
     ctest -R "Concurrency|ThreadPool|SolverEquivalence|LshEquivalence" \
     --output-on-failure -j "$JOBS")
@@ -77,6 +85,7 @@ case "$TIER" in
   fuzz)     tier_fuzz ;;
   perf)     tier_perf ;;
   obs)      tier_obs ;;
+  streaming) tier_streaming ;;
   cluster)  tier_cluster ;;
   tsan)     tier_tsan ;;
   all)
@@ -86,13 +95,14 @@ case "$TIER" in
     run_label "$BUILD_DIR" unit
     run_label "$BUILD_DIR" scenario
     run_label "$BUILD_DIR" fuzz
+    run_label "$BUILD_DIR" streaming
     run_label "$BUILD_DIR" perf
     run_label "$BUILD_DIR" cluster
     tier_tsan
     ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[unit|scenario|fuzz|perf|obs|cluster|tsan|all]" >&2
+         "[unit|scenario|fuzz|perf|obs|streaming|cluster|tsan|all]" >&2
     exit 2
     ;;
 esac

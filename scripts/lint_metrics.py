@@ -9,8 +9,12 @@ Checks every literal name passed to GetCounter / GetGauge / GetHistogram:
      (the same name as both a counter and a histogram is almost always a
      copy-paste bug),
   3. documentation: the name is findable in docs/OBSERVABILITY.md — either
-     verbatim, or as a `<prefix.>` + `<suffix>` pair the way the naming
-     table lists families (`solver.celf.` + `lazy_hits`).
+     verbatim, or as a `<prefix.>` + `<suffix>` pair co-occurring on one
+     line, the way the naming table lists families (`solver.celf.` +
+     `lazy_hits` in the same table row). The two halves appearing on
+     different lines does NOT count: that let partially-undocumented
+     families slip through when an unrelated row happened to mention the
+     suffix word.
 
 Dynamically-built names (string concatenation) are checked by family: a
 literal fragment ending in `.` must be one of the known dynamic families
@@ -68,16 +72,18 @@ def scan_sources(src_root):
             yield path, line, kind, call_argument(text, match.end() - 1)
 
 
-def documented(name, doc_text):
-    if name in doc_text:
-        return True
-    # The naming table lists families as `prefix.` + bare suffix.
+def documented(name, doc_lines):
+    # The naming table lists families as `prefix.` + bare suffix; the pair
+    # only counts when it co-occurs on a single line (one table row).
     parts = name.split(".")
-    for i in range(1, len(parts)):
-        prefix = ".".join(parts[:i]) + "."
-        suffix = ".".join(parts[i:])
-        if prefix in doc_text and suffix in doc_text:
+    for line in doc_lines:
+        if name in line:
             return True
+        for i in range(1, len(parts)):
+            prefix = ".".join(parts[:i]) + "."
+            suffix = ".".join(parts[i:])
+            if prefix in line and suffix in line:
+                return True
     return False
 
 
@@ -89,6 +95,7 @@ def main():
     root = pathlib.Path(args.root)
     doc_path = root / "docs" / "OBSERVABILITY.md"
     doc_text = doc_path.read_text()
+    doc_lines = doc_text.splitlines()
 
     errors = []
     kinds_by_name = {}
@@ -120,7 +127,7 @@ def main():
                               "lowercase-dotted <module>.<component>...")
                 continue
             kinds_by_name.setdefault(name, {})[kind] = where
-            if not documented(name, doc_text):
+            if not documented(name, doc_lines):
                 errors.append(f"{where}: metric \"{name}\" is not "
                               f"documented in {doc_path.relative_to(root)}")
                 undocumented.setdefault(name, where)

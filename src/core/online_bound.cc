@@ -7,13 +7,13 @@
 
 namespace phocus {
 
-OnlineBound ComputeOnlineBound(const ParInstance& instance,
-                               const std::vector<PhotoId>& selection) {
-  ObjectiveEvaluator evaluator(&instance);
-  for (PhotoId p : selection) {
-    if (!evaluator.IsSelected(p)) evaluator.Add(p);
-  }
+namespace {
 
+// Fractional-knapsack packing of the positive residual gains δ_p(S) into the
+// full budget B, the shared core of both bounds: any feasible set T satisfies
+// Σ_{p∈T\S} δ_p(S) ≤ this packing.
+double ResidualKnapsack(const ParInstance& instance,
+                        const ObjectiveEvaluator& evaluator) {
   struct Item {
     double gain;
     Cost cost;
@@ -44,6 +44,18 @@ OnlineBound ComputeOnlineBound(const ParInstance& instance,
       break;
     }
   }
+  return extra;
+}
+
+}  // namespace
+
+OnlineBound ComputeOnlineBound(const ParInstance& instance,
+                               const std::vector<PhotoId>& selection) {
+  ObjectiveEvaluator evaluator(&instance);
+  for (PhotoId p : selection) {
+    if (!evaluator.IsSelected(p)) evaluator.Add(p);
+  }
+  const double extra = ResidualKnapsack(instance, evaluator);
 
   OnlineBound bound;
   bound.solution_score = evaluator.score();
@@ -51,6 +63,24 @@ OnlineBound ComputeOnlineBound(const ParInstance& instance,
   bound.certified_ratio =
       bound.upper_bound > 0.0 ? bound.solution_score / bound.upper_bound : 1.0;
   return bound;
+}
+
+DriftEstimate EstimateObjectiveDrift(
+    const ParInstance& instance, const std::vector<PhotoId>& stale_selection) {
+  ObjectiveEvaluator evaluator(&instance);
+  for (PhotoId p : stale_selection) {
+    PHOCUS_CHECK(p < instance.num_photos(),
+                 "stale selection id out of range for instance");
+    if (!evaluator.IsSelected(p)) evaluator.Add(p);
+  }
+
+  DriftEstimate estimate;
+  estimate.stale_score = evaluator.score();
+  estimate.drift = ResidualKnapsack(instance, evaluator);
+  estimate.upper_bound = estimate.stale_score + estimate.drift;
+  estimate.relative_drift =
+      estimate.drift / std::max(estimate.stale_score, 1.0);
+  return estimate;
 }
 
 }  // namespace phocus

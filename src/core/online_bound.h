@@ -29,6 +29,28 @@ struct OnlineBound {
 OnlineBound ComputeOnlineBound(const ParInstance& instance,
                                const std::vector<PhotoId>& selection);
 
+/// How much better a fresh replan could be than a stale selection, certified
+/// from the same a-posteriori machinery. The stale selection need not be
+/// feasible in the current instance (costs may have grown since it was
+/// planned): for any feasible replan T, monotonicity and submodularity give
+///
+///   G(T) ≤ G(S ∪ T) ≤ G(S) + Σ_{p∈T\S} δ_p(S) ≤ G(S) + knapsack(δ·(S), C, B)
+///
+/// so `drift` is a sound upper bound on G(replan) − G(S) — if it is below ε,
+/// replanning provably cannot gain more than ε.
+struct DriftEstimate {
+  double stale_score = 0.0;     ///< G(S) under the current instance
+  double upper_bound = 0.0;     ///< certified upper bound on G(any replan)
+  double drift = 0.0;           ///< upper_bound − stale_score, ≥ 0
+  double relative_drift = 0.0;  ///< drift / max(stale_score, 1); unitless ε
+};
+
+/// Evaluates `stale_selection` against the (possibly newer) `instance` and
+/// bounds how much a replan could improve on it. Ids must be valid for the
+/// instance; feasibility is NOT required.
+DriftEstimate EstimateObjectiveDrift(const ParInstance& instance,
+                                     const std::vector<PhotoId>& stale_selection);
+
 }  // namespace phocus
 
 #endif  // PHOCUS_CORE_ONLINE_BOUND_H_

@@ -7,6 +7,7 @@
 #include "core/objective.h"
 #include "core/online_bound.h"
 #include "phocus/representation.h"
+#include "telemetry/metrics.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -63,10 +64,10 @@ const ArchivePlan& IncrementalArchiver::Initialize(Corpus corpus) {
   return plan_;
 }
 
-const ArchivePlan& IncrementalArchiver::AddPhotos(
-    std::vector<CorpusPhoto> photos, std::vector<SubsetSpec> new_subsets,
-    std::vector<PhotoId> new_required, IncrementalUpdateStats* stats) {
-  PHOCUS_CHECK(initialized_, "AddPhotos before Initialize");
+void IncrementalArchiver::ValidateAppend(
+    const std::vector<CorpusPhoto>& photos,
+    const std::vector<SubsetSpec>& new_subsets,
+    const std::vector<PhotoId>& new_required) const {
   const std::size_t new_total = corpus_.photos.size() + photos.size();
   for (const SubsetSpec& spec : new_subsets) {
     for (PhotoId p : spec.members) {
@@ -76,6 +77,13 @@ const ArchivePlan& IncrementalArchiver::AddPhotos(
   for (PhotoId p : new_required) {
     PHOCUS_CHECK(p < new_total, "required id beyond the appended corpus");
   }
+}
+
+const ArchivePlan& IncrementalArchiver::AddPhotos(
+    std::vector<CorpusPhoto> photos, std::vector<SubsetSpec> new_subsets,
+    std::vector<PhotoId> new_required, IncrementalUpdateStats* stats) {
+  PHOCUS_CHECK(initialized_, "AddPhotos before Initialize");
+  ValidateAppend(photos, new_subsets, new_required);
   IncrementalUpdateStats local_stats;
   local_stats.photos_added = photos.size();
   local_stats.subsets_added = new_subsets.size();
@@ -131,6 +139,62 @@ const ArchivePlan& IncrementalArchiver::SetBudget(
   }
   if (stats != nullptr) *stats = local_stats;
   return plan_;
+}
+
+void IncrementalArchiver::AddPhotosDeferred(
+    std::vector<CorpusPhoto> photos, std::vector<SubsetSpec> new_subsets,
+    std::vector<PhotoId> new_required, IncrementalUpdateStats* stats) {
+  PHOCUS_CHECK(initialized_, "AddPhotosDeferred before Initialize");
+  ValidateAppend(photos, new_subsets, new_required);
+  IncrementalUpdateStats local_stats;
+  local_stats.photos_added = photos.size();
+  local_stats.subsets_added = new_subsets.size();
+
+  const PhotoId first_new = static_cast<PhotoId>(corpus_.photos.size());
+  for (CorpusPhoto& photo : photos) {
+    // Arrivals are cold-by-default: extend the active plan's archived side so
+    // it keeps covering the whole corpus until the next replan.
+    plan_.archived.push_back(static_cast<PhotoId>(corpus_.photos.size()));
+    plan_.archived_bytes += photo.bytes;
+    corpus_.photos.push_back(std::move(photo));
+  }
+  for (SubsetSpec& spec : new_subsets) corpus_.subsets.push_back(std::move(spec));
+  for (PhotoId p : new_required) corpus_.required.push_back(p);
+  std::sort(corpus_.required.begin(), corpus_.required.end());
+  corpus_.required.erase(
+      std::unique(corpus_.required.begin(), corpus_.required.end()),
+      corpus_.required.end());
+  deferred_photos_ += corpus_.photos.size() - first_new;
+  telemetry::MetricsRegistry::Current()
+      .GetCounter("incremental.deferred_photos")
+      .Add(corpus_.photos.size() - first_new);
+  if (stats != nullptr) *stats = local_stats;
+}
+
+DriftEstimate IncrementalArchiver::EstimateDrift() {
+  PHOCUS_CHECK(initialized_, "EstimateDrift before Initialize");
+  const ParInstance instance =
+      BuildInstance(corpus_, options_.archive.budget,
+                    options_.archive.representation, &lsh_cache_);
+  telemetry::MetricsRegistry::Current()
+      .GetCounter("incremental.drift_evals")
+      .Increment();
+  return EstimateObjectiveDrift(instance, plan_.retained);
+}
+
+const ArchivePlan& IncrementalArchiver::ReplanNow(
+    IncrementalUpdateStats* stats) {
+  PHOCUS_CHECK(initialized_, "ReplanNow before Initialize");
+  IncrementalUpdateStats local_stats;
+  Replan(&local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return plan_;
+}
+
+void IncrementalArchiver::SetBudgetDeferred(Cost budget) {
+  PHOCUS_CHECK(initialized_, "SetBudgetDeferred before Initialize");
+  PHOCUS_CHECK(budget > 0, "budget must be positive");
+  options_.archive.budget = budget;
 }
 
 void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
@@ -216,6 +280,10 @@ void IncrementalArchiver::Replan(IncrementalUpdateStats* stats) {
   result.solver_name = "PHOcus-incremental";
   if (stats != nullptr) stats->gain_evaluations = result.gain_evaluations;
   plan_ = MakePlan(instance, corpus_, std::move(result), options_.archive);
+  deferred_photos_ = 0;  // every deferred arrival is now in the plan
+  telemetry::MetricsRegistry::Current()
+      .GetCounter("incremental.replans")
+      .Increment();
   if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
 }
 

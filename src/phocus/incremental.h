@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/online_bound.h"
 #include "datagen/corpus.h"
 #include "phocus/representation.h"
 #include "phocus/system.h"
@@ -85,11 +86,44 @@ class IncrementalArchiver {
   const ArchivePlan& SetBudget(Cost budget,
                                IncrementalUpdateStats* stats = nullptr);
 
+  /// Streaming-mode append: validates and appends exactly like AddPhotos but
+  /// does NOT replan. Arrivals are cold-by-default — the active plan's
+  /// `archived` list (and archived_bytes) is extended with the new ids so it
+  /// stays a complete, feasible description of the grown corpus; a later
+  /// ReplanNow decides whether any of them earn retention. Appends never
+  /// renumber, so `plan().retained` stays valid throughout.
+  void AddPhotosDeferred(std::vector<CorpusPhoto> photos,
+                         std::vector<SubsetSpec> new_subsets,
+                         std::vector<PhotoId> new_required = {},
+                         IncrementalUpdateStats* stats = nullptr);
+
+  /// Certified upper bound on how much a replan could improve on the current
+  /// retained set under the current (possibly deferred-grown) corpus and
+  /// budget. Pure query — no plan mutation. Reuses the LSH cache, so the
+  /// representation build is incremental like a replan's.
+  DriftEstimate EstimateDrift();
+
+  /// Replans now against the current corpus/budget — the explicit trigger
+  /// that absorbs deferred appends into a fresh plan. On failure (infeasible
+  /// budget, injected fault) the previous plan and the deferred state remain
+  /// in force, consistent, and retryable.
+  const ArchivePlan& ReplanNow(IncrementalUpdateStats* stats = nullptr);
+
+  /// Streaming-mode budget change: takes effect at the next replan or drift
+  /// estimate instead of forcing one (budget rebalancing as costs grow).
+  void SetBudgetDeferred(Cost budget);
+
   const ArchivePlan& plan() const { return plan_; }
   const Corpus& corpus() const { return corpus_; }
+  /// Photos appended via AddPhotosDeferred that no replan has absorbed yet.
+  std::size_t deferred_photos() const { return deferred_photos_; }
+  Cost budget() const { return options_.archive.budget; }
 
  private:
   void Replan(IncrementalUpdateStats* stats);
+  void ValidateAppend(const std::vector<CorpusPhoto>& photos,
+                      const std::vector<SubsetSpec>& new_subsets,
+                      const std::vector<PhotoId>& new_required) const;
 
   IncrementalOptions options_;
   Corpus corpus_;
@@ -101,6 +135,7 @@ class IncrementalArchiver {
   /// subsets whose member ids coincide but whose photos differ).
   LshIndexCache lsh_cache_;
   bool initialized_ = false;
+  std::size_t deferred_photos_ = 0;
 };
 
 }  // namespace phocus

@@ -1,0 +1,180 @@
+#include "phocus/streaming.h"
+
+#include <chrono>
+#include <utility>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace phocus {
+
+StreamingArchiver::StreamingArchiver(StreamingOptions options)
+    : options_(std::move(options)), archiver_(options_.incremental) {
+  PHOCUS_CHECK(options_.epsilon >= 0.0, "epsilon must be non-negative");
+  PHOCUS_CHECK(options_.max_staleness_ms >= 0.0,
+               "max_staleness_ms must be non-negative");
+  PHOCUS_CHECK(options_.batch_photos > 0, "batch_photos must be positive");
+  PHOCUS_CHECK(options_.queue_photos >= options_.batch_photos,
+               "queue_photos must be at least batch_photos");
+  PHOCUS_CHECK(options_.budget_fraction >= 0.0 &&
+                   options_.budget_fraction <= 1.0,
+               "budget_fraction must be in [0, 1]");
+}
+
+double StreamingArchiver::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const ArchivePlan& StreamingArchiver::Initialize(Corpus corpus) {
+  PHOCUS_CHECK(!initialized_, "Initialize called twice");
+  const ArchivePlan& plan = archiver_.Initialize(std::move(corpus));
+  last_replan_ms_ = NowMs();
+  initialized_ = true;
+  return plan;
+}
+
+void StreamingArchiver::set_policy(const StreamingOptions& options) {
+  PHOCUS_CHECK(options.epsilon >= 0.0, "epsilon must be non-negative");
+  PHOCUS_CHECK(options.max_staleness_ms >= 0.0,
+               "max_staleness_ms must be non-negative");
+  PHOCUS_CHECK(options.batch_photos > 0, "batch_photos must be positive");
+  PHOCUS_CHECK(options.queue_photos >= options.batch_photos,
+               "queue_photos must be at least batch_photos");
+  PHOCUS_CHECK(
+      options.budget_fraction >= 0.0 && options.budget_fraction <= 1.0,
+      "budget_fraction must be in [0, 1]");
+  // The incremental options (budget, representation) belong to the already-
+  // constructed archiver; only the streaming policy is live-updatable.
+  options_.epsilon = options.epsilon;
+  options_.max_staleness_ms = options.max_staleness_ms;
+  options_.batch_photos = options.batch_photos;
+  options_.queue_photos = options.queue_photos;
+  options_.replan_every_batch = options.replan_every_batch;
+  options_.budget_fraction = options.budget_fraction;
+  if (options.now_ms) options_.now_ms = options.now_ms;
+}
+
+IngestOutcome StreamingArchiver::Ingest(IngestBatch batch) {
+  PHOCUS_CHECK(initialized_, "Ingest before Initialize");
+  PHOCUS_FAILPOINT("ingest.enqueue");
+  auto& registry = telemetry::MetricsRegistry::Current();
+  const std::size_t arriving = batch.photos.size();
+  if (pending_photos_ + arriving > options_.queue_photos) {
+    // Reject the batch whole: admitting a prefix would shift the post-absorb
+    // id space the client already encoded the batch against.
+    registry.GetCounter("ingest.shed_batches").Increment();
+    telemetry::FlightRecorder::Record("ingest.shed", "queue_full", arriving,
+                                      pending_photos_);
+    throw IngestOverloadedError(
+        pending_photos_, options_.queue_photos,
+        "ingest overloaded: " + std::to_string(pending_photos_) +
+            " photos pending, batch of " + std::to_string(arriving) +
+            " exceeds the queue capacity of " +
+            std::to_string(options_.queue_photos) + "; flush or retry later");
+  }
+
+  pending_photos_ += arriving;
+  queue_.push_back(std::move(batch));
+  registry.GetCounter("ingest.batches").Increment();
+  registry.GetCounter("ingest.enqueued_photos").Add(arriving);
+  registry.GetGauge("ingest.queue_photos")
+      .Set(static_cast<double>(pending_photos_));
+  telemetry::FlightRecorder::Record("ingest.enqueue", "", arriving,
+                                    pending_photos_);
+
+  IngestOutcome outcome;
+  outcome.enqueued_photos = arriving;
+  outcome.reason = "queued";
+  if (options_.replan_every_batch || pending_photos_ >= options_.batch_photos) {
+    DrainQueue(&outcome);
+    MaybeReplan(/*force=*/false, &outcome);
+  }
+  outcome.pending_photos = pending_photos_;
+  return outcome;
+}
+
+IngestOutcome StreamingArchiver::Flush() {
+  PHOCUS_CHECK(initialized_, "Flush before Initialize");
+  telemetry::MetricsRegistry::Current().GetCounter("ingest.flushes").Increment();
+  IngestOutcome outcome;
+  if (queue_.empty() && archiver_.deferred_photos() == 0) {
+    outcome.reason = "clean";
+    return outcome;
+  }
+  DrainQueue(&outcome);
+  MaybeReplan(/*force=*/true, &outcome);
+  outcome.pending_photos = pending_photos_;
+  return outcome;
+}
+
+void StreamingArchiver::DrainQueue(IngestOutcome* outcome) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  while (!queue_.empty()) {
+    IngestBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    const std::size_t absorbed = batch.photos.size();
+    archiver_.AddPhotosDeferred(std::move(batch.photos),
+                                std::move(batch.subsets),
+                                std::move(batch.required));
+    pending_photos_ -= absorbed;
+    outcome->absorbed = true;
+    registry.GetCounter("ingest.absorbed_photos").Add(absorbed);
+  }
+  registry.GetGauge("ingest.queue_photos")
+      .Set(static_cast<double>(pending_photos_));
+}
+
+void StreamingArchiver::MaybeReplan(bool force, IngestOutcome* outcome) {
+  auto& registry = telemetry::MetricsRegistry::Current();
+  if (options_.budget_fraction > 0.0) {
+    const Cost target = static_cast<Cost>(options_.budget_fraction *
+                                          static_cast<double>(
+                                              archiver_.corpus().TotalBytes()));
+    if (target > 0 && target != archiver_.budget()) {
+      archiver_.SetBudgetDeferred(target);
+    }
+  }
+
+  const char* reason = nullptr;
+  if (force) {
+    reason = "flush";
+  } else if (options_.replan_every_batch) {
+    reason = "per_batch";
+  } else {
+    outcome->drift = archiver_.EstimateDrift();
+    outcome->drift_evaluated = true;
+    ++drift_evals_;
+    if (outcome->drift.relative_drift > options_.epsilon) {
+      reason = "drift_exceeded";
+    } else if (options_.max_staleness_ms > 0.0 &&
+               NowMs() - last_replan_ms_ >= options_.max_staleness_ms) {
+      reason = "staleness";
+    } else {
+      outcome->reason = "below_epsilon";
+      ++replans_skipped_;
+      registry.GetCounter("ingest.replans_skipped").Increment();
+      return;
+    }
+  }
+
+  // A fault here (injected crash, infeasible budget) leaves the archiver on
+  // its previous plan with the drained arrivals safely absorbed-as-archived;
+  // a later Flush retries the replan — nothing is lost.
+  PHOCUS_FAILPOINT("ingest.replan");
+  archiver_.ReplanNow(&outcome->stats);
+  ++replans_;
+  last_replan_ms_ = NowMs();
+  outcome->replanned = true;
+  outcome->reason = reason;
+  registry.GetCounter("ingest.replans").Increment();
+  telemetry::FlightRecorder::Record("ingest.replan", reason,
+                                    outcome->stats.photos_added,
+                                    static_cast<std::uint64_t>(replans_));
+}
+
+}  // namespace phocus

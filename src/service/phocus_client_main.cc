@@ -158,6 +158,12 @@ int Run(int argc, char** argv) {
         "  create [--kind=openimages|ecommerce] [--photos=N] [--seed=S]\n"
         "  plan --budget=25MB [--session=s-N] [--tau=V] [--exif-weight=V]\n"
         "  update --session=s-N --count=N [--seed=S]  fold new photos in\n"
+        "  ingest --session=s-N --count=N [--seed=S] [--epsilon=E]\n"
+        "         [--batch-photos=N] [--queue-photos=N] [--per-batch]\n"
+        "         [--max-staleness-ms=T] [--budget-fraction=F]\n"
+        "                                             queue photos; replan only\n"
+        "                                             when drift exceeds epsilon\n"
+        "  ingest-flush --session=s-N                 drain queue + replan now\n"
         "  set-budget --session=s-N --budget=BYTES    incremental re-plan\n"
         "  coverage --session=s-N [--top-k=K]\n"
         "  explain --session=s-N --photo=ID\n"
@@ -229,6 +235,54 @@ int Run(int argc, char** argv) {
                 static_cast<long long>(
                     stats.Get("gain_evaluations").AsInt()));
     PrintPlanSummary(result);
+    return 0;
+  }
+  if (args.command == "ingest" || args.command == "ingest-flush") {
+    Json params = Json::Object();
+    params.Set("session", args.Get("session", ""));
+    Json result;
+    if (args.command == "ingest") {
+      params.Set("count", std::stoi(args.Get("count", "50")));
+      params.Set("seed", std::stoi(args.Get("seed", "1")));
+      if (args.Has("budget")) params.Set("budget", args.Get("budget", ""));
+      if (args.Has("epsilon")) {
+        params.Set("epsilon", std::stod(args.Get("epsilon", "0.05")));
+      }
+      if (args.Has("batch-photos")) {
+        params.Set("batch_photos", std::stoi(args.Get("batch-photos", "32")));
+      }
+      if (args.Has("queue-photos")) {
+        params.Set("queue_photos", std::stoi(args.Get("queue-photos", "1024")));
+      }
+      if (args.Has("per-batch")) params.Set("per_batch", true);
+      if (args.Has("max-staleness-ms")) {
+        params.Set("max_staleness_ms",
+                   std::stod(args.Get("max-staleness-ms", "0")));
+      }
+      if (args.Has("budget-fraction")) {
+        params.Set("budget_fraction",
+                   std::stod(args.Get("budget-fraction", "0")));
+      }
+      result = client.Call("ingest", std::move(params));
+    } else {
+      result = client.Call("ingest_flush", std::move(params));
+    }
+    std::printf("%s: %s; %lld pending, %lld absorbed photos, replans %lld "
+                "(skipped %lld)\n",
+                args.command.c_str(), result.Get("reason").AsString().c_str(),
+                static_cast<long long>(result.Get("pending_photos").AsInt()),
+                static_cast<long long>(result.Get("num_photos").AsInt()),
+                static_cast<long long>(result.Get("replans").AsInt()),
+                static_cast<long long>(
+                    result.Get("replans_skipped").AsInt()));
+    if (result.Has("drift")) {
+      const Json& drift = result.Get("drift");
+      std::printf("drift bound %.4f (relative %.4f) on stale score %.4f\n",
+                  drift.Get("drift").AsDouble(),
+                  drift.Get("relative_drift").AsDouble(),
+                  drift.Get("stale_score").AsDouble());
+    }
+    if (result.Has("plan")) PrintPlanSummary(result);
     return 0;
   }
   if (args.command == "set-budget") {

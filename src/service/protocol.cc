@@ -46,6 +46,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnknownSession: return "unknown_session";
     case ErrorCode::kInfeasible: return "infeasible";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kIngestOverloaded: return "ingest_overloaded";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kFrameTooLarge: return "frame_too_large";
@@ -59,7 +60,8 @@ ErrorCode ErrorCodeFromName(std::string_view name) {
   static constexpr ErrorCode kAll[] = {
       ErrorCode::kBadRequest,      ErrorCode::kUnknownEndpoint,
       ErrorCode::kUnknownSession,  ErrorCode::kInfeasible,
-      ErrorCode::kOverloaded,      ErrorCode::kDeadlineExceeded,
+      ErrorCode::kOverloaded,      ErrorCode::kIngestOverloaded,
+      ErrorCode::kDeadlineExceeded,
       ErrorCode::kShuttingDown,    ErrorCode::kFrameTooLarge,
       ErrorCode::kShardUnavailable, ErrorCode::kInternal};
   for (ErrorCode code : kAll) {

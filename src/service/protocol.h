@@ -73,6 +73,7 @@ enum class ErrorCode {
   kUnknownSession,   ///< session id not found (expired or never created)
   kInfeasible,       ///< constraints unsatisfiable (budget below C(S0))
   kOverloaded,       ///< admission control rejected: request queue full
+  kIngestOverloaded, ///< streaming ingest queue full; flush or retry later
   kDeadlineExceeded, ///< request expired before a worker could start it
   kShuttingDown,     ///< server is draining; no new work accepted
   kFrameTooLarge,    ///< peer sent a frame above the size cap

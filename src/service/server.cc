@@ -466,6 +466,15 @@ Json ServiceServer::ProcessParsed(std::uint64_t id,
         } catch (const InfeasibleBudgetError& error) {
           response =
               MakeErrorResponse(id, ErrorCode::kInfeasible, error.what());
+        } catch (const IngestOverloadedError& error) {
+          // Must precede the CheckFailure arm (it derives CheckFailure):
+          // backpressure is a typed, retryable condition, not a bad request.
+          registry.GetCounter("service.rejected.ingest_overloaded")
+              .Increment();
+          telemetry::FlightRecorder::Record("request.reject",
+                                            "ingest_overloaded", id);
+          response = MakeErrorResponse(id, ErrorCode::kIngestOverloaded,
+                                       error.what());
         } catch (const CheckFailure& failure) {
           response =
               MakeErrorResponse(id, ErrorCode::kBadRequest, failure.what());
@@ -563,6 +572,8 @@ Json ServiceServer::Handle(const std::string& endpoint, const Json& params) {
   if (endpoint == "plan") return HandlePlan(params);
   if (endpoint == "update") return HandleUpdate(params);
   if (endpoint == "set_budget") return HandleSetBudget(params);
+  if (endpoint == "ingest") return HandleIngest(params);
+  if (endpoint == "ingest_flush") return HandleIngestFlush(params);
   if (endpoint == "coverage") {
     return FindSession(params)->Coverage(
         static_cast<std::size_t>(params.GetOr("top_k", 0).AsInt()));
@@ -647,6 +658,84 @@ Json ServiceServer::HandleSetBudget(const Json& params) {
   result.Set("stats", StatsToJson(outcome.stats));
   result.Set("plan", PlanToJson(*outcome.plan));
   return result;
+}
+
+namespace {
+
+Json DriftToJson(const DriftEstimate& drift) {
+  Json out = Json::Object();
+  out.Set("stale_score", drift.stale_score);
+  out.Set("upper_bound", drift.upper_bound);
+  out.Set("drift", drift.drift);
+  out.Set("relative_drift", drift.relative_drift);
+  return out;
+}
+
+Session::IngestConfig IngestConfigFromParams(const Json& params) {
+  Session::IngestConfig config;
+  config.epsilon = params.GetOr("epsilon", Json(config.epsilon)).AsDouble();
+  config.max_staleness_ms =
+      params.GetOr("max_staleness_ms", Json(config.max_staleness_ms))
+          .AsDouble();
+  config.batch_photos = static_cast<std::size_t>(
+      params.GetOr("batch_photos", static_cast<std::int64_t>(
+                                       config.batch_photos))
+          .AsInt());
+  config.queue_photos = static_cast<std::size_t>(
+      params.GetOr("queue_photos", static_cast<std::int64_t>(
+                                       config.queue_photos))
+          .AsInt());
+  config.replan_every_batch =
+      params.GetOr("per_batch", config.replan_every_batch).AsBool();
+  config.budget_fraction =
+      params.GetOr("budget_fraction", Json(config.budget_fraction)).AsDouble();
+  config.backfill_members = static_cast<std::size_t>(
+      params.GetOr("backfill_members", 0).AsInt());
+  return config;
+}
+
+Json IngestResultToJson(const std::string& session_id,
+                        const Session::IngestResult& ingest) {
+  Json result = Json::Object();
+  result.Set("session", session_id);
+  result.Set("enqueued_photos", ingest.outcome.enqueued_photos);
+  result.Set("pending_photos", ingest.outcome.pending_photos);
+  result.Set("absorbed", ingest.outcome.absorbed);
+  result.Set("replanned", ingest.outcome.replanned);
+  result.Set("reason", ingest.outcome.reason);
+  result.Set("num_photos", ingest.num_photos);
+  result.Set("replans", ingest.replans);
+  result.Set("replans_skipped", ingest.replans_skipped);
+  result.Set("drift_evals", ingest.drift_evals);
+  if (ingest.outcome.drift_evaluated) {
+    result.Set("drift", DriftToJson(ingest.outcome.drift));
+  }
+  if (ingest.outcome.replanned) {
+    result.Set("stats", StatsToJson(ingest.outcome.stats));
+    result.Set("plan", PlanToJson(*ingest.plan));
+  }
+  return result;
+}
+
+}  // namespace
+
+Json ServiceServer::HandleIngest(const Json& params) {
+  std::shared_ptr<Session> session = FindSession(params);
+  const ArchiveOptions options =
+      OptionsFromParams(params, /*require_budget=*/false);
+  const std::size_t count =
+      static_cast<std::size_t>(params.Get("count").AsInt());
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(params.GetOr("seed", 1).AsInt());
+  const Session::IngestResult ingest = session->Ingest(
+      count, seed, options, IngestConfigFromParams(params),
+      options_.ingest_now_ms);
+  return IngestResultToJson(session->id(), ingest);
+}
+
+Json ServiceServer::HandleIngestFlush(const Json& params) {
+  std::shared_ptr<Session> session = FindSession(params);
+  return IngestResultToJson(session->id(), session->IngestFlush());
 }
 
 Json ServiceServer::HandleArchiveToVault(const Json& params) {

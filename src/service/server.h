@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,11 @@ struct ServerOptions {
   /// the `metrics` verb. 0 reads PHOCUS_SLOW_REQUEST_MS from the
   /// environment (absent = disabled); negative disables unconditionally.
   double slow_request_ms = 0.0;
+  /// Clock (milliseconds, monotonic) feeding the streaming-ingest staleness
+  /// fallback. Null = std::chrono::steady_clock. Tests inject
+  /// scenario_support's FakeClock here so time-triggered replans are
+  /// deterministic with zero real sleeps.
+  std::function<double()> ingest_now_ms;
 };
 
 /// Bounded log of the most recent slow requests (each a JSON record with
@@ -150,6 +156,8 @@ class ServiceServer {
   Json HandlePlan(const Json& params);
   Json HandleUpdate(const Json& params);
   Json HandleSetBudget(const Json& params);
+  Json HandleIngest(const Json& params);
+  Json HandleIngestFlush(const Json& params);
   Json HandleArchiveToVault(const Json& params);
   Json HandleStats();
   /// Control-plane observability verbs (bypass admission; docs/SERVICE.md).

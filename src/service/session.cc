@@ -88,42 +88,62 @@ Session::PlanOutcome Session::Plan(const ArchiveOptions& options,
   return outcome;
 }
 
-Session::UpdateOutcome Session::AddGeneratedPhotos(
-    std::size_t count, std::uint64_t seed, const ArchiveOptions& options) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  PHOCUS_CHECK(count > 0, "update needs count > 0");
-  UpdateOutcome outcome;
-  if (archiver_ == nullptr) {
+namespace {
+
+/// Deterministic arrivals: a fresh mini-corpus whose subsets are remapped
+/// into the appended id space (they only reference the new photos).
+Corpus GenerateArrivals(std::size_t count, std::uint64_t seed,
+                        PhotoId offset) {
+  OpenImagesOptions generate;
+  generate.num_photos = count;
+  generate.seed = seed;
+  Corpus arrivals = GenerateOpenImagesCorpus(generate);
+  for (SubsetSpec& spec : arrivals.subsets) {
+    spec.name = StrFormat("%s@%u", spec.name.c_str(), offset);
+    for (PhotoId& member : spec.members) member += offset;
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+StreamingArchiver& Session::StreamerLocked(const ArchiveOptions& options) {
+  if (streamer_ == nullptr) {
     // No incremental state yet: seed it with the request's options, or fall
     // back to the options of the last full plan.
     ArchiveOptions initial = options;
     if (initial.budget == 0 && has_plan_) initial = last_options_;
     PHOCUS_CHECK(initial.budget > 0,
                  "first update needs a budget (pass one or plan first)");
-    IncrementalOptions incremental;
-    incremental.archive = initial;
-    archiver_ = std::make_unique<IncrementalArchiver>(incremental);
-    archiver_->Initialize(corpus_);
+    StreamingOptions streaming;
+    streaming.incremental.archive = initial;
+    streamer_ = std::make_unique<StreamingArchiver>(streaming);
+    streamer_->Initialize(corpus_);
     last_options_ = initial;
   }
+  return *streamer_;
+}
 
-  // Deterministic arrivals: a fresh mini-corpus whose subsets are remapped
-  // into the appended id space (they only reference the new photos).
-  OpenImagesOptions generate;
-  generate.num_photos = count;
-  generate.seed = seed;
-  Corpus arrivals = GenerateOpenImagesCorpus(generate);
-  const PhotoId offset = static_cast<PhotoId>(corpus_.num_photos());
-  for (SubsetSpec& spec : arrivals.subsets) {
-    spec.name = StrFormat("%s@%u", spec.name.c_str(), offset);
-    for (PhotoId& member : spec.members) member += offset;
-  }
+Session::UpdateOutcome Session::AddGeneratedPhotos(
+    std::size_t count, std::uint64_t seed, const ArchiveOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(count > 0, "update needs count > 0");
+  UpdateOutcome outcome;
+  StreamingArchiver& streamer = StreamerLocked(options);
+  // A synchronous update must see every queued streaming batch absorbed
+  // first: arrivals are numbered in the post-absorb id space, so the queue
+  // is flushed before computing this update's offset.
+  if (streamer.pending_photos() > 0) streamer.Flush();
 
-  archiver_->AddPhotos(std::move(arrivals.photos),
-                       std::move(arrivals.subsets), {}, &outcome.stats);
-  corpus_ = archiver_->corpus();
+  Corpus arrivals =
+      GenerateArrivals(count, seed,
+                       static_cast<PhotoId>(streamer.corpus().num_photos()));
+  streamer.archiver().AddPhotos(std::move(arrivals.photos),
+                                std::move(arrivals.subsets), {},
+                                &outcome.stats);
+  corpus_ = streamer.corpus();
   InvalidateLocked();
-  outcome.plan = std::make_shared<const ArchivePlan>(archiver_->plan());
+  outcome.plan = std::make_shared<const ArchivePlan>(streamer.plan());
   last_plan_ = outcome.plan;
   has_plan_ = true;
   return outcome;
@@ -134,20 +154,100 @@ Session::UpdateOutcome Session::SetBudget(Cost budget,
   std::lock_guard<std::mutex> lock(mutex_);
   PHOCUS_CHECK(budget > 0, "budget must be positive");
   UpdateOutcome outcome;
-  if (archiver_ == nullptr) {
-    IncrementalOptions incremental;
-    incremental.archive = options;
-    incremental.archive.budget = budget;
-    archiver_ = std::make_unique<IncrementalArchiver>(incremental);
-    archiver_->Initialize(corpus_);
+  if (streamer_ == nullptr) {
+    StreamingOptions streaming;
+    streaming.incremental.archive = options;
+    streaming.incremental.archive.budget = budget;
+    streamer_ = std::make_unique<StreamingArchiver>(streaming);
+    streamer_->Initialize(corpus_);
   } else {
-    archiver_->SetBudget(budget, &outcome.stats);
+    if (streamer_->pending_photos() > 0) streamer_->Flush();
+    streamer_->archiver().SetBudget(budget, &outcome.stats);
+    corpus_ = streamer_->corpus();
+    InvalidateLocked();
   }
   last_options_.budget = budget;
-  outcome.plan = std::make_shared<const ArchivePlan>(archiver_->plan());
+  outcome.plan = std::make_shared<const ArchivePlan>(streamer_->plan());
   last_plan_ = outcome.plan;
   has_plan_ = true;
   return outcome;
+}
+
+void Session::AbsorbStreamerStateLocked(const IngestOutcome& outcome,
+                                        IngestResult* result) {
+  if (outcome.absorbed) {
+    corpus_ = streamer_->corpus();
+    InvalidateLocked();
+  }
+  if (outcome.replanned) {
+    result->plan = std::make_shared<const ArchivePlan>(streamer_->plan());
+    last_plan_ = result->plan;
+    has_plan_ = true;
+  }
+  result->num_photos = corpus_.num_photos();
+  result->replans = streamer_->replans();
+  result->replans_skipped = streamer_->replans_skipped();
+  result->drift_evals = streamer_->drift_evals();
+}
+
+Session::IngestResult Session::Ingest(std::size_t count, std::uint64_t seed,
+                                      const ArchiveOptions& options,
+                                      const IngestConfig& config,
+                                      std::function<double()> now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(count > 0, "ingest needs count > 0");
+  StreamingArchiver& streamer = StreamerLocked(options);
+  StreamingOptions policy;
+  policy.epsilon = config.epsilon;
+  policy.max_staleness_ms = config.max_staleness_ms;
+  policy.batch_photos = config.batch_photos;
+  policy.queue_photos = config.queue_photos;
+  policy.replan_every_batch = config.replan_every_batch;
+  policy.budget_fraction = config.budget_fraction;
+  policy.now_ms = std::move(now_ms);
+  streamer.set_policy(policy);
+
+  // Queued batches are numbered in the post-absorb id space: this batch's
+  // first photo lands after everything absorbed plus everything queued.
+  const PhotoId offset = static_cast<PhotoId>(streamer.corpus().num_photos() +
+                                              streamer.pending_photos());
+  Corpus arrivals = GenerateArrivals(count, seed, offset);
+  IngestBatch batch;
+  batch.photos = std::move(arrivals.photos);
+  batch.subsets = std::move(arrivals.subsets);
+  if (config.backfill_members > 0 && offset > 0) {
+    // Out-of-order metadata: an old album's page arrives only now, naming
+    // photos ingested long ago. Deterministic from the seed.
+    SubsetSpec backfill;
+    backfill.name = StrFormat("backfill@%u", offset);
+    const std::size_t members =
+        std::min<std::size_t>(config.backfill_members, offset);
+    std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    for (std::size_t i = 0; i < members; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      backfill.members.push_back(static_cast<PhotoId>((state >> 33) % offset));
+    }
+    std::sort(backfill.members.begin(), backfill.members.end());
+    backfill.members.erase(
+        std::unique(backfill.members.begin(), backfill.members.end()),
+        backfill.members.end());
+    batch.subsets.push_back(std::move(backfill));
+  }
+
+  IngestResult result;
+  result.outcome = streamer.Ingest(std::move(batch));
+  AbsorbStreamerStateLocked(result.outcome, &result);
+  return result;
+}
+
+Session::IngestResult Session::IngestFlush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PHOCUS_CHECK(streamer_ != nullptr,
+               "ingest_flush before any ingest/update on session " + id_);
+  IngestResult result;
+  result.outcome = streamer_->Flush();
+  AbsorbStreamerStateLocked(result.outcome, &result);
+  return result;
 }
 
 Json Session::Coverage(std::size_t top_k) {

@@ -1,6 +1,7 @@
 #ifndef PHOCUS_SERVICE_SESSION_H_
 #define PHOCUS_SERVICE_SESSION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,7 @@
 
 #include "datagen/corpus.h"
 #include "phocus/incremental.h"
+#include "phocus/streaming.h"
 #include "phocus/system.h"
 #include "service/plan_cache.h"
 #include "util/json.h"
@@ -64,6 +66,46 @@ class Session {
   /// when the budget cannot cover the required set S0.
   UpdateOutcome SetBudget(Cost budget, const ArchiveOptions& options);
 
+  /// Streaming-ingest policy knobs carried on each `ingest` request (see
+  /// StreamingOptions for semantics). Applied live before the batch.
+  struct IngestConfig {
+    double epsilon = 0.05;
+    double max_staleness_ms = 0.0;
+    std::size_t batch_photos = 32;
+    std::size_t queue_photos = 1024;
+    bool replan_every_batch = false;
+    double budget_fraction = 0.0;
+    /// When > 0, the batch also carries one extra subset referencing this
+    /// many already-ingested photos — backfill of an old album arriving
+    /// late / out of order.
+    std::size_t backfill_members = 0;
+  };
+
+  struct IngestResult {
+    IngestOutcome outcome;
+    /// The fresh plan when the call replanned; null when the batch merely
+    /// queued or stayed below ε.
+    std::shared_ptr<const ArchivePlan> plan;
+    std::size_t num_photos = 0;  ///< corpus photos after the call (absorbed)
+    /// Session-lifetime totals, for wire responses and scenario guards.
+    std::size_t replans = 0;
+    std::size_t replans_skipped = 0;
+    std::size_t drift_evals = 0;
+  };
+
+  /// Enqueues `count` deterministically generated photos (from `seed`) into
+  /// the session's bounded streaming queue. The first ingest (or update)
+  /// performs the initial solve with `options`. Throws IngestOverloadedError
+  /// when the queue is full. `now_ms` (may be null) feeds the staleness
+  /// fallback clock.
+  IngestResult Ingest(std::size_t count, std::uint64_t seed,
+                      const ArchiveOptions& options, const IngestConfig& config,
+                      std::function<double()> now_ms);
+
+  /// Drains the streaming queue and replans if anything is pending — the
+  /// client-visible "make the plan current" barrier.
+  IngestResult IngestFlush();
+
   /// Per-subset coverage rows of the last plan (top_k = 0 keeps all).
   Json Coverage(std::size_t top_k);
 
@@ -81,12 +123,21 @@ class Session {
   ArchivePlan SolveLocked(const ArchiveOptions& options);
   std::string FingerprintLocked();
   void InvalidateLocked();
+  /// Lazily creates the streaming archiver (initial solve included); the
+  /// budget comes from `options` or falls back to the last plan's.
+  StreamingArchiver& StreamerLocked(const ArchiveOptions& options);
+  /// Syncs corpus_ from the streamer and refreshes last_plan_ bookkeeping
+  /// after a streamer call that absorbed photos and/or replanned.
+  void AbsorbStreamerStateLocked(const IngestOutcome& outcome,
+                                 IngestResult* result);
 
   const std::string id_;
   std::mutex mutex_;
   Corpus corpus_;
   std::unique_ptr<PhocusSystem> system_;  // lazily (re)built from corpus_
-  std::unique_ptr<IncrementalArchiver> archiver_;
+  /// One streaming archiver serves both the `update` path (flush + immediate
+  /// AddPhotos replan) and the `ingest` path (queued, drift-triggered).
+  std::unique_ptr<StreamingArchiver> streamer_;
   std::shared_ptr<const ArchivePlan> last_plan_;
   ArchiveOptions last_options_;
   bool has_plan_ = false;

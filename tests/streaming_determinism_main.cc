@@ -1,0 +1,83 @@
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/openimages.h"
+#include "kernels/kernels.h"
+#include "phocus/streaming.h"
+#include "service/protocol.h"
+
+/// \file streaming_determinism_main.cc
+/// Emits the deterministic JSON serialization of a full streaming-ingest
+/// session on stdout: a bursty upload stream driven through StreamingArchiver
+/// in drift-triggered mode, ending with a flush. cmake/plan_determinism.cmake
+/// runs this binary under every PHOCUS_KERNELS table the machine advertises
+/// crossed with several PHOCUS_NUM_THREADS values and fails unless all
+/// outputs are byte-identical — the streaming tier's determinism contract:
+/// replan decisions (drift bound vs ε) and the final plan depend only on the
+/// ingest sequence, never on thread count or kernel ISA.
+
+namespace {
+
+phocus::IngestBatch MakeBatch(std::size_t count, std::uint64_t seed,
+                              phocus::PhotoId offset) {
+  phocus::OpenImagesOptions options;
+  options.num_photos = count;
+  options.seed = seed;
+  options.render_size = 32;
+  phocus::Corpus arrivals = phocus::GenerateOpenImagesCorpus(options);
+  phocus::IngestBatch batch;
+  batch.photos = std::move(arrivals.photos);
+  for (phocus::SubsetSpec& spec : arrivals.subsets) {
+    spec.name += "@" + std::to_string(offset);
+    for (phocus::PhotoId& member : spec.members) member += offset;
+    batch.subsets.push_back(std::move(spec));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list-kernels") == 0) {
+    std::puts("scalar");
+    if (phocus::kernels::Avx2Table() != nullptr) std::puts("avx2");
+    return 0;
+  }
+
+  phocus::OpenImagesOptions corpus_options;
+  corpus_options.num_photos = 120;
+  corpus_options.seed = 17;
+  corpus_options.render_size = 32;
+  const phocus::Corpus base =
+      phocus::GenerateOpenImagesCorpus(corpus_options);
+
+  phocus::StreamingOptions options;
+  options.incremental.archive.budget = base.TotalBytes() / 4;
+  options.epsilon = 0.25;
+  options.batch_photos = 10;
+  phocus::StreamingArchiver archiver(options);
+  archiver.Initialize(base);
+
+  const std::vector<std::size_t> bursts = {14, 3, 3, 22, 4, 16};
+  std::uint64_t seed = 900;
+  for (const std::size_t size : bursts) {
+    const phocus::PhotoId offset = static_cast<phocus::PhotoId>(
+        archiver.corpus().num_photos() + archiver.pending_photos());
+    archiver.Ingest(MakeBatch(size, seed++, offset));
+  }
+  archiver.Flush();
+
+  // The replan/skip counts are part of the determinism contract: a drift
+  // decision that flips across thread counts would change them even when
+  // the final plan happens to coincide.
+  std::printf("replans=%zu skipped=%zu drift_evals=%zu photos=%zu\n",
+              archiver.replans(), archiver.replans_skipped(),
+              archiver.drift_evals(), archiver.corpus().num_photos());
+  std::fputs(phocus::service::PlanToJson(archiver.plan()).Dump(1).c_str(),
+             stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
